@@ -1,0 +1,97 @@
+"""Minimal in-tree PEP 517/660 build backend.
+
+The reproduction environment is offline and lacks the ``wheel`` package that
+``setuptools.build_meta`` needs for editable installs, so this backend builds
+the (tiny) editable wheel by hand: a ``.pth`` file pointing at ``src/`` plus
+the required ``dist-info`` metadata.  ``pip install -e .`` works with no
+network access and no extra build dependencies.
+"""
+
+import base64
+import hashlib
+import os
+import zipfile
+
+NAME = "repro"
+VERSION = "1.0.0"
+DIST = f"{NAME}-{VERSION}"
+
+
+def _record_hash(data: bytes) -> str:
+    digest = hashlib.sha256(data).digest()
+    encoded = base64.urlsafe_b64encode(digest).rstrip(b"=").decode("ascii")
+    return f"sha256={encoded},{len(data)}"
+
+
+def _metadata() -> str:
+    return (
+        "Metadata-Version: 2.1\n"
+        f"Name: {NAME}\n"
+        f"Version: {VERSION}\n"
+        "Summary: HyperLoop (SIGCOMM 2018) reproduction on a simulated "
+        "RDMA/NVM substrate\n"
+        "Requires-Python: >=3.9\n"
+    )
+
+
+def get_requires_for_build_editable(config_settings=None):
+    return []
+
+
+def get_requires_for_build_wheel(config_settings=None):
+    return []
+
+
+def prepare_metadata_for_build_editable(metadata_directory, config_settings=None):
+    distinfo = os.path.join(metadata_directory, f"{DIST}.dist-info")
+    os.makedirs(distinfo, exist_ok=True)
+    with open(os.path.join(distinfo, "METADATA"), "w") as handle:
+        handle.write(_metadata())
+    with open(os.path.join(distinfo, "WHEEL"), "w") as handle:
+        handle.write("Wheel-Version: 1.0\nGenerator: repro-inline\n"
+                     "Root-Is-Purelib: true\nTag: py3-none-any\n")
+    return f"{DIST}.dist-info"
+
+
+prepare_metadata_for_build_wheel = prepare_metadata_for_build_editable
+
+
+def _build(wheel_directory, editable: bool) -> str:
+    wheel_name = f"{DIST}-py3-none-any.whl"
+    src = os.path.abspath(os.path.join(os.path.dirname(__file__), "src"))
+    files = {}
+    if editable:
+        files[f"__editable__.{NAME}.pth"] = (src + "\n").encode()
+    else:
+        for root, _dirs, names in os.walk(os.path.join(src, NAME)):
+            for name in sorted(names):
+                if name.endswith(".pyc"):
+                    continue
+                path = os.path.join(root, name)
+                arcname = os.path.relpath(path, src)
+                with open(path, "rb") as handle:
+                    files[arcname] = handle.read()
+    distinfo = f"{DIST}.dist-info"
+    files[f"{distinfo}/METADATA"] = _metadata().encode()
+    files[f"{distinfo}/WHEEL"] = (
+        "Wheel-Version: 1.0\nGenerator: repro-inline\n"
+        "Root-Is-Purelib: true\nTag: py3-none-any\n"
+    ).encode()
+
+    record_lines = []
+    out_path = os.path.join(wheel_directory, wheel_name)
+    with zipfile.ZipFile(out_path, "w", zipfile.ZIP_DEFLATED) as archive:
+        for arcname, data in files.items():
+            archive.writestr(arcname, data)
+            record_lines.append(f"{arcname},{_record_hash(data)}")
+        record_lines.append(f"{distinfo}/RECORD,,")
+        archive.writestr(f"{distinfo}/RECORD", "\n".join(record_lines) + "\n")
+    return wheel_name
+
+
+def build_editable(wheel_directory, config_settings=None, metadata_directory=None):
+    return _build(wheel_directory, editable=True)
+
+
+def build_wheel(wheel_directory, config_settings=None, metadata_directory=None):
+    return _build(wheel_directory, editable=False)

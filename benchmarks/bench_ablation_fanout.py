@@ -1,0 +1,78 @@
+"""Ablation: chain vs fan-out replication (§7's load-balancing argument).
+
+The paper chose chain replication because "there is at most one active
+write-QP per active partition" and transmission load spreads across the
+nodes.  This bench quantifies the trade-off against the NIC-offloaded
+fan-out variant (:class:`repro.core.fanout.FanoutGroup`):
+
+* small payloads — fan-out wins on latency (2 network stages vs 4);
+* large payloads at high rate — the chain wins on throughput, because the
+  fan-out primary's egress port must serialize one copy per backup.
+"""
+
+from repro.core.fanout import FanoutGroup
+from repro.core.group import GroupConfig
+from repro.experiments.common import (
+    build_testbed,
+    format_table,
+    latency_sweep,
+    make_hyperloop,
+    scaled,
+    throughput_run,
+)
+from repro.sim.units import MiB
+
+
+def make_fanout(testbed, slots=256):
+    return FanoutGroup(testbed.client, testbed.replicas,
+                       GroupConfig(slots=slots, region_size=32 << 20))
+
+
+def test_latency_small_messages(benchmark, once):
+    def experiment():
+        rows = []
+        for topology in ("chain", "fanout"):
+            testbed = build_testbed(3, seed=55)
+            group = make_hyperloop(testbed) if topology == "chain" \
+                else make_fanout(testbed)
+            recorder = latency_sweep(group, "gwrite", 256,
+                                     scaled(400, 5000))
+            rows.append({
+                "topology": topology,
+                "avg_us": recorder.mean_us(),
+                "p99_us": recorder.percentile_us(99),
+            })
+        return rows
+
+    rows = once(benchmark, experiment)
+    print()
+    print(format_table(rows, title="Ablation — 256 B gWRITE latency, "
+                                   "chain vs fan-out"))
+    chain, fanout = rows[0], rows[1]
+    assert fanout["avg_us"] < chain["avg_us"]  # Fewer sequential hops.
+
+
+def test_throughput_large_messages(benchmark, once):
+    def experiment():
+        rows = []
+        for topology in ("chain", "fanout"):
+            testbed = build_testbed(3, seed=56)
+            group = make_hyperloop(testbed, slots=512) if topology == "chain" \
+                else make_fanout(testbed, slots=512)
+            result = throughput_run(group, 65536, scaled(24, 512) * MiB,
+                                    window=128)
+            rows.append({
+                "topology": topology,
+                "kops_per_sec": result["kops_per_sec"],
+                "goodput_gbps": result["gbps"],
+            })
+        return rows
+
+    rows = once(benchmark, experiment)
+    print()
+    print(format_table(rows, title="Ablation — 64 KB gWRITE throughput, "
+                                   "chain vs fan-out"))
+    chain, fanout = rows[0], rows[1]
+    # The chain spreads serialization across nodes; the fan-out primary
+    # sends every byte twice.
+    assert chain["goodput_gbps"] > fanout["goodput_gbps"]

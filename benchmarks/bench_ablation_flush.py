@@ -1,0 +1,71 @@
+"""Ablation: what gFLUSH buys (and costs).
+
+DESIGN.md calls out the gFLUSH interleaving as a core design choice; this
+bench quantifies both sides:
+
+* latency cost of interleaving the flush (durable vs volatile gWRITE);
+* the correctness side: without the flush, an injected power failure loses
+  ACKed data; with it, nothing is lost.
+"""
+
+from repro.experiments.common import (
+    build_testbed,
+    format_table,
+    latency_sweep,
+    make_hyperloop,
+    scaled,
+)
+
+
+def test_flush_latency_cost(benchmark, once):
+    def experiment():
+        rows = []
+        for durable in (False, True):
+            testbed = build_testbed(3, seed=77)
+            group = make_hyperloop(testbed)
+            recorder = latency_sweep(group, "gwrite", 1024,
+                                     scaled(500, 5000), durable=durable)
+            rows.append({
+                "variant": "durable (gFLUSH interleaved)" if durable
+                           else "volatile",
+                "avg_us": recorder.mean_us(),
+                "p99_us": recorder.percentile_us(99),
+            })
+        return rows
+
+    rows = once(benchmark, experiment)
+    print()
+    print(format_table(rows, title="Ablation — gFLUSH latency cost"))
+    volatile, durable = rows[0], rows[1]
+    # The flush costs something but stays in the same order of magnitude.
+    assert durable["avg_us"] >= volatile["avg_us"]
+    assert durable["avg_us"] < 5 * volatile["avg_us"]
+
+
+def test_flush_durability_value(benchmark, once):
+    def experiment():
+        results = {}
+        for durable in (False, True):
+            testbed = build_testbed(3, seed=78)
+            group = make_hyperloop(testbed)
+            sim = testbed.cluster.sim
+
+            def proc():
+                group.write_local(0, b"evidence")
+                yield group.gwrite(0, 8, durable=durable)
+
+            process = sim.process(proc())
+            while not process.triggered and sim.peek() is not None:
+                sim.step()
+            assert process.ok
+            # Power-fail the tail immediately after the ACK.
+            testbed.replicas[2].fail_power()
+            survived = group.read_replica(2, 0, 8) == b"evidence"
+            results["durable" if durable else "volatile"] = survived
+        return results
+
+    results = once(benchmark, experiment)
+    print()
+    print(f"survival after power failure: {results}")
+    assert results["durable"] is True
+    assert results["volatile"] is False

@@ -1,0 +1,30 @@
+"""Appendix (extension): availability through a crash-and-repair cycle.
+
+Steady durable-gWRITE load; a replica crashes mid-run; heartbeats detect
+it, the chain rebuilds with a spare, and throughput resumes.  Asserts the
+outage is bounded by detection + rebuild and that no ACKed write is lost.
+"""
+
+from repro.experiments import availability
+from repro.experiments.common import format_table
+
+
+def test_availability_timeline(benchmark, once):
+    result = once(benchmark, availability.run)
+    timeline = result["timeline"]
+    crash = result["crash_bucket"]
+    print()
+    print(f"timeline (ops per {result['bucket_ms']} ms): {timeline}")
+    print(f"outage {result['outage_ms']:.1f} ms, "
+          f"lost ACKed writes: {result['lost_acked_writes']}")
+    # Steady before the crash.
+    assert min(timeline[2:crash]) > 0
+    # Bounded outage: a handful of buckets, not the rest of the run.
+    assert result["outage_buckets"] <= 5
+    # Full-rate resumption afterwards.
+    post = timeline[crash + 4:-1]
+    pre = timeline[2:crash]
+    assert sum(post) / len(post) > 0.8 * sum(pre) / len(pre)
+    # The §5 safety property across repair.
+    assert result["lost_acked_writes"] == 0
+    assert result["repairs"] == 1

@@ -1,0 +1,33 @@
+"""Figure 10: 99th-percentile gWRITE latency vs group size (3/5/7).
+
+Paper shape: Naïve-RDMA's p99 grows with the chain (up to 2.97×) while
+HyperLoop stays flat — extra hops only add NIC + wire time.
+"""
+
+from repro.experiments import fig10
+from repro.experiments.common import format_table, scaled
+
+
+def test_fig10_group_scaling(benchmark, once):
+    rows = once(benchmark, lambda: fig10.run(
+        sizes=[512, 8192], count=scaled(800, 10_000)))
+    print()
+    print(format_table(rows, title="Figure 10 — p99 gWRITE vs group size"))
+    naive_growth = fig10.tail_growth(rows, "naive")
+    hyper_growth = fig10.tail_growth(rows, "hyperloop")
+    print(f"p99 growth 3->7: naive {naive_growth:.2f}x (paper <=2.97x), "
+          f"hyperloop {hyper_growth:.2f}x (paper ~flat)")
+    # HyperLoop stays flat in absolute terms and grows less than Naïve.
+    hyper_rows = [row for row in rows if row["system"] == "hyperloop"]
+    assert max(row["p99_us"] for row in hyper_rows) < 120
+    assert hyper_growth < 3.0
+    # Naïve is at least an order of magnitude worse at every group size.
+    for group_size in (3, 5, 7):
+        for size in (512, 8192):
+            naive = next(r for r in rows if r["system"] == "naive"
+                         and r["group_size"] == group_size
+                         and r["size"] == size)
+            hyper = next(r for r in rows if r["system"] == "hyperloop"
+                         and r["group_size"] == group_size
+                         and r["size"] == size)
+            assert naive["p99_us"] / hyper["p99_us"] > 10

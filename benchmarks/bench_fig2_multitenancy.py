@@ -1,0 +1,31 @@
+"""Figure 2: multi-tenancy is the root cause of MongoDB's tail latency.
+
+(a) More replica-sets on the same 3 servers → more context switches →
+higher latency.  (b) More cores for a fixed 18 replica-sets → fewer
+switches → lower latency.
+"""
+
+from repro.experiments import fig2
+from repro.experiments.common import format_table
+
+
+def test_fig2a_replica_set_sweep(benchmark, once):
+    rows = once(benchmark, lambda: fig2.run_replica_set_sweep(
+        counts=[9, 18, 27]))
+    print()
+    print(format_table(rows, title="Figure 2(a) — latency vs replica-sets"))
+    first, last = rows[0], rows[-1]
+    # Latency and context switches both rise with tenant count.
+    assert last["p99_ms"] > first["p99_ms"]
+    assert last["context_switches"] > first["context_switches"]
+    assert last["norm_ctxsw"] == 1.0
+
+
+def test_fig2b_core_sweep(benchmark, once):
+    rows = once(benchmark, lambda: fig2.run_core_sweep(cores=[4, 8, 16]))
+    print()
+    print(format_table(rows, title="Figure 2(b) — latency vs cores"))
+    few_cores, many_cores = rows[0], rows[-1]
+    # More cores -> lower latency for the same 18 replica-sets.
+    assert few_cores["p99_ms"] > many_cores["p99_ms"]
+    assert few_cores["avg_ms"] > many_cores["avg_ms"]

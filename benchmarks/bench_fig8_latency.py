@@ -1,0 +1,38 @@
+"""Figure 8: gWRITE / gMEMCPY latency vs message size, HyperLoop vs Naïve.
+
+Regenerates both panels: average and 99th-percentile latency for message
+sizes 128 B – 8 KB at group size 3 with 10:1 tenant co-location.  Paper
+headline: up to 801.8× (gWRITE) / 848× (gMEMCPY) p99 reduction.
+"""
+
+from repro.experiments import fig8
+from repro.experiments.common import format_table, scaled
+
+
+def test_fig8a_gwrite(benchmark, once):
+    rows = once(benchmark, lambda: fig8.run(
+        op="gwrite", count=scaled(1000, 10_000)))
+    print()
+    print(format_table(rows, title="Figure 8(a) — gWRITE latency (us)"))
+    ratios = fig8.speedups(rows)
+    print(f"max p99 speedup {max(r['p99_x'] for r in ratios.values()):,.0f}x "
+          "(paper: up to 801.8x)")
+    # Shape assertions: HyperLoop flat and far below Naïve at every size.
+    for size, ratio in ratios.items():
+        assert ratio["p99_x"] > 20, (size, ratio)
+        assert ratio["avg_x"] > 3, (size, ratio)
+    hyper = [r for r in rows if r["system"] == "hyperloop"]
+    assert max(r["p99_us"] for r in hyper) < 100
+
+
+def test_fig8b_gmemcpy(benchmark, once):
+    rows = once(benchmark, lambda: fig8.run(
+        op="gmemcpy", count=scaled(1000, 10_000),
+        sizes=[128, 512, 2048, 8192]))
+    print()
+    print(format_table(rows, title="Figure 8(b) — gMEMCPY latency (us)"))
+    ratios = fig8.speedups(rows)
+    print(f"max p99 speedup {max(r['p99_x'] for r in ratios.values()):,.0f}x "
+          "(paper: up to 848x)")
+    for size, ratio in ratios.items():
+        assert ratio["p99_x"] > 20, (size, ratio)

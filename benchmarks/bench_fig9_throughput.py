@@ -1,0 +1,28 @@
+"""Figure 9: gWRITE throughput and backup critical-path CPU vs size.
+
+Paper shape: both systems sustain comparable throughput (message-rate bound
+at 1 KB, line-rate bound at 64 KB), but Naïve-RDMA's polling backups each
+burn a full core while HyperLoop's backups spend ~0%.
+"""
+
+from repro.experiments import fig9
+from repro.experiments.common import format_table
+
+
+def test_fig9_throughput_and_cpu(benchmark, once):
+    rows = once(benchmark, fig9.run)
+    print()
+    print(format_table(
+        rows, title="Figure 9 — gWRITE throughput & backup CPU"))
+    hyper = [row for row in rows if row["system"] == "hyperloop"]
+    naive = [row for row in rows if row["system"] == "naive-polling"]
+    # Throughput parity within a small factor at every size.
+    for h_row, n_row in zip(hyper, naive):
+        assert h_row["size"] == n_row["size"]
+        ratio = h_row["kops_per_sec"] / n_row["kops_per_sec"]
+        assert 0.4 < ratio < 4.0, (h_row["size"], ratio)
+    # Line rate reached at 64 KB.
+    assert max(row["goodput_gbps"] for row in hyper) > 40
+    # The CPU story: ~100% of a core vs ~0%.
+    assert all(row["backup_cpu_pct"] > 90 for row in naive)
+    assert all(row["backup_cpu_pct"] < 2 for row in hyper)

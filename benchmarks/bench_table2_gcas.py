@@ -1,0 +1,22 @@
+"""Table 2: gCAS latency, Naïve-RDMA vs HyperLoop.
+
+Paper: Naïve 539 / 3928 / 11886 µs (avg/p95/p99) vs HyperLoop 10 / 13 / 14.
+"""
+
+from repro.experiments import table2
+from repro.experiments.common import format_table
+
+
+def test_table2_gcas(benchmark, once):
+    rows = once(benchmark, table2.run)
+    print()
+    print(format_table(rows, title="Table 2 — gCAS latency (us)"))
+    by_system = {row["system"]: row for row in rows}
+    naive, hyper = by_system["naive"], by_system["hyperloop"]
+    print(f"avg {naive['avg_us'] / hyper['avg_us']:,.0f}x (paper 53.9x), "
+          f"p99 {naive['p99_us'] / hyper['p99_us']:,.0f}x (paper 849x)")
+    # Shape: HyperLoop flat at ~10 us; Naïve 1-3 orders worse in the tail.
+    assert hyper["p99_us"] < 50
+    assert hyper["avg_us"] < 30
+    assert naive["avg_us"] / hyper["avg_us"] > 5
+    assert naive["p99_us"] / hyper["p99_us"] > 50

@@ -1,0 +1,22 @@
+"""Benchmark harness configuration.
+
+Every file here regenerates one table or figure from the paper (see
+DESIGN.md's per-experiment index).  The simulated experiment runs once
+inside ``benchmark.pedantic`` — wall-clock numbers measure the simulator,
+while the *printed tables* are the reproduced results; EXPERIMENTS.md
+records them against the paper's numbers.
+
+Set ``REPRO_FULL=1`` for paper-sized op counts (much slower).
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once():
+    return run_once

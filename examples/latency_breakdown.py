@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Where do the ~10 microseconds of a gWRITE go?
+
+Enables tracing, runs a single durable gWRITE through a 3-replica chain,
+and prints the full NIC-level event timeline — every WQE the NICs execute
+and every message they receive, in order.  This is the offload made
+visible: after the client's initial WRITE/READ/SEND, every event happens
+on replica NICs with no CPU anywhere.
+
+Run:  python examples/latency_breakdown.py
+"""
+
+from repro import Cluster, GroupConfig, HyperLoopGroup
+from repro.sim.units import to_us
+
+
+def main():
+    cluster = Cluster(seed=5)
+    tracer = cluster.enable_tracing()
+    client = cluster.add_host("client")
+    replicas = cluster.add_hosts(3, prefix="replica")
+    group = HyperLoopGroup(client, replicas,
+                           GroupConfig(slots=8, region_size=1 << 20))
+    sim = cluster.sim
+
+    def workload():
+        group.write_local(0, b"X" * 1024)
+        tracer.clear()  # Drop setup noise; trace just the one operation.
+        result = yield group.gwrite(0, 1024, durable=True)
+        return result
+
+    process = sim.process(workload())
+    while not process.triggered and sim.peek() is not None:
+        sim.step()
+    result = process.value
+
+    print(f"durable gWRITE of 1 KiB over 3 replicas: "
+          f"{to_us(result.latency_ns):.2f} us end to end\n")
+    print(f"{'t (us)':>8}  {'component':<18} {'event':<14} detail")
+    print("-" * 64)
+    start = min(event.time_ns for event in tracer.events)
+    for event in sorted(tracer.events, key=lambda e: e.time_ns):
+        print(f"{to_us(event.time_ns - start):>8.2f}  "
+              f"{event.component:<18} {event.kind:<14} {event.detail}")
+    kinds = tracer.kinds()
+    print(f"\n{sum(kinds.values())} events: {kinds}")
+    print("note: every wqe.initiate / msg.rx after the client's three "
+          "posts runs on a replica NIC —\nno replica CPU appears anywhere "
+          "in this timeline.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Replicated key-value store under a YCSB-A workload (the §5.1 scenario).
+
+Runs the RocksDB-like store over both a HyperLoop group and the
+Naïve-RDMA baseline on a multi-tenant testbed (10:1 tenant threads per
+core, as in the paper's §6.2 co-location) and prints the update-latency
+distribution for each — a miniature Figure 11.
+
+Run:  python examples/replicated_kv.py
+"""
+
+from repro import (
+    Cluster,
+    GroupConfig,
+    HostParams,
+    HyperLoopGroup,
+    NaiveConfig,
+    NaiveGroup,
+    ReplicatedRocksKV,
+    StoreConfig,
+    YCSBConfig,
+    YCSBWorkload,
+    initialize,
+)
+from repro.workloads import RocksAdapter, YCSBRunner
+
+TENANTS = 160  # 10:1 over 16 cores.
+OPS = 300
+RECORDS = 100
+
+
+def run_system(system: str) -> dict:
+    cluster = Cluster(seed=11)
+    client = cluster.add_host("client")
+    replicas = cluster.add_hosts(3, prefix="replica")
+    for replica in replicas:
+        replica.add_tenant_load(TENANTS)
+    if system == "hyperloop":
+        group = HyperLoopGroup(client, replicas,
+                               GroupConfig(slots=128, region_size=32 << 20))
+    else:
+        group = NaiveGroup(client, replicas,
+                           NaiveConfig(slots=128, region_size=32 << 20,
+                                       mode="event"))
+    store = initialize(group, StoreConfig(wal_size=4 << 20))
+    kv = ReplicatedRocksKV(store)
+    workload = YCSBWorkload(YCSBConfig(workload="A", record_count=RECORDS,
+                                       field_length=1024, seed=5))
+    runner = YCSBRunner(workload, RocksAdapter(kv))
+    sim = cluster.sim
+
+    def driver():
+        yield from runner.load_phase(sim)
+        yield from runner.run_phase(sim, OPS, warmup=OPS // 10)
+
+    process = sim.process(driver())
+    while not process.triggered and sim.peek() is not None:
+        sim.step()
+    if not process.ok:
+        raise process.value
+    writes = runner.stats.writes()
+    return writes.summary_us()
+
+
+def main():
+    print(f"YCSB-A over a 3-replica chain, {TENANTS} tenant threads "
+          "per replica (10:1)\n")
+    print(f"{'system':<12} {'ops':>5} {'avg_us':>10} {'p95_us':>10} "
+          f"{'p99_us':>10}")
+    for system in ("naive", "hyperloop"):
+        summary = run_system(system)
+        print(f"{system:<12} {summary['count']:>5} "
+              f"{summary['avg_us']:>10.1f} {summary['p95_us']:>10.1f} "
+              f"{summary['p99_us']:>10.1f}")
+    print("\nHyperLoop keeps the update tail flat because replica CPUs are "
+          "not on the path;\nthe baseline pays a scheduler wakeup per hop "
+          "under the tenant load.")
+
+
+if __name__ == "__main__":
+    main()

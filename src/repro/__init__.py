@@ -1,0 +1,79 @@
+"""HyperLoop reproduction (SIGCOMM 2018).
+
+Group-based NIC-offloading for replicated transactions in multi-tenant
+storage systems, reproduced end-to-end on a discrete-event simulated
+RDMA/NVM substrate.  See DESIGN.md for the system inventory and
+EXPERIMENTS.md for paper-vs-measured results.
+
+Quickstart::
+
+    from repro import Cluster, HyperLoopGroup, GroupConfig
+
+    cluster = Cluster(seed=1)
+    client = cluster.add_host("client")
+    replicas = cluster.add_hosts(3, prefix="replica")
+    group = HyperLoopGroup(client, replicas, GroupConfig(slots=64))
+
+    def workload(sim):
+        group.write_local(0, b"hello")
+        result = yield group.gwrite(0, 5, durable=True)
+        print(f"replicated in {result.latency_ns / 1000:.1f} us")
+
+    cluster.sim.process(workload(cluster.sim))
+    cluster.run()
+"""
+
+from .host import Cluster, Host, HostParams
+from .core.fanout import FanoutGroup
+from .core.multiclient import SharedChain, SharedChainClient
+from .core.group import GroupConfig, HyperLoopGroup, OpResult
+from .core.client import ReplicatedStore, StoreConfig, initialize, recover
+from .core.recovery import ChainFailure, ChainSupervisor, RecoveryConfig
+from .baseline.naive import NaiveConfig, NaiveGroup
+from .apps.logqueue import QueueConfig, ReplicatedQueue
+from .apps.rediscache import CacheConfig, ReplicatedCache
+from .apps.rockskv import ReplicatedRocksKV, RocksConfig
+from .apps.mongolike import MongoConfig, MongoLikeDB, MongoSession
+from .storage.twophase import PartitionWrite, TwoPhaseCoordinator
+from .storage.wal import LogEntry, LogRecord, RecordKind
+from .workloads.ycsb import YCSBConfig, YCSBWorkload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cluster",
+    "Host",
+    "HostParams",
+    "FanoutGroup",
+    "SharedChain",
+    "SharedChainClient",
+    "GroupConfig",
+    "HyperLoopGroup",
+    "OpResult",
+    "ReplicatedStore",
+    "StoreConfig",
+    "initialize",
+    "recover",
+    "ChainFailure",
+    "ChainSupervisor",
+    "RecoveryConfig",
+    "NaiveConfig",
+    "NaiveGroup",
+    "QueueConfig",
+    "ReplicatedQueue",
+    "CacheConfig",
+    "ReplicatedCache",
+    "ReplicatedRocksKV",
+    "RocksConfig",
+    "MongoConfig",
+    "MongoLikeDB",
+    "MongoSession",
+    "PartitionWrite",
+    "TwoPhaseCoordinator",
+    "LogEntry",
+    "LogRecord",
+    "RecordKind",
+    "YCSBConfig",
+    "YCSBWorkload",
+    "__version__",
+]

@@ -1,0 +1,194 @@
+"""Replicated durable message queue (a log-service case study).
+
+The paper positions its primitives as building blocks for "replicated
+transaction systems" in general (§3.2), and §7 lists shared-log designs
+(CORFU) among chain replication's users.  This app is that shape: a
+Kafka-lite topic log where
+
+* ``publish`` appends a message durably to every replica (one ``Append``
+  — the only critical-path work, no replica CPU);
+* messages are *retained in the replicated WAL itself* until every
+  registered consumer group has acknowledged them — log truncation is
+  consumer-driven instead of timer-driven, by periodically executing the
+  acked prefix with gMEMCPY into an archive area (so even truncated
+  history remains readable on every replica);
+* consumers poll in order with their own offsets; reads come from the
+  client's view or any replica via one-sided READs.
+
+This exercises a different corner of the substrate than the KV/document
+stores: long-lived WAL occupancy, prefix-only truncation, and multiple
+independent readers.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.client import ReplicatedStore
+from ..storage.wal import ENTRY_DESC_SIZE, HEADER_SIZE, LogEntry
+
+__all__ = ["QueueConfig", "ReplicatedQueue"]
+
+_MSG_HEADER = struct.Struct("<QI")  # message_id u64, length u32
+
+
+@dataclass
+class QueueConfig:
+    max_message_bytes: int = 32 * 1024
+    archive_area_offset: int = 0     # Start of the archive in the db area.
+
+
+@dataclass
+class _MessageRef:
+    message_id: int
+    archive_offset: int     # Database-area offset after execution.
+    wal_payload_offset: int  # Region offset of the payload while in the WAL.
+    length: int
+    acked_by: set = field(default_factory=set)
+
+
+class ReplicatedQueue:
+    """One topic: durable, replicated, consumer-offset-driven."""
+
+    def __init__(self, store: ReplicatedStore,
+                 config: Optional[QueueConfig] = None, name: str = "queue"):
+        self.store = store
+        self.config = config or QueueConfig()
+        self.name = name
+        self.sim = store.sim
+        self._messages: List[_MessageRef] = []
+        self._consumers: Dict[str, int] = {}   # group -> next message index.
+        self._next_id = 1
+        self._archive_cursor = self.config.archive_area_offset
+        self.published = 0
+        self.delivered = 0
+        self.truncated = 0
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+    def publish(self, payload: bytes):
+        """Durably replicate one message; generator → message id.
+
+        The record's redo entry targets the archive area, so the eventual
+        ExecuteAndAdvance (triggered by consumer acknowledgements) moves
+        the message into stable per-replica history.
+        """
+        if len(payload) > self.config.max_message_bytes:
+            raise ValueError("message too large")
+        message_id = self._next_id
+        framed = _MSG_HEADER.pack(message_id, len(payload)) + payload
+        offset = self._archive_cursor
+        if offset + len(framed) > self.store.layout.db_size:
+            raise MemoryError(f"{self.name}: archive area exhausted")
+        entries = [LogEntry(offset, framed)]
+        # Where the record will land (place() is pure); the payload sits
+        # after the header and the single entry descriptor.  Retention
+        # contract: a full ring surfaces WalFullError to the producer —
+        # consumer lag must never force premature truncation.
+        record = self.store.ring.place(
+            HEADER_SIZE + ENTRY_DESC_SIZE + len(framed))[0]
+        wal_payload = record + HEADER_SIZE + ENTRY_DESC_SIZE
+        yield from self.store.append(entries)
+        self._next_id += 1
+        self._archive_cursor += (len(framed) + 7) & ~7
+        self._messages.append(_MessageRef(message_id, offset, wal_payload,
+                                          len(framed)))
+        self.published += 1
+        return message_id
+
+    # ------------------------------------------------------------------
+    # Consumer side
+    # ------------------------------------------------------------------
+    def subscribe(self, group: str) -> None:
+        """Register a consumer group starting at the current tail."""
+        if group in self._consumers:
+            raise ValueError(f"consumer group {group!r} already exists")
+        self._consumers[group] = len(self._messages)
+
+    def poll(self, group: str, hop: Optional[int] = None,
+             max_messages: int = 16):
+        """Fetch up to ``max_messages`` unconsumed messages; generator.
+
+        Returns ``[(message_id, payload), …]`` in publish order.  With
+        ``hop`` set, payloads come from that replica via one-sided READs
+        (the archive holds executed messages; unexecuted ones are read
+        from the client's authoritative copy).
+        """
+        if group not in self._consumers:
+            raise KeyError(f"unknown consumer group {group!r}")
+        cursor = self._consumers[group]
+        batch_end = min(cursor + max_messages, len(self._messages))
+        out: List[Tuple[int, bytes]] = []
+        for index in range(cursor, batch_end):
+            ref = self._messages[index]
+            if index < self.truncated:
+                # Executed: read the archive (db area) — any replica works.
+                if hop is None:
+                    raw = self.store.db_read_local(ref.archive_offset,
+                                                   ref.length)
+                else:
+                    raw = yield self.store.db_read(hop, ref.archive_offset,
+                                                   ref.length)
+            else:
+                # Still in the WAL: the record bytes are replicated too,
+                # at the same region offset everywhere.
+                if hop is None:
+                    raw = self.store.group.read_local(
+                        ref.wal_payload_offset, ref.length)
+                else:
+                    raw = yield self.store.group.remote_read(
+                        hop, ref.wal_payload_offset, ref.length)
+            message_id, length = _MSG_HEADER.unpack_from(raw, 0)
+            payload = bytes(raw[_MSG_HEADER.size:_MSG_HEADER.size + length])
+            out.append((message_id, payload))
+        self.delivered += len(out)
+        return out
+
+    def ack(self, group: str, upto_message_id: int):
+        """Acknowledge everything up to (and incl.) a message; generator.
+
+        When every group has acked a prefix, those records are executed
+        (gMEMCPY into the archive on all replicas) and the WAL truncates.
+        """
+        if group not in self._consumers:
+            raise KeyError(f"unknown consumer group {group!r}")
+        index = self._consumers[group]
+        while index < len(self._messages) \
+                and self._messages[index].message_id <= upto_message_id:
+            self._messages[index].acked_by.add(group)
+            index += 1
+        self._consumers[group] = index
+        yield from self._truncate_acked_prefix()
+
+    def _truncate_acked_prefix(self):
+        groups = set(self._consumers)
+        if not groups:
+            return
+        fully_acked = 0
+        for ref in self._messages:
+            if ref.acked_by >= groups:
+                fully_acked += 1
+            else:
+                break
+        already_executed = self.truncated
+        to_execute = fully_acked - already_executed
+        for _ in range(to_execute):
+            record = yield from self.store.execute_and_advance()
+            if record is None:
+                break
+            self.truncated += 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def depth(self, group: str) -> int:
+        """Messages published but not yet consumed by ``group``."""
+        return len(self._messages) - self._consumers[group]
+
+    @property
+    def wal_backlog(self) -> int:
+        """Records still pinned in the replicated WAL (un-truncated)."""
+        return self.published - self.truncated

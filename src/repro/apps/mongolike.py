@@ -1,0 +1,199 @@
+"""Replicated MongoDB-like document store (§5.2 case study).
+
+The paper splits MongoDB into a *front end* (query parsing, checks,
+translation — integrated with the client / transaction coordinator) and a
+*back end* (HyperLoop-backed replicas holding the journal and data in NVM).
+This module follows that split:
+
+* every operation first pays front-end CPU on the client host — under the
+  10:1 co-location of §6.2 this cost is paid on an overloaded CPU and is
+  "the remainder of the latency" that HyperLoop cannot remove;
+* writes append a journal record (``Append``), then acquire the group write
+  lock, ``ExecuteAndAdvance`` the journal against the database area, and
+  release the lock — exactly the §5.2 write path;
+* reads can be served locally (the primary view), or from any replica via a
+  read lock plus a one-sided READ ("read locks … help all replicas
+  simultaneously serve consistent reads", §5).
+
+Documents live in the database area behind a client-side directory
+(doc id → slot).  ``scan`` iterates ids in order, for YCSB workload E.
+"""
+
+from __future__ import annotations
+
+import struct
+from bisect import bisect_left, insort
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.client import ReplicatedStore
+from ..sim.units import us
+from ..storage.wal import LogEntry
+
+__all__ = ["MongoConfig", "MongoLikeDB", "MongoSession"]
+
+_DOC_HEADER = struct.Struct("<QI")  # doc_id u64, length u32
+
+
+@dataclass
+class MongoConfig:
+    """Front-end and layout tunables."""
+
+    parse_ns: int = us(25)           # Query parse + validation + translate.
+    read_parse_ns: int = us(15)
+    journal_lock_id: int = 0         # Fallback lock when not per-document.
+    #: Document-level write concurrency (WiredTiger-style).  When False,
+    #: every write serializes on the single journal lock.
+    lock_per_document: bool = True
+    max_doc_size: int = 64 * 1024
+
+
+class MongoLikeDB:
+    """One replica set's worth of document storage."""
+
+    def __init__(self, store: ReplicatedStore,
+                 config: Optional[MongoConfig] = None, name: str = "mongo"):
+        self.store = store
+        self.config = config or MongoConfig()
+        self.name = name
+        self.sim = store.sim
+        self._directory: Dict[int, Tuple[int, int]] = {}  # id -> (off, len)
+        self._sorted_ids: List[int] = []
+        self._alloc = 0
+        self.inserts = 0
+        self.updates = 0
+        self.reads = 0
+        self.scans = 0
+        self._session_count = 0
+
+    def session(self) -> "MongoSession":
+        """A client session with its own front-end thread.
+
+        Concurrent drivers must each use their own session, mirroring one
+        connection/worker thread in the real server.
+        """
+        self._session_count += 1
+        thread = self.store.group.client_host.spawn_thread(
+            f"{self.name}.fe{self._session_count}")
+        return MongoSession(self, thread)
+
+    # ------------------------------------------------------------------
+    # Directory management (client-side, no yields → atomic in the sim)
+    # ------------------------------------------------------------------
+    def _slot_for(self, doc_id: int, size: int) -> int:
+        existing = self._directory.get(doc_id)
+        if existing is not None and existing[1] >= size:
+            self._directory[doc_id] = (existing[0], existing[1])
+            return existing[0]
+        offset = self._alloc
+        if offset + size > self.store.layout.db_size:
+            raise MemoryError(f"{self.name}: database area exhausted")
+        self._alloc += (size + 7) & ~7
+        if existing is None:
+            insort(self._sorted_ids, doc_id)
+        self._directory[doc_id] = (offset, size)
+        return offset
+
+    def ids_from(self, start_id: int, count: int) -> List[int]:
+        index = bisect_left(self._sorted_ids, start_id)
+        return self._sorted_ids[index:index + count]
+
+    @property
+    def document_count(self) -> int:
+        return len(self._sorted_ids)
+
+
+class MongoSession:
+    """A single client connection: front-end thread + operation methods.
+
+    All methods are simulation generators.
+    """
+
+    def __init__(self, db: MongoLikeDB, thread):
+        self.db = db
+        self.thread = thread
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def insert(self, doc_id: int, document: bytes):
+        yield from self._write(doc_id, document, is_insert=True)
+
+    def update(self, doc_id: int, document: bytes):
+        if doc_id not in self.db._directory:
+            raise KeyError(f"update of missing document {doc_id}")
+        yield from self._write(doc_id, document, is_insert=False)
+
+    def _write(self, doc_id: int, document: bytes, is_insert: bool):
+        db, config, store = self.db, self.db.config, self.db.store
+        if len(document) > config.max_doc_size:
+            raise ValueError("document too large")
+        yield self.thread.run(config.parse_ns)
+        payload = _DOC_HEADER.pack(doc_id, len(document)) + document
+        slot = db._slot_for(doc_id, len(payload))
+        # §5.2 write path: replicate the journal record, then execute it
+        # under the group write lock (per document by default, mirroring
+        # document-level concurrency in the real engine).
+        if config.lock_per_document:
+            lock_id = 1 + doc_id % (store.layout.num_locks - 1)
+        else:
+            lock_id = config.journal_lock_id
+        yield from store.append_blocking_truncate([LogEntry(slot, payload)])
+        yield from store.wr_lock(lock_id)
+        try:
+            yield from store.execute_and_advance()
+        finally:
+            yield from store.wr_unlock(lock_id)
+        if is_insert:
+            db.inserts += 1
+        else:
+            db.updates += 1
+
+    def read_modify_write(self, doc_id: int, document: bytes):
+        """YCSB-F's modify: read the document, then update it."""
+        yield from self.find(doc_id)
+        yield from self.update(doc_id, document)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def find(self, doc_id: int, hop: Optional[int] = None):
+        """Read one document; generator, returns the bytes (or None).
+
+        ``hop=None`` serves from the primary view (the client's own region);
+        otherwise a read lock is taken on replica ``hop`` and the document
+        is fetched with a one-sided READ.
+        """
+        db, config, store = self.db, self.db.config, self.db.store
+        yield self.thread.run(config.read_parse_ns)
+        entry = db._directory.get(doc_id)
+        if entry is None:
+            db.reads += 1
+            return None
+        offset, length = entry
+        if hop is None:
+            raw = store.db_read_local(offset, length)
+        else:
+            lock_id = 1 + doc_id % (store.layout.num_locks - 1)
+            yield from store.rd_lock(lock_id, hop)
+            try:
+                raw = yield store.db_read(hop, offset, length)
+            finally:
+                yield from store.rd_unlock(lock_id, hop)
+        db.reads += 1
+        got_id, size = _DOC_HEADER.unpack_from(raw, 0)
+        if got_id != doc_id:
+            return None  # Slot not yet executed on that replica.
+        return bytes(raw[_DOC_HEADER.size:_DOC_HEADER.size + size])
+
+    def scan(self, start_id: int, count: int, hop: Optional[int] = None):
+        """Range scan of ``count`` documents from ``start_id`` (YCSB-E)."""
+        db, config = self.db, self.db.config
+        yield self.thread.run(config.parse_ns)
+        documents = []
+        for doc_id in db.ids_from(start_id, count):
+            document = yield from self.find(doc_id, hop=hop)
+            if document is not None:
+                documents.append((doc_id, document))
+        db.scans += 1
+        return documents

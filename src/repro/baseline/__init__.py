@@ -1,0 +1,5 @@
+"""Naïve-RDMA baseline: CPU-forwarded group primitives (the paper's comparison point)."""
+
+from .naive import HEADER_SIZE, NaiveConfig, NaiveGroup
+
+__all__ = ["HEADER_SIZE", "NaiveConfig", "NaiveGroup"]

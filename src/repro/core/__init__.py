@@ -1,0 +1,38 @@
+"""HyperLoop core: group-based NIC-offloading primitives (the paper's contribution)."""
+
+from .metadata import (
+    ENTRY_SIZE,
+    ClientLayout,
+    NodeLayout,
+    OpKind,
+    OpSpec,
+    build_metadata,
+    meta_len,
+    result_map_len,
+)
+from .fanout import FanoutGroup
+from .multiclient import SharedChain, SharedChainClient
+from .client import ReplicatedStore, StoreConfig, initialize, recover
+from .group import GroupConfig, HyperLoopGroup, OpResult, ReplicaEngine
+
+__all__ = [
+    "ENTRY_SIZE",
+    "ClientLayout",
+    "NodeLayout",
+    "OpKind",
+    "OpSpec",
+    "build_metadata",
+    "meta_len",
+    "result_map_len",
+    "FanoutGroup",
+    "SharedChain",
+    "SharedChainClient",
+    "ReplicatedStore",
+    "StoreConfig",
+    "initialize",
+    "recover",
+    "GroupConfig",
+    "HyperLoopGroup",
+    "OpResult",
+    "ReplicaEngine",
+]

@@ -1,0 +1,559 @@
+"""Fan-out replication offloaded to the primary's NIC (§7 extension).
+
+The paper argues its primitives generalize beyond chain replication: "if a
+storage application has to rely on a fan-out replication (a single primary
+coordinates with multiple backups) such as in FaRM, HyperLoop can be used
+to help the client offload the coordination between the primary and
+backups from the primary's CPU to the primary's NIC."  This module builds
+exactly that:
+
+* the client sends one data WRITE plus one metadata SEND to the
+  **primary**;
+* the primary's NIC — via the same WAIT + remote-WQE-manipulation
+  machinery as the chain — executes its local op and then *fans out* a
+  data WRITE + metadata SEND to every backup in parallel;
+* every replica (primary and backups) ACKs the **client directly** with a
+  WRITE_WITH_IMM carrying its 8-byte result; the client completes the
+  operation when all ``g`` ACKs arrived.
+
+No replica CPU runs on the path, including the primary's.
+
+Scatter-gather arithmetic bounds the fan-out width: patching the primary
+needs ``1 + 2×backups`` scatter segments, so with ``MAX_SGE = 6`` a group
+supports up to 2 backups (replication factor 3 — the common deployment).
+
+Trade-off vs the chain (the paper's §7 load-balancing point, quantified in
+``benchmarks/bench_ablation_fanout.py``): fan-out has fewer sequential
+hops, but the primary's egress port serializes ``backups`` copies of every
+payload, while the chain spreads transmission across all nodes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence
+
+from ..host import Host
+from ..rdma.verbs import Access
+from ..rdma.wqe import MAX_SGE, WQE_SIZE, Opcode, Sge, WorkRequest, encode_wqe
+from ..sim.engine import Event
+from .group import GroupConfig, OpResult
+from .metadata import OpKind, OpSpec
+from .readpath import ClientReadPath
+
+__all__ = ["FanoutGroup"]
+
+#: Descriptors patched per backup on the primary (forward WRITE + flush
+#: READ + SEND).
+_PRIMARY_BLOCK_WQES = 3
+#: Descriptors patched on each backup (local op + client ACK).
+_BACKUP_BLOCK_WQES = 2
+_BACKUP_MSG_SIZE = _BACKUP_BLOCK_WQES * WQE_SIZE
+
+
+class _FanoutPrimary:
+    """The primary: local-op QP plus one fan-out QP per backup."""
+
+    def __init__(self, host: Host, group: "FanoutGroup"):
+        self.host = host
+        self.group = group
+        config = group.config
+        memory, nic = host.memory, host.nic
+        self.name = f"{group.name}.primary"
+        self.region = memory.allocate(config.region_size, f"{self.name}.region")
+        self.region_mr = nic.register_mr(
+            self.region.address, self.region.size,
+            Access.LOCAL_WRITE | Access.REMOTE_WRITE | Access.REMOTE_READ
+            | Access.REMOTE_ATOMIC, name=f"{self.name}.region")
+        backups = group.backup_count
+        # Staging for each backup's outgoing metadata message.
+        self.staging = memory.allocate(
+            _BACKUP_MSG_SIZE * backups * config.slots, f"{self.name}.staging")
+        self.up_cq = nic.create_cq(name=f"{self.name}.upcq")
+        self.local_cq = nic.create_cq(name=f"{self.name}.localcq")
+        self.out_cq = nic.create_cq(name=f"{self.name}.outcq")
+        self.qp_up = nic.create_qp(self.out_cq, self.up_cq, sq_slots=8,
+                                   rq_slots=config.slots,
+                                   name=f"{self.name}.up")
+        self.qp_local = nic.create_qp(self.local_cq, self.local_cq,
+                                      sq_slots=2 * config.slots, rq_slots=8,
+                                      name=f"{self.name}.local")
+        self.qp_local.connect(self.qp_local)
+        self.qp_ack = nic.create_qp(self.out_cq, self.out_cq,
+                                    sq_slots=2 * config.slots, rq_slots=8,
+                                    name=f"{self.name}.ack")
+        self.qp_backups = [
+            nic.create_qp(self.out_cq, self.out_cq,
+                          sq_slots=4 * config.slots, rq_slots=8,
+                          name=f"{self.name}.out{i}")
+            for i in range(backups)]
+        self.qp_up.rq.cyclic = True
+        self.qp_local.sq.cyclic = True
+        self.qp_ack.sq.cyclic = True
+        for qp in self.qp_backups:
+            qp.sq.cyclic = True
+
+    def staging_slot(self, slot: int, backup: int) -> int:
+        config = self.group.config
+        per_slot = _BACKUP_MSG_SIZE * self.group.backup_count
+        return (self.staging.address
+                + (slot % config.slots) * per_slot
+                + backup * _BACKUP_MSG_SIZE)
+
+    def post_slot(self, slot: int) -> None:
+        """Pre-post one op's WQE chain (consume-mode WAITs, cyclic rings)."""
+        placeholder = WorkRequest(Opcode.NOP, signaled=False)
+        # Local op: gated on the metadata RECV.
+        self.qp_local.post_send(WorkRequest(
+            Opcode.WAIT, wait_cq=self.up_cq.cq_id, wait_count=0,
+            signaled=False))
+        local_idx = self.qp_local.post_send(placeholder, owned=False)
+        # Primary ACK to client: gated on the local op's completion.
+        self.qp_ack.post_send(WorkRequest(
+            Opcode.WAIT, wait_cq=self.local_cq.cq_id, wait_count=0,
+            signaled=False))
+        ack_idx = self.qp_ack.post_send(placeholder, owned=False)
+        # Per-backup fan-out: data WRITE + metadata SEND, gated on the
+        # local op so gCAS/gMEMCPY results/ordering hold.
+        sg = [Sge(self.qp_local.sq.slot_address(local_idx), WQE_SIZE),
+              Sge(self.qp_ack.sq.slot_address(ack_idx), WQE_SIZE)]
+        for backup, qp in enumerate(self.qp_backups):
+            qp.post_send(WorkRequest(
+                Opcode.WAIT, wait_cq=self.local_cq.cq_id, wait_count=0,
+                signaled=False))
+            write_idx = qp.post_send(placeholder, owned=False)
+            flush_idx = qp.post_send(placeholder, owned=False)
+            send_idx = qp.post_send(placeholder, owned=False)
+            if send_idx != write_idx + 2 or flush_idx != write_idx + 1:
+                raise RuntimeError("fan-out block not contiguous")
+            sg.append(Sge(qp.sq.slot_address(write_idx),
+                          _PRIMARY_BLOCK_WQES * WQE_SIZE))
+            sg.append(Sge(self.staging_slot(slot, backup), _BACKUP_MSG_SIZE))
+        if len(sg) > MAX_SGE:
+            raise RuntimeError("too many backups for the scatter list")
+        self.qp_up.post_recv(WorkRequest(Opcode.RECV, sg, wr_id=slot))
+
+    def prepost(self, count: int) -> None:
+        for slot in range(count):
+            self.post_slot(slot)
+
+
+class _FanoutBackup:
+    """A backup: receives data+metadata from the primary, ACKs the client."""
+
+    def __init__(self, host: Host, group: "FanoutGroup", index: int):
+        self.host = host
+        self.group = group
+        self.index = index
+        config = group.config
+        memory, nic = host.memory, host.nic
+        self.name = f"{group.name}.backup{index}"
+        self.region = memory.allocate(config.region_size, f"{self.name}.region")
+        self.region_mr = nic.register_mr(
+            self.region.address, self.region.size,
+            Access.LOCAL_WRITE | Access.REMOTE_WRITE | Access.REMOTE_READ
+            | Access.REMOTE_ATOMIC, name=f"{self.name}.region")
+        self.up_cq = nic.create_cq(name=f"{self.name}.upcq")
+        self.local_cq = nic.create_cq(name=f"{self.name}.localcq")
+        self.qp_up = nic.create_qp(self.local_cq, self.up_cq, sq_slots=8,
+                                   rq_slots=config.slots,
+                                   name=f"{self.name}.up")
+        self.qp_local = nic.create_qp(self.local_cq, self.local_cq,
+                                      sq_slots=2 * config.slots, rq_slots=8,
+                                      name=f"{self.name}.local")
+        self.qp_local.connect(self.qp_local)
+        self.qp_ack = nic.create_qp(self.local_cq, self.local_cq,
+                                    sq_slots=2 * config.slots, rq_slots=8,
+                                    name=f"{self.name}.ack")
+        self.qp_up.rq.cyclic = True
+        self.qp_local.sq.cyclic = True
+        self.qp_ack.sq.cyclic = True
+
+    def post_slot(self, slot: int) -> None:
+        placeholder = WorkRequest(Opcode.NOP, signaled=False)
+        self.qp_local.post_send(WorkRequest(
+            Opcode.WAIT, wait_cq=self.up_cq.cq_id, wait_count=0,
+            signaled=False))
+        local_idx = self.qp_local.post_send(placeholder, owned=False)
+        self.qp_ack.post_send(WorkRequest(
+            Opcode.WAIT, wait_cq=self.local_cq.cq_id, wait_count=0,
+            signaled=False))
+        ack_idx = self.qp_ack.post_send(placeholder, owned=False)
+        self.qp_up.post_recv(WorkRequest(Opcode.RECV, [
+            Sge(self.qp_local.sq.slot_address(local_idx), WQE_SIZE),
+            Sge(self.qp_ack.sq.slot_address(ack_idx), WQE_SIZE),
+        ], wr_id=slot))
+
+    def prepost(self, count: int) -> None:
+        for slot in range(count):
+            self.post_slot(slot)
+
+
+class FanoutGroup:
+    """FaRM-style fan-out replication with the coordination NIC-offloaded.
+
+    Fully API-compatible with :class:`HyperLoopGroup` — gWRITE/gCAS (with
+    execute maps)/gMEMCPY/gFLUSH, remote reads, abort — so the entire §5
+    storage stack runs over fan-out unchanged.  Limited to 2 backups by
+    the scatter-gather budget — see the module docstring.
+    """
+
+    _ids = itertools.count()
+
+    def __init__(self, client_host: Host, replica_hosts: Sequence[Host],
+                 config: Optional[GroupConfig] = None, name: str = ""):
+        if not 2 <= len(replica_hosts) <= 1 + (MAX_SGE - 2) // 2:
+            raise ValueError(
+                "fan-out groups support 2..3 replicas (primary + <=2 "
+                "backups) with the current MAX_SGE")
+        self.config = config or GroupConfig()
+        self.name = name or f"fanout{next(FanoutGroup._ids)}"
+        self.client_host = client_host
+        self.sim = client_host.sim
+        self.group_size = len(replica_hosts)
+        self.backup_count = self.group_size - 1
+        self.primary = _FanoutPrimary(replica_hosts[0], self)
+        self.backups = [_FanoutBackup(host, self, i)
+                        for i, host in enumerate(replica_hosts[1:])]
+        self._build_client_side()
+        self._wire()
+        self.primary.prepost(self.config.slots)
+        for backup in self.backups:
+            backup.prepost(self.config.slots)
+        self._next_slot = 0
+        self._acked = 0
+        self._ack_counts: Dict[int, int] = {}
+        self._ack_events: Dict[int, Event] = {}
+        self._window_waiters: List[Event] = []
+        self._submit_queue: List = []
+        self._submit_kick: Optional[Event] = None
+        self.sim.process(self._submitter(), name=f"{self.name}.submitter")
+        self.sim.process(self._ack_dispatcher(), name=f"{self.name}.ackdisp")
+        self.read_path = ClientReadPath(client_host, self.replicas,
+                                        self.name)
+
+    @property
+    def replicas(self):
+        """All member nodes, primary first (chain-API parity)."""
+        return [self.primary] + list(self.backups)
+
+    def remote_read(self, hop: int, offset: int, size: int) -> Event:
+        """One-sided READ of a member's region (primary is hop 0)."""
+        self._check_range(offset, size)
+        return self.read_path.read(hop, offset, size)
+
+    def gflush(self) -> Event:
+        """Flush every member's NIC cache to NVM (primary, then backups)."""
+        return self.submit(OpSpec(OpKind.GFLUSH, durable=True))
+
+    def close(self) -> None:
+        """Tear the group down and return every carved resource."""
+        if getattr(self, "_closed", False):
+            return
+        self._closed = True
+        self.abort_in_flight(RuntimeError(f"{self.name} closed"))
+        primary = self.primary
+        nic, memory = primary.host.nic, primary.host.memory
+        for qp in ([primary.qp_up, primary.qp_local, primary.qp_ack]
+                   + primary.qp_backups):
+            nic.destroy_qp(qp)
+        nic.deregister_mr(primary.region_mr)
+        memory.free(primary.region)
+        memory.free(primary.staging)
+        for backup in self.backups:
+            nic, memory = backup.host.nic, backup.host.memory
+            for qp in (backup.qp_up, backup.qp_local, backup.qp_ack):
+                nic.destroy_qp(qp)
+            nic.deregister_mr(backup.region_mr)
+            memory.free(backup.region)
+        nic, memory = self.client_host.nic, self.client_host.memory
+        nic.destroy_qp(self.qp_out)
+        for qp in self.ack_qps:
+            nic.destroy_qp(qp)
+        nic.deregister_mr(self.ack_mr)
+        for allocation in (self.region, self.md_buf, self.ack_buf):
+            memory.free(allocation)
+        self.read_path.close()
+
+    def abort_in_flight(self, reason: Exception) -> int:
+        """Fail every unacknowledged operation (failure detected)."""
+        aborted = 0
+        for event in list(self._ack_events.values()):
+            if not event.triggered:
+                event.fail(reason)
+                aborted += 1
+        self._ack_events.clear()
+        self._ack_counts.clear()
+        for _op, done in self._submit_queue:
+            if not done.triggered:
+                done.fail(reason)
+                aborted += 1
+        self._submit_queue.clear()
+        self._acked = self._next_slot
+        return aborted
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build_client_side(self) -> None:
+        config, memory, nic = self.config, self.client_host.memory, \
+            self.client_host.nic
+        self.region = memory.allocate(config.region_size,
+                                      f"{self.name}.cregion")
+        self.md_stride = ((1 + _PRIMARY_BLOCK_WQES * self.backup_count)
+                          * WQE_SIZE
+                          + WQE_SIZE  # Primary ACK descriptor.
+                          + _BACKUP_MSG_SIZE * self.backup_count)
+        self.md_buf = memory.allocate(self.md_stride * config.slots,
+                                      f"{self.name}.md")
+        self.ack_stride = 8 * self.group_size
+        self.ack_buf = memory.allocate(self.ack_stride * config.slots,
+                                       f"{self.name}.ack")
+        self.ack_mr = nic.register_mr(
+            self.ack_buf.address, self.ack_buf.size,
+            Access.LOCAL_WRITE | Access.REMOTE_WRITE,
+            name=f"{self.name}.ackmr")
+        self.out_cq = nic.create_cq(name=f"{self.name}.outcq")
+        self.ack_cq = nic.create_cq(with_channel=True,
+                                    name=f"{self.name}.ackcq")
+        self.qp_out = nic.create_qp(self.out_cq, self.out_cq,
+                                    sq_slots=4 * config.slots, rq_slots=8,
+                                    name=f"{self.name}.out")
+        # One inbound ACK QP per replica, all feeding one CQ.
+        self.ack_qps = [
+            nic.create_qp(self.ack_cq, self.ack_cq, sq_slots=8,
+                          rq_slots=config.slots,
+                          name=f"{self.name}.ackin{i}")
+            for i in range(self.group_size)]
+        for qp in self.ack_qps:
+            qp.rq.cyclic = True
+            for _ in range(self.config.slots):
+                qp.post_recv(WorkRequest(Opcode.RECV, [], wr_id=0))
+        self.submit_thread = self.client_host.spawn_thread(
+            f"{self.name}.submit")
+        self.poller = self.client_host.spawn_thread(f"{self.name}.poller")
+        self.poller.run_forever()
+
+    def _wire(self) -> None:
+        self.qp_out.connect(self.primary.qp_up)
+        self.primary.qp_ack.connect(self.ack_qps[0])
+        for i, backup in enumerate(self.backups):
+            self.primary.qp_backups[i].connect(backup.qp_up)
+            backup.qp_ack.connect(self.ack_qps[1 + i])
+
+    # ------------------------------------------------------------------
+    # Metadata construction
+    # ------------------------------------------------------------------
+    def ack_slot_addr(self, slot: int, hop: int) -> int:
+        return (self.ack_buf.address
+                + (slot % self.config.slots) * self.ack_stride + hop * 8)
+
+    def _local_op_image(self, op: OpSpec, region_addr: int, region_rkey: int,
+                        result_addr: int, execute: bool = True) -> bytes:
+        if op.kind is OpKind.GCAS and not execute:
+            # Selective execution (§4.2): a signaled NOP keeps the ACK
+            # chain ticking without touching the lock word.
+            return encode_wqe(WorkRequest(Opcode.NOP, signaled=True),
+                              owned=True)
+        if op.kind is OpKind.GMEMCPY:
+            wr = WorkRequest(Opcode.WRITE,
+                             [Sge(region_addr + op.src_offset, op.size)],
+                             remote_addr=region_addr + op.dst_offset,
+                             rkey=region_rkey, signaled=True)
+        elif op.kind is OpKind.GCAS:
+            wr = WorkRequest(Opcode.CAS, [Sge(result_addr, 8)],
+                             remote_addr=region_addr + op.offset,
+                             rkey=region_rkey, compare=op.old_value,
+                             swap=op.new_value, signaled=True)
+        else:
+            wr = WorkRequest(Opcode.NOP, signaled=True)
+        return encode_wqe(wr, owned=True)
+
+    def _ack_image(self, slot: int, hop: int, result_addr: int) -> bytes:
+        wr = WorkRequest(Opcode.WRITE_WITH_IMM, [Sge(result_addr, 8)],
+                         remote_addr=self.ack_slot_addr(slot, hop),
+                         rkey=self.ack_mr.rkey, imm=slot & 0xFFFFFFFF,
+                         signaled=False)
+        return encode_wqe(wr, owned=True)
+
+    def _build_metadata(self, op: OpSpec, slot: int) -> bytes:
+        primary = self.primary
+        # Per-node CAS result scratch: the region's reserved last 8 bytes
+        # (the public offset range excludes this tail, see _check_range).
+        primary_result = primary.region.address + primary.region.size - 8
+        execute = op.execute_map or [True] * self.group_size
+        parts = [self._local_op_image(op, primary.region.address,
+                                      primary.region_mr.rkey, primary_result,
+                                      execute[0]),
+                 self._ack_image(slot, 0, primary_result)]
+        for i, backup in enumerate(self.backups):
+            write_wr = WorkRequest(Opcode.NOP, signaled=False)
+            if op.kind is OpKind.GWRITE and op.size > 0:
+                write_wr = WorkRequest(
+                    Opcode.WRITE,
+                    [Sge(primary.region.address + op.offset, op.size)],
+                    remote_addr=backup.region.address + op.offset,
+                    rkey=backup.region_mr.rkey, signaled=False)
+            flush_wr = WorkRequest(Opcode.NOP, signaled=False)
+            if op.durable:
+                # Durability fans out too: the primary 0-byte-READs each
+                # backup after the data WRITE and before the metadata SEND.
+                flush_wr = WorkRequest(
+                    Opcode.READ, [Sge(0, 0)],
+                    remote_addr=backup.region.address,
+                    rkey=backup.region_mr.rkey, signaled=False)
+            send_wr = WorkRequest(
+                Opcode.SEND, [Sge(primary.staging_slot(slot, i),
+                                  _BACKUP_MSG_SIZE)], signaled=False)
+            parts.append(encode_wqe(write_wr, owned=True))
+            parts.append(encode_wqe(flush_wr, owned=True))
+            parts.append(encode_wqe(send_wr, owned=True))
+            backup_result = backup.region.address + backup.region.size - 8
+            parts.append(self._local_op_image(
+                op, backup.region.address, backup.region_mr.rkey,
+                backup_result, execute[1 + i]))
+            parts.append(self._ack_image(slot, 1 + i, backup_result))
+        message = b"".join(parts)
+        assert len(message) == self.md_stride
+        return message
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def gwrite(self, offset: int, size: int, durable: bool = False) -> Event:
+        self._check_range(offset, size)
+        return self.submit(OpSpec(OpKind.GWRITE, offset=offset, size=size,
+                                  durable=durable))
+
+    def gcas(self, offset: int, old_value: int, new_value: int,
+             execute_map=None, durable: bool = False) -> Event:
+        if execute_map is not None and len(execute_map) != self.group_size:
+            raise ValueError("execute map size mismatch")
+        self._check_range(offset, 8)
+        return self.submit(OpSpec(OpKind.GCAS, offset=offset,
+                                  old_value=old_value, new_value=new_value,
+                                  execute_map=list(execute_map)
+                                  if execute_map is not None else None,
+                                  durable=durable))
+
+    def gmemcpy(self, src_offset: int, dst_offset: int, size: int,
+                durable: bool = False) -> Event:
+        self._check_range(src_offset, size)
+        self._check_range(dst_offset, size)
+        return self.submit(OpSpec(OpKind.GMEMCPY, src_offset=src_offset,
+                                  dst_offset=dst_offset, size=size,
+                                  durable=durable))
+
+    def submit(self, op: OpSpec) -> Event:
+        done = self.sim.event()
+        done.issue_time = self.sim.now  # type: ignore[attr-defined]
+        self._submit_queue.append((op, done))
+        if self._submit_kick is not None and not self._submit_kick.triggered:
+            self._submit_kick.succeed()
+        return done
+
+    def write_local(self, offset: int, data: bytes) -> None:
+        self._check_range(offset, len(data))
+        self.client_host.memory.write(self.region.address + offset, data)
+
+    def read_local(self, offset: int, size: int) -> bytes:
+        self._check_range(offset, size)
+        return self.client_host.memory.read(self.region.address + offset,
+                                            size)
+
+    def read_replica(self, hop: int, offset: int, size: int) -> bytes:
+        node = self.primary if hop == 0 else self.backups[hop - 1]
+        return node.host.memory.read(node.region.address + offset, size)
+
+    def _check_range(self, offset: int, size: int) -> None:
+        if offset < 0 or size < 0 \
+                or offset + size > self.config.region_size - 64:
+            raise ValueError("outside the replicated region")
+
+    @property
+    def in_flight(self) -> int:
+        return self._next_slot - self._acked
+
+    # ------------------------------------------------------------------
+    # Client processes
+    # ------------------------------------------------------------------
+    def _submitter(self):
+        sim, config = self.sim, self.config
+        primary = self.primary
+        while True:
+            if not self._submit_queue:
+                self._submit_kick = sim.event()
+                yield self._submit_kick
+                continue
+            op, done = self._submit_queue.pop(0)
+            while self.in_flight >= config.slots:
+                waiter = sim.event()
+                self._window_waiters.append(waiter)
+                yield waiter
+            slot = self._next_slot
+            self._next_slot += 1
+            self._ack_events[slot] = done
+            self._ack_counts[slot] = 0
+            build_ns = (config.meta_build_base_ns
+                        + config.meta_build_per_hop_ns * self.group_size)
+            yield self.submit_thread.run(build_ns)
+            message = self._build_metadata(op, slot)
+            md_addr = self.md_buf.address \
+                + (slot % config.slots) * self.md_stride
+            self.client_host.memory.write(md_addr, message)
+            posts = 1
+            if op.kind is OpKind.GWRITE and op.size > 0:
+                self.qp_out.post_send(WorkRequest(
+                    Opcode.WRITE,
+                    [Sge(self.region.address + op.offset, op.size)],
+                    remote_addr=primary.region.address + op.offset,
+                    rkey=primary.region_mr.rkey, signaled=False))
+                posts += 1
+            if op.kind is OpKind.GMEMCPY:
+                self.client_host.memory.copy_within(
+                    self.region.address + op.src_offset,
+                    self.region.address + op.dst_offset, op.size)
+            if op.durable or op.kind is OpKind.GFLUSH:
+                self.qp_out.post_send(WorkRequest(
+                    Opcode.READ, [Sge(0, 0)],
+                    remote_addr=primary.region.address,
+                    rkey=primary.region_mr.rkey, signaled=False))
+                posts += 1
+            self.qp_out.post_send(WorkRequest(
+                Opcode.SEND, [Sge(md_addr, len(message))], signaled=False))
+            yield self.submit_thread.run(posts * config.post_ns)
+
+    def _ack_dispatcher(self):
+        sim, config = self.sim, self.config
+        channel = self.ack_cq.channel
+        while True:
+            self.ack_cq.req_notify()
+            yield channel.wait()
+            yield self.poller.when_running()
+            yield sim.timeout(config.poll_overhead_ns)
+            for wc in self.ack_cq.poll(64):
+                if not wc.has_imm:
+                    continue
+                slot = wc.imm
+                if slot not in self._ack_counts:
+                    continue
+                self._ack_counts[slot] += 1
+                if self._ack_counts[slot] < self.group_size:
+                    continue
+                del self._ack_counts[slot]
+                done = self._ack_events.pop(slot, None)
+                self._acked += 1
+                if self._window_waiters:
+                    waiters, self._window_waiters = self._window_waiters, []
+                    for waiter in waiters:
+                        waiter.succeed()
+                if done is None or done.triggered:
+                    continue
+                base = self.ack_buf.address \
+                    + (slot % config.slots) * self.ack_stride
+                result_map = self.client_host.memory.read(base,
+                                                          self.ack_stride)
+                issue = getattr(done, "issue_time", sim.now)
+                done.succeed(OpResult(slot=slot,
+                                      latency_ns=sim.now - issue,
+                                      result_map=result_map))

@@ -1,0 +1,249 @@
+"""Metadata wire format for HyperLoop group operations.
+
+The client (transaction coordinator) precomputes, for every replica in the
+chain, the descriptor images that the replica's NIC must execute for one
+operation, and ships them in a single metadata SEND (§4.1, Figure 5).  Each
+replica's pre-posted RECV scatters the message so that
+
+* the first :data:`ENTRY_SIZE` bytes land **directly on that replica's four
+  pre-posted WQE descriptors** (local op, forward-data, forward-flush,
+  forward-metadata) — patching their memory descriptors and setting their
+  ownership bits in one DMA, and
+* the remainder (the entries for downstream replicas plus the running gCAS
+  result map) lands in the replica's per-slot *staging buffer*, from which
+  the patched forward-metadata SEND re-transmits it to the next hop.
+
+Message layout for the hop reaching replica ``r`` (0-based) in a group of
+``g`` replicas::
+
+    [ entry_r | entry_{r+1} | ... | entry_{g-1} | result_map (8*g bytes) ]
+
+where every entry is four serialized WQE images (4 × WQE_SIZE bytes).  The
+paper ships compact ≤32-byte descriptors because its driver pre-arranges all
+constant WQE fields; we ship whole descriptor images instead so that the
+scatter-patch is a plain DMA with no driver-side reassembly — the mechanism
+is identical, the metadata is just less compact (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Optional, Sequence
+
+from ..rdma.wqe import Opcode, Sge, WorkRequest, encode_wqe
+
+__all__ = [
+    "ENTRY_WQES",
+    "ENTRY_SIZE",
+    "OpKind",
+    "OpSpec",
+    "NodeLayout",
+    "ClientLayout",
+    "meta_len",
+    "staging_len",
+    "result_map_len",
+    "result_offset_in_staging",
+    "build_metadata",
+]
+
+from ..rdma.wqe import WQE_SIZE
+
+ENTRY_WQES = 4
+ENTRY_SIZE = ENTRY_WQES * WQE_SIZE
+
+
+class OpKind(Enum):
+    GWRITE = "gwrite"
+    GCAS = "gcas"
+    GMEMCPY = "gmemcpy"
+    GFLUSH = "gflush"
+
+
+@dataclass
+class OpSpec:
+    """One group operation, as specified by the caller (Table 1)."""
+
+    kind: OpKind
+    offset: int = 0            # gWRITE/gCAS target offset in the region.
+    size: int = 0              # gWRITE/gMEMCPY payload size.
+    src_offset: int = 0        # gMEMCPY source.
+    dst_offset: int = 0        # gMEMCPY destination.
+    old_value: int = 0         # gCAS compare.
+    new_value: int = 0         # gCAS swap.
+    execute_map: Optional[Sequence[bool]] = None  # gCAS selective execution.
+    durable: bool = False      # Interleave gFLUSH down the chain.
+
+    def validate(self, group_size: int) -> None:
+        if self.kind is OpKind.GCAS and self.execute_map is not None \
+                and len(self.execute_map) != group_size:
+            raise ValueError(
+                f"execute map has {len(self.execute_map)} entries for "
+                f"group of {group_size}")
+        if self.size < 0 or self.offset < 0:
+            raise ValueError("offset/size must be non-negative")
+
+
+@dataclass
+class NodeLayout:
+    """What the client must know about one replica (exchanged at setup)."""
+
+    name: str
+    region_addr: int           # Base of the replicated region (log + db).
+    region_rkey: int
+    staging_addr: int          # Base of the staging-slot array.
+    staging_stride: int        # Bytes between consecutive staging slots.
+    slots: int                 # Pipeline depth S (staging slots are reused
+    #                            modulo this).
+
+    def staging_slot(self, slot: int) -> int:
+        return self.staging_addr + (slot % self.slots) * self.staging_stride
+
+
+@dataclass
+class ClientLayout:
+    """What the tail replica must know about the client's ACK buffers."""
+
+    ack_addr: int
+    ack_rkey: int
+    ack_stride: int
+    slots: int
+
+    def ack_slot(self, slot: int) -> int:
+        return self.ack_addr + (slot % self.slots) * self.ack_stride
+
+
+def result_map_len(group_size: int) -> int:
+    """The gCAS result map: one 8-byte field per replica (§4.2)."""
+    return 8 * group_size
+
+
+def meta_len(group_size: int, hop: int) -> int:
+    """Size of the metadata message arriving at replica ``hop`` (0-based)."""
+    if not 0 <= hop < group_size:
+        raise ValueError(f"hop {hop} outside group of {group_size}")
+    return (group_size - hop) * ENTRY_SIZE + result_map_len(group_size)
+
+
+def staging_len(group_size: int, hop: int) -> int:
+    """Bytes replica ``hop`` stages: downstream entries + result map."""
+    return meta_len(group_size, hop) - ENTRY_SIZE
+
+
+def max_staging_len(group_size: int) -> int:
+    return staging_len(group_size, 0)
+
+
+def result_offset_in_staging(group_size: int, hop: int) -> int:
+    """Offset of the result map inside replica ``hop``'s staging buffer."""
+    return (group_size - 1 - hop) * ENTRY_SIZE
+
+
+def _nop() -> WorkRequest:
+    return WorkRequest(Opcode.NOP, signaled=False)
+
+
+def _local_op(op: OpSpec, hop: int, node: NodeLayout, slot: int,
+              group_size: int) -> WorkRequest:
+    """The per-replica local operation (executed on the loopback QP).
+
+    Always signaled: its CQE is what the downstream WAIT counts.
+    """
+    if op.kind is OpKind.GMEMCPY:
+        # Local DMA copy, log region -> database region (§4.2, Figure 7).
+        return WorkRequest(
+            Opcode.WRITE,
+            [Sge(node.region_addr + op.src_offset, op.size)],
+            remote_addr=node.region_addr + op.dst_offset,
+            rkey=node.region_rkey, signaled=True)
+    if op.kind is OpKind.GCAS:
+        execute = op.execute_map[hop] if op.execute_map is not None else True
+        if not execute:
+            # Selective execution: the descriptor becomes a NOP but still
+            # completes, so the forwarding WAIT chain keeps counting (§4.2).
+            return WorkRequest(Opcode.NOP, signaled=True)
+        result_addr = (node.staging_slot(slot)
+                       + result_offset_in_staging(group_size, hop) + hop * 8)
+        return WorkRequest(
+            Opcode.CAS, [Sge(result_addr, 8)],
+            remote_addr=node.region_addr + op.offset,
+            rkey=node.region_rkey,
+            compare=op.old_value, swap=op.new_value, signaled=True)
+    # gWRITE and gFLUSH need no local work beyond what the inbound WRITE /
+    # flush already did; a signaled NOP keeps the chain ticking.
+    return WorkRequest(Opcode.NOP, signaled=True)
+
+
+def _forward_data(op: OpSpec, node: NodeLayout,
+                  next_node: Optional[NodeLayout]) -> WorkRequest:
+    """Forward the payload to the next replica (gWRITE only)."""
+    if next_node is None or op.kind is not OpKind.GWRITE or op.size == 0:
+        return _nop()
+    return WorkRequest(
+        Opcode.WRITE,
+        [Sge(node.region_addr + op.offset, op.size)],
+        remote_addr=next_node.region_addr + op.offset,
+        rkey=next_node.region_rkey, signaled=False)
+
+
+def _forward_flush(op: OpSpec,
+                   next_node: Optional[NodeLayout]) -> WorkRequest:
+    """A 0-byte READ that forces the *next* NIC to drain its cache.
+
+    Issued for durable operations and standalone gFLUSH.  FIFO delivery
+    guarantees the flush lands after the data WRITE and before the metadata
+    SEND, so durability propagates hop by hop in order (§4.2).
+    """
+    if next_node is None or not (op.durable or op.kind is OpKind.GFLUSH):
+        return _nop()
+    return WorkRequest(
+        Opcode.READ, [Sge(0, 0)],
+        remote_addr=next_node.region_addr,
+        rkey=next_node.region_rkey, signaled=False)
+
+
+def _forward_meta(node: NodeLayout, next_node: Optional[NodeLayout],
+                  client: ClientLayout, slot: int,
+                  group_size: int, hop: int) -> WorkRequest:
+    """Forward remaining metadata, or — at the tail — ACK the client."""
+    if next_node is not None:
+        return WorkRequest(
+            Opcode.SEND,
+            [Sge(node.staging_slot(slot), staging_len(group_size, hop))],
+            signaled=False)
+    result_addr = (node.staging_slot(slot)
+                   + result_offset_in_staging(group_size, hop))
+    return WorkRequest(
+        Opcode.WRITE_WITH_IMM,
+        [Sge(result_addr, result_map_len(group_size))],
+        remote_addr=client.ack_slot(slot),
+        rkey=client.ack_rkey,
+        imm=slot & 0xFFFFFFFF, signaled=False)
+
+
+def build_metadata(op: OpSpec, layouts: List[NodeLayout],
+                   client: ClientLayout, slot: int) -> bytes:
+    """Build the full metadata message the client sends to the head replica.
+
+    The returned bytes are ``meta_len(g, 0)`` long: one four-WQE entry per
+    replica followed by a zeroed result map.
+    """
+    group_size = len(layouts)
+    if group_size == 0:
+        raise ValueError("empty group")
+    op.validate(group_size)
+    parts: List[bytes] = []
+    for hop, node in enumerate(layouts):
+        next_node = layouts[hop + 1] if hop + 1 < group_size else None
+        entry = b"".join((
+            encode_wqe(_local_op(op, hop, node, slot, group_size), owned=True),
+            encode_wqe(_forward_data(op, node, next_node), owned=True),
+            encode_wqe(_forward_flush(op, next_node), owned=True),
+            encode_wqe(_forward_meta(node, next_node, client, slot,
+                                     group_size, hop), owned=True),
+        ))
+        parts.append(entry)
+    parts.append(bytes(result_map_len(group_size)))
+    message = b"".join(parts)
+    assert len(message) == meta_len(group_size, 0)
+    return message

@@ -1,0 +1,210 @@
+"""Failure detection and chain repair (§5, RocksDB/MongoDB recovery).
+
+HyperLoop deliberately keeps the control path conventional: "a configurable
+number of consecutive missing heartbeats is considered a data path failure",
+after which the application-level recovery protocol rebuilds the chain while
+the accelerated data path is down.  This module provides that control path:
+
+* every replica runs a heartbeat sender — a real SEND over a dedicated QP,
+  whose CPU cost is charged to the replica's (possibly overloaded) host, so
+  false positives under extreme load are possible, as in real deployments;
+* the client runs a monitor that declares a replica failed after
+  ``miss_threshold`` consecutive missing heartbeats;
+* :meth:`ChainSupervisor.repair` rebuilds the group over the surviving
+  replicas plus an optional replacement, pausing writes during catch-up and
+  copying the authoritative client region to every member ("a new member in
+  the chain copies the log and the database … writes are paused for a short
+  duration of catch-up phase", §5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..host import Host
+from ..rdma.wqe import Opcode, WorkRequest
+from ..sim.units import gbps_to_bytes_per_ns, ms
+
+__all__ = ["ChainFailure", "RecoveryConfig", "ChainSupervisor"]
+
+
+class ChainFailure(Exception):
+    """Raised into pending operations when the chain is declared failed."""
+
+    def __init__(self, hop: int, host_name: str):
+        super().__init__(f"replica {hop} ({host_name}) failed")
+        self.hop = hop
+        self.host_name = host_name
+
+
+@dataclass
+class RecoveryConfig:
+    heartbeat_period_ns: int = ms(5)
+    miss_threshold: int = 3
+    heartbeat_cpu_ns: int = 2_000
+    catchup_bandwidth_gbps: float = 40.0    # Bulk state-copy rate.
+    catchup_cpu_ns: int = 200_000           # Per-member control-plane work.
+
+
+class ChainSupervisor:
+    """Owns a group's lifecycle: build, monitor, detect, repair.
+
+    ``make_group`` is any callable ``(client_host, replica_hosts) -> group``
+    so the same supervisor drives HyperLoop and Naïve-RDMA chains.
+    """
+
+    def __init__(self, client_host: Host, replica_hosts: List[Host],
+                 make_group: Callable, config: Optional[RecoveryConfig] = None):
+        self.client_host = client_host
+        self.replica_hosts = list(replica_hosts)
+        self.make_group = make_group
+        self.config = config or RecoveryConfig()
+        self.sim = client_host.sim
+        self.group = make_group(client_host, self.replica_hosts)
+        self.healthy = True
+        self.failed_host: Optional[Host] = None
+        self.failures_detected = 0
+        self.repairs_completed = 0
+        self._on_failure: List[Callable[[int, Host], None]] = []
+        self._last_beat: Dict[str, int] = {}
+        self._hb_index: List[Host] = []
+        self._monitoring = False
+
+    # ------------------------------------------------------------------
+    # Monitoring
+    # ------------------------------------------------------------------
+    def on_failure(self, callback: Callable[[int, Host], None]) -> None:
+        """Register a callback invoked once per detected failure."""
+        self._on_failure.append(callback)
+
+    def start_monitoring(self) -> None:
+        if self._monitoring:
+            return
+        self._monitoring = True
+        nic = self.client_host.nic
+        self._hb_cq = nic.create_cq(name="hb.ccq")
+        self._hb_qps: List = []
+        for host in self.replica_hosts:
+            self._add_heartbeat_target(host)
+        self.sim.process(self._collector(), name="hb.collector")
+        self.sim.process(self._monitor(), name="hb.monitor")
+
+    def _add_heartbeat_target(self, host: Host) -> None:
+        index = len(self._hb_index)
+        self._hb_index.append(host)
+        nic = self.client_host.nic
+        local = nic.create_qp(self._hb_cq, self._hb_cq, sq_slots=8,
+                              rq_slots=256, name=f"hb.c{index}")
+        remote_cq = host.nic.create_cq(name=f"hb.rcq.{host.name}")
+        remote = host.nic.create_qp(remote_cq, remote_cq, sq_slots=64,
+                                    rq_slots=8, name=f"hb.r.{host.name}")
+        local.connect(remote)
+        self._hb_qps.append(local)
+        self._last_beat[host.name] = self.sim.now
+        for _ in range(256):
+            local.post_recv(WorkRequest(Opcode.RECV, [], wr_id=index))
+        self.sim.process(self._heartbeat_sender(host, remote),
+                         name=f"hb.sender.{host.name}")
+
+    def _heartbeat_sender(self, host: Host, qp):
+        """Replica-side heartbeat loop: real CPU, real SEND."""
+        config = self.config
+        thread = host.spawn_thread(f"hb.{host.name}")
+        while True:
+            yield self.sim.timeout(config.heartbeat_period_ns)
+            if host.crashed:
+                return
+            yield thread.run(config.heartbeat_cpu_ns)
+            if host.crashed:
+                return
+            qp.post_send(WorkRequest(Opcode.SEND, [], signaled=False))
+
+    def _collector(self):
+        """Client-side: record arrival times of heartbeats."""
+        while True:
+            completions = self._hb_cq.poll(64)
+            if not completions:
+                check = self.sim.event()
+                self.sim.call_at(
+                    self.sim.now + self.config.heartbeat_period_ns // 2,
+                    lambda: None if check.triggered else check.succeed())
+                yield check
+                continue
+            for wc in completions:
+                host = self._hb_index[wc.wr_id]
+                self._last_beat[host.name] = self.sim.now
+                self._hb_qps[wc.wr_id].post_recv(
+                    WorkRequest(Opcode.RECV, [], wr_id=wc.wr_id))
+
+    def _monitor(self):
+        """Declare failure after miss_threshold silent periods."""
+        config = self.config
+        deadline = config.heartbeat_period_ns * (config.miss_threshold + 1)
+        while True:
+            yield self.sim.timeout(config.heartbeat_period_ns)
+            if not self.healthy:
+                continue
+            for host in self.replica_hosts:
+                last = self._last_beat.get(host.name)
+                if last is not None and self.sim.now - last > deadline:
+                    self._declare_failure(host)
+                    break
+
+    def _declare_failure(self, host: Host) -> None:
+        self.healthy = False
+        self.failed_host = host
+        self.failures_detected += 1
+        hop = self.replica_hosts.index(host)
+        self.group.abort_in_flight(ChainFailure(hop, host.name))
+        for callback in self._on_failure:
+            callback(hop, host)
+
+    # ------------------------------------------------------------------
+    # Repair
+    # ------------------------------------------------------------------
+    def repair(self, replacement: Optional[Host] = None):
+        """Rebuild the chain; generator, returns the new group.
+
+        The failed replica is dropped (or swapped for ``replacement``); the
+        client's region — authoritative, since every ACKed op reached it —
+        is bulk-copied to every member of the new chain, with copy time
+        charged at the catch-up bandwidth.  The old group's pending state is
+        already aborted; callers retry failed operations afterwards.
+        """
+        if self.healthy:
+            raise RuntimeError("repair() called on a healthy chain")
+        failed = self.failed_host
+        survivors = [host for host in self.replica_hosts if host is not failed]
+        if replacement is not None:
+            survivors.append(replacement)
+        if not survivors:
+            raise RuntimeError("no replicas left to rebuild from")
+        old_group = self.group
+        new_group = self.make_group(self.client_host, survivors)
+        # Preserve the client's authoritative region contents.
+        state = self.client_host.memory.read(old_group.region.address,
+                                             old_group.region.size)
+        self.client_host.memory.write(new_group.region.address, state)
+        # Catch-up: stream the region to every member.
+        copy_ns = int(len(state) / gbps_to_bytes_per_ns(
+            self.config.catchup_bandwidth_gbps))
+        for replica in new_group.replicas:
+            yield self.sim.timeout(self.config.catchup_cpu_ns)
+            yield self.sim.timeout(copy_ns)
+            replica.host.memory.write(replica.region.address, state)
+            replica.host.memory.persist(replica.region.address, len(state))
+        if self._monitoring and replacement is not None \
+                and replacement.name not in self._last_beat:
+            self._add_heartbeat_target(replacement)
+        self._last_beat.pop(failed.name, None)
+        self.replica_hosts = survivors
+        self.group = new_group
+        self.healthy = True
+        self.failed_host = None
+        self.repairs_completed += 1
+        # Return the superseded group's memory and queues (its state was
+        # already copied out above).
+        if hasattr(old_group, "close"):
+            old_group.close()
+        return new_group

@@ -1,0 +1,60 @@
+"""Command-line runner for the experiment harness.
+
+Usage::
+
+    python -m repro.experiments               # list experiments
+    python -m repro.experiments fig8          # run one
+    python -m repro.experiments table2 fig9   # run several
+    python -m repro.experiments all           # run everything
+    REPRO_FULL=1 python -m repro.experiments all   # paper-sized counts
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from . import availability, calibration, fig2, fig8, fig9, fig10, fig11, fig12, table2
+
+EXPERIMENTS = {
+    "fig2": ("Figure 2 — multi-tenancy root cause (MongoDB)", fig2.main),
+    "fig8": ("Figure 8 — gWRITE/gMEMCPY latency vs size",
+             lambda: (fig8.main("gwrite"), fig8.main("gmemcpy"))),
+    "table2": ("Table 2 — gCAS latency", table2.main),
+    "fig9": ("Figure 9 — throughput & backup CPU", fig9.main),
+    "fig10": ("Figure 10 — tail latency vs group size", fig10.main),
+    "fig11": ("Figure 11 — replicated RocksDB", fig11.main),
+    "fig12": ("Figure 12 — MongoDB across YCSB workloads", fig12.main),
+    "calibration": ("Calibration — simulator parameter anchors",
+                    calibration.main),
+    "availability": ("Availability — throughput through crash & repair",
+                     availability.main),
+}
+
+
+def main(argv) -> int:
+    names = [name.lower() for name in argv]
+    if not names:
+        print(__doc__)
+        print("available experiments:")
+        for name, (description, _fn) in EXPERIMENTS.items():
+            print(f"  {name:<8} {description}")
+        return 0
+    if names == ["all"]:
+        names = list(EXPERIMENTS)
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}",
+              file=sys.stderr)
+        return 2
+    for name in names:
+        description, fn = EXPERIMENTS[name]
+        print(f"\n=== {description} ===")
+        started = time.time()
+        fn()
+        print(f"[{name} done in {time.time() - started:.1f}s wall]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,142 @@
+"""Calibration report: where the simulator's absolute numbers come from.
+
+EXPERIMENTS.md reproduces the paper's *shapes*; this module documents the
+*absolute* anchors — the handful of micro-quantities the NIC/fabric/CPU
+parameters were tuned against, each measured here directly:
+
+* point-to-point RDMA WRITE round trip (ConnectX-3-class: a few µs);
+* unloaded chain gWRITE latency per group size (paper: ~10 µs at 3);
+* NIC message-rate ceiling (chain ops/s at 1 KB);
+* CPU wakeup-delay quantiles under 0/4:1/10:1 bursty tenant load (the
+  distribution that drives every Naïve-RDMA figure).
+
+Run ``python -m repro.experiments calibration`` or the pytest smoke test.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..host import Cluster
+from ..rdma.verbs import Access
+from ..rdma.wqe import Opcode, Sge, WorkRequest
+from ..sim.stats import LatencyRecorder
+from ..sim.units import MiB, ms, us
+from .common import (
+    build_testbed,
+    format_table,
+    latency_sweep,
+    make_hyperloop,
+    throughput_run,
+)
+
+__all__ = ["point_to_point_write_rtt", "chain_latency_by_group",
+           "message_rate_ceiling", "wakeup_quantiles", "main"]
+
+
+def point_to_point_write_rtt(samples: int = 200,
+                             payload: int = 64) -> Dict[str, float]:
+    """Plain verbs WRITE+completion round trip between two idle hosts."""
+    cluster = Cluster(seed=101)
+    a = cluster.add_host("cal-a")
+    b = cluster.add_host("cal-b")
+    cq = a.nic.create_cq()
+    cq_b = b.nic.create_cq()
+    qp_a = a.nic.create_qp(cq, cq, sq_slots=16, rq_slots=16)
+    qp_b = b.nic.create_qp(cq_b, cq_b, sq_slots=16, rq_slots=16)
+    qp_a.connect(qp_b)
+    buf_a = a.memory.allocate(4096, "cal")
+    buf_b = b.memory.allocate(4096, "cal")
+    mr_b = b.nic.register_mr(buf_b.address, 4096, Access.REMOTE_WRITE)
+    recorder = LatencyRecorder("p2p")
+    state = {"sent_at": 0, "remaining": samples}
+
+    def send_next():
+        state["sent_at"] = cluster.sim.now
+        qp_a.post_send(WorkRequest(
+            Opcode.WRITE, [Sge(buf_a.address, payload)],
+            remote_addr=buf_b.address, rkey=mr_b.rkey))
+        cq.subscribe_count(samples - state["remaining"] + 1, on_done)
+
+    def on_done():
+        recorder.record(cluster.sim.now - state["sent_at"])
+        state["remaining"] -= 1
+        if state["remaining"]:
+            send_next()
+
+    send_next()
+    cluster.run(until=ms(100))
+    return {"metric": "p2p WRITE rtt", "payload_B": payload,
+            "avg_us": recorder.mean_us(),
+            "p99_us": recorder.percentile_us(99)}
+
+
+def chain_latency_by_group(sizes=(1, 3, 5, 7),
+                           count: int = 200) -> List[Dict]:
+    """Unloaded gWRITE latency per group size (the paper's ~10 µs anchor)."""
+    rows = []
+    for group_size in sizes:
+        testbed = build_testbed(group_size, seed=102 + group_size)
+        group = make_hyperloop(testbed, slots=64)
+        recorder = latency_sweep(group, "gwrite", 512, count)
+        rows.append({"metric": "chain gWRITE 512B", "group": group_size,
+                     "avg_us": recorder.mean_us(),
+                     "p99_us": recorder.percentile_us(99)})
+    return rows
+
+
+def message_rate_ceiling() -> Dict[str, float]:
+    """Pipelined small-message chain throughput (NIC message-rate bound)."""
+    testbed = build_testbed(3, seed=103)
+    group = make_hyperloop(testbed, slots=512)
+    result = throughput_run(group, 1024, 16 * MiB, window=256)
+    return {"metric": "chain gWRITE 1KB ceiling",
+            "kops_per_sec": result["kops_per_sec"],
+            "gbps": result["gbps"]}
+
+
+def wakeup_quantiles(tenant_counts=(0, 64, 160),
+                     samples: int = 300) -> List[Dict]:
+    """Thread wakeup delay under bursty tenant load — the Naïve driver."""
+    rows = []
+    for tenants in tenant_counts:
+        cluster = Cluster(seed=104 + tenants)
+        host = cluster.add_host("cal-cpu")
+        if tenants:
+            host.add_tenant_load(tenants)
+        worker = host.spawn_thread("probe")
+        recorder = LatencyRecorder("wakeup")
+
+        def probe(sim=cluster.sim, worker=worker, recorder=recorder):
+            for _ in range(samples):
+                yield sim.timeout(us(700))
+                start = sim.now
+                yield worker.run(2_000)  # 2 us of work.
+                recorder.record(sim.now - start - 2_000)
+
+        process = cluster.sim.process(probe())
+        while not process.triggered and cluster.sim.peek() is not None:
+            cluster.sim.step()
+        rows.append({"metric": "wakeup delay", "tenants": tenants,
+                     "avg_us": recorder.mean_us(),
+                     "p50_us": recorder.percentile_us(50),
+                     "p99_us": recorder.percentile_us(99)})
+    return rows
+
+
+def main() -> None:
+    print(format_table([point_to_point_write_rtt()],
+                       title="Calibration — point-to-point verbs"))
+    print()
+    print(format_table(chain_latency_by_group(),
+                       title="Calibration — unloaded chain latency"))
+    print()
+    print(format_table([message_rate_ceiling()],
+                       title="Calibration — message-rate ceiling"))
+    print()
+    print(format_table(wakeup_quantiles(),
+                       title="Calibration — CPU wakeup delay vs tenants"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,218 @@
+"""Shared experiment infrastructure.
+
+Every experiment module in this package reproduces one table or figure from
+the paper's evaluation (§6) and follows the same conventions:
+
+* ``run(...)`` executes the experiment and returns a list of row dicts —
+  the same rows/series the paper plots;
+* a module-level ``main()`` prints the rows as a formatted table (the
+  benchmark harness and the examples call these);
+* op counts default to simulation-friendly sizes and scale up via the
+  ``REPRO_FULL=1`` environment variable for paper-sized runs.
+
+The testbed builder mirrors §6: hosts with two 8-core Xeons and a 56 Gbps
+NIC; multi-tenant pressure is injected as CPU-bound tenant threads at the
+paper's 10:1 process-to-core ratio.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..baseline.naive import NaiveConfig, NaiveGroup
+from ..core.group import GroupConfig, HyperLoopGroup
+from ..host import Cluster, Host, HostParams
+from ..sim.stats import LatencyRecorder
+from ..sim.units import seconds
+
+__all__ = [
+    "full_run",
+    "scaled",
+    "build_testbed",
+    "make_hyperloop",
+    "make_naive",
+    "latency_sweep",
+    "throughput_run",
+    "format_table",
+    "DEFAULT_TENANTS_PER_CORE",
+]
+
+#: §6.2 co-locates processes at a 10:1 ratio to cores.
+DEFAULT_TENANTS_PER_CORE = 10
+
+
+def full_run() -> bool:
+    """True when REPRO_FULL=1 requests paper-sized op counts."""
+    return os.environ.get("REPRO_FULL", "") == "1"
+
+
+def scaled(quick: int, full: int) -> int:
+    """Pick an op count: ``quick`` normally, ``full`` under REPRO_FULL=1."""
+    return full if full_run() else quick
+
+
+@dataclass
+class Testbed:
+    cluster: Cluster
+    client: Host
+    replicas: List[Host]
+
+
+def build_testbed(replica_count: int = 3, seed: int = 0, cores: int = 16,
+                  replica_tenants: int = 0, client_tenants: int = 0,
+                  tenant_kind: str = "bursty") -> Testbed:
+    """A client plus ``replica_count`` storage servers.
+
+    ``replica_tenants``/``client_tenants`` are CPU-bound threads per host
+    emulating the multi-tenant co-location (stress-ng in §6.1, co-located
+    database instances in §6.2); ``tenant_kind`` picks the load profile
+    (see :meth:`Host.add_tenant_load`).
+    """
+    cluster = Cluster(seed=seed, host_params=HostParams(cores=cores))
+    client = cluster.add_host("client")
+    replicas = cluster.add_hosts(replica_count, prefix="replica")
+    if client_tenants:
+        client.add_tenant_load(client_tenants, kind=tenant_kind)
+    for replica in replicas:
+        if replica_tenants:
+            replica.add_tenant_load(replica_tenants, kind=tenant_kind)
+    return Testbed(cluster, client, replicas)
+
+
+def make_hyperloop(testbed: Testbed, slots: int = 1024,
+                   region_size: int = 32 << 20) -> HyperLoopGroup:
+    return HyperLoopGroup(testbed.client, testbed.replicas,
+                          GroupConfig(slots=slots, region_size=region_size))
+
+
+def make_naive(testbed: Testbed, mode: str = "event", slots: int = 256,
+               region_size: int = 32 << 20) -> NaiveGroup:
+    return NaiveGroup(testbed.client, testbed.replicas,
+                      NaiveConfig(slots=slots, region_size=region_size,
+                                  mode=mode))
+
+
+def run_until(cluster: Cluster, done_event, deadline_ns: int) -> None:
+    """Advance the simulation until an event triggers (or the deadline).
+
+    Unlike ``run(until=...)`` this stops as soon as the event fires, so
+    background load (tenants, pollers) does not keep the clock spinning
+    after the measured work completes.
+    """
+    sim = cluster.sim
+    deadline = sim.now + deadline_ns
+    while not done_event.triggered:
+        next_time = sim.peek()
+        if next_time is None or next_time > deadline:
+            break
+        sim.step()
+
+
+def latency_sweep(group, op: str, size: int, count: int,
+                  durable: bool = False,
+                  deadline_ns: int = seconds(600)) -> LatencyRecorder:
+    """Issue ``count`` operations back-to-back and record each latency.
+
+    This is the paper's latency microbenchmark: "generates 10,000
+    operations for each primitive with customized message sizes and
+    measures the completion time of each operation" (§6.1).
+    """
+    recorder = LatencyRecorder(f"{op}/{size}")
+    sim = group.sim
+
+    def driver(sim):
+        if op in ("gwrite", "gmemcpy"):
+            group.write_local(0, b"\xAB" * size)
+        for i in range(count):
+            if op == "gwrite":
+                event = group.gwrite(0, size, durable=durable)
+            elif op == "gmemcpy":
+                event = group.gmemcpy(0, max(size, 8), size, durable=durable)
+            elif op == "gcas":
+                current = i % 2
+                event = group.gcas(0, current, 1 - current, durable=durable)
+            elif op == "gflush":
+                event = group.gflush()
+            else:
+                raise ValueError(f"unknown op {op!r}")
+            result = yield event
+            recorder.record(result.latency_ns)
+
+    process = sim.process(driver(sim), name=f"bench.{op}")
+    run_until(group.client_host.cluster, process, deadline_ns)
+    if recorder.count < count:
+        raise RuntimeError(
+            f"{op}/{size}: only {recorder.count}/{count} ops completed "
+            "before the deadline")
+    return recorder
+
+
+def throughput_run(group, size: int, total_bytes: int,
+                   window: int = 128,
+                   deadline_ns: int = seconds(300)) -> Dict[str, float]:
+    """Pipelined gWRITE throughput: write ``total_bytes`` in ``size`` chunks.
+
+    Mirrors §6.1: "writes 1 GB of data in total with customized message
+    sizes to backup nodes and we measure the total transmission time".
+    Returns ops/sec, goodput and elapsed time.
+    """
+    count = max(1, total_bytes // size)
+    sim = group.sim
+    state = {"done": 0, "finished_at": None}
+
+    def driver(sim):
+        group.write_local(0, b"\xCD" * size)
+        outstanding = []
+        for _ in range(count):
+            outstanding.append(group.gwrite(0, size))
+            if len(outstanding) >= window:
+                yield outstanding.pop(0)
+                state["done"] += 1
+        for event in outstanding:
+            yield event
+            state["done"] += 1
+        state["finished_at"] = sim.now
+
+    start = sim.now
+    process = sim.process(driver(sim), name="bench.tput")
+    run_until(group.client_host.cluster, process, deadline_ns)
+    if state["finished_at"] is None:
+        raise RuntimeError(
+            f"throughput run incomplete: {state['done']}/{count} ops")
+    elapsed = state["finished_at"] - start
+    return {
+        "ops": count,
+        "elapsed_ns": elapsed,
+        "kops_per_sec": count / (elapsed / 1e9) / 1e3,
+        "gbps": (count * size * 8) / elapsed,  # bits per ns == Gbps
+    }
+
+
+def format_table(rows: Sequence[Dict], columns: Optional[List[str]] = None,
+                 title: str = "") -> str:
+    """Plain-text table for experiment output."""
+    if not rows:
+        return f"{title}\n(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered = [[_fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [max(len(col), *(len(r[i]) for r in rendered))
+              for i, col in enumerate(columns)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(col.ljust(widths[i])
+                           for i, col in enumerate(columns)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(columns))))
+    for rendered_row in rendered:
+        lines.append("  ".join(rendered_row[i].ljust(widths[i])
+                               for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:,.1f}"
+    return str(value)

@@ -1,0 +1,16 @@
+"""Non-volatile memory substrate: devices, NIC write cache, power failure."""
+
+from .memory import DRAM, NVM, Allocation, MemoryDevice, OutOfMemoryError
+from .cache import CacheEntry, NICWriteCache
+from .power import PowerDomain
+
+__all__ = [
+    "DRAM",
+    "NVM",
+    "Allocation",
+    "MemoryDevice",
+    "OutOfMemoryError",
+    "CacheEntry",
+    "NICWriteCache",
+    "PowerDomain",
+]

@@ -1,0 +1,297 @@
+"""Byte-addressable memory devices.
+
+Two device types back every simulated host:
+
+* :class:`DRAM` — volatile; contents are lost on power failure.
+* :class:`NVM` — non-volatile (the paper's battery-backed DRAM / 3D-XPoint);
+  contents survive power failure.
+
+Both expose flat ``read``/``write`` over sparse page storage plus a
+first-fit allocator with a coalescing free list, so higher layers
+(write-ahead logs, database regions, driver metadata regions) can carve
+out — and return — named areas.  Addresses are plain integers —
+offsets into the device — which is exactly how RDMA rkey-scoped addressing
+is modelled in :mod:`repro.rdma.verbs`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["MemoryDevice", "DRAM", "NVM", "Allocation", "OutOfMemoryError"]
+
+
+class OutOfMemoryError(Exception):
+    """The device has no room left for an allocation."""
+
+
+class SparsePages:
+    """Page-granular sparse byte storage.
+
+    A simulated host advertises gigabytes of memory but touches only a
+    small fraction; storing untouched pages would make multi-host
+    simulations cost real gigabytes.  Pages materialize on first write and
+    absent pages read as zeros.
+    """
+
+    __slots__ = ("page_size", "_pages")
+
+    def __init__(self, page_size: int = 4096):
+        self.page_size = page_size
+        self._pages: Dict[int, bytearray] = {}
+
+    def read(self, address: int, size: int) -> bytes:
+        if size <= 0:
+            return b""
+        page_size = self.page_size
+        first = address // page_size
+        last = (address + size - 1) // page_size
+        if first == last:
+            page = self._pages.get(first)
+            offset = address - first * page_size
+            if page is None:
+                return bytes(size)
+            return bytes(page[offset:offset + size])
+        parts = []
+        cursor = address
+        remaining = size
+        for index in range(first, last + 1):
+            offset = cursor - index * page_size
+            chunk = min(remaining, page_size - offset)
+            page = self._pages.get(index)
+            if page is None:
+                parts.append(bytes(chunk))
+            else:
+                parts.append(bytes(page[offset:offset + chunk]))
+            cursor += chunk
+            remaining -= chunk
+        return b"".join(parts)
+
+    def write(self, address: int, data: bytes) -> None:
+        if not data:
+            return
+        page_size = self.page_size
+        cursor = address
+        view = memoryview(data)
+        consumed = 0
+        while consumed < len(data):
+            index = cursor // page_size
+            offset = cursor - index * page_size
+            chunk = min(len(data) - consumed, page_size - offset)
+            page = self._pages.get(index)
+            if page is None:
+                page = bytearray(page_size)
+                self._pages[index] = page
+            page[offset:offset + chunk] = view[consumed:consumed + chunk]
+            cursor += chunk
+            consumed += chunk
+
+    def clear(self) -> None:
+        self._pages.clear()
+
+    def snapshot_into(self, other: "SparsePages") -> None:
+        """Replace ``other``'s contents with a copy of this store."""
+        other._pages = {index: bytearray(page)
+                        for index, page in self._pages.items()}
+
+    @property
+    def resident_bytes(self) -> int:
+        return len(self._pages) * self.page_size
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """A named, contiguous area of a memory device."""
+
+    name: str
+    address: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.address + self.size
+
+    def contains(self, address: int, size: int = 1) -> bool:
+        return self.address <= address and address + size <= self.end
+
+
+class MemoryDevice:
+    """Flat byte-addressable memory with a first-fit allocator.
+
+    Allocation is bump-style with a coalescing free list, so long-lived
+    simulations that build and tear down replication groups (recovery
+    rebuilds) reuse address space instead of exhausting it.
+    """
+
+    #: Whether contents survive power failure.
+    durable = False
+
+    def __init__(self, size: int, name: str = "mem"):
+        if size <= 0:
+            raise ValueError("memory size must be positive")
+        self.size = size
+        self.name = name
+        self._data = SparsePages()
+        self._brk = 0
+        self._allocations: Dict[str, Allocation] = {}
+        self._free_list: List[Tuple[int, int]] = []  # (address, size), sorted.
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def allocate(self, size: int, name: str = "", align: int = 8) -> Allocation:
+        """Reserve ``size`` bytes; returns the allocation record."""
+        if size <= 0:
+            raise ValueError("allocation size must be positive")
+        if align & (align - 1):
+            raise ValueError("alignment must be a power of two")
+        address = self._take_from_free_list(size, align)
+        if address is None:
+            address = (self._brk + align - 1) & ~(align - 1)
+            if address + size > self.size:
+                raise OutOfMemoryError(
+                    f"{self.name}: cannot allocate {size} bytes "
+                    f"({self.size - self._brk} free at the break)")
+            self._brk = address + size
+        allocation = Allocation(name or f"alloc@{address}", address, size)
+        if allocation.name in self._allocations:
+            raise ValueError(f"duplicate allocation name {allocation.name!r}")
+        self._allocations[allocation.name] = allocation
+        return allocation
+
+    def _take_from_free_list(self, size: int, align: int) -> Optional[int]:
+        for index, (hole_addr, hole_size) in enumerate(self._free_list):
+            aligned = (hole_addr + align - 1) & ~(align - 1)
+            slack = aligned - hole_addr
+            if slack + size > hole_size:
+                continue
+            # Carve: return the aligned piece, keep the remainders free.
+            del self._free_list[index]
+            if slack:
+                self._free_list.append((hole_addr, slack))
+            tail = hole_size - slack - size
+            if tail:
+                self._free_list.append((aligned + size, tail))
+            self._free_list.sort()
+            return aligned
+        return None
+
+    def free(self, allocation: Allocation) -> None:
+        """Return an allocation's bytes for reuse (coalescing neighbours).
+
+        The contents are zeroed: the next owner must not observe stale
+        bytes (or stale durable bytes after a crash).
+        """
+        recorded = self._allocations.pop(allocation.name, None)
+        if recorded is not allocation:
+            raise ValueError(
+                f"{self.name}: {allocation.name!r} is not live here")
+        self._data.write(allocation.address, bytes(allocation.size))
+        self.persist(allocation.address, allocation.size)
+        self._free_list.append((allocation.address, allocation.size))
+        self._free_list.sort()
+        # Coalesce adjacent holes (and fold the last hole into the break).
+        merged: List[Tuple[int, int]] = []
+        for address, size in self._free_list:
+            if merged and merged[-1][0] + merged[-1][1] == address:
+                merged[-1] = (merged[-1][0], merged[-1][1] + size)
+            else:
+                merged.append((address, size))
+        if merged and merged[-1][0] + merged[-1][1] == self._brk:
+            self._brk = merged.pop()[0]
+        self._free_list = merged
+
+    def allocation(self, name: str) -> Allocation:
+        return self._allocations[name]
+
+    @property
+    def bytes_free(self) -> int:
+        return (self.size - self._brk
+                + sum(size for _addr, size in self._free_list))
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def _check(self, address: int, size: int) -> None:
+        if address < 0 or size < 0 or address + size > self.size:
+            raise IndexError(
+                f"{self.name}: access [{address}, {address + size}) outside "
+                f"device of size {self.size}")
+
+    def read(self, address: int, size: int) -> bytes:
+        self._check(address, size)
+        return self._data.read(address, size)
+
+    def write(self, address: int, data: bytes) -> None:
+        self._check(address, len(data))
+        self._data.write(address, data)
+
+    def fill(self, address: int, size: int, byte: int = 0) -> None:
+        self._check(address, size)
+        self._data.write(address, bytes([byte]) * size)
+
+    def copy_within(self, src: int, dst: int, size: int) -> None:
+        """memmove inside the device (used by gMEMCPY's local DMA)."""
+        self._check(src, size)
+        self._check(dst, size)
+        self._data.write(dst, self._data.read(src, size))
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    def persist(self, address: int, size: int) -> None:
+        """Make a visible range durable (clwb/flush semantics).
+
+        No-op for volatile devices — their contents are lost regardless.
+        """
+        self._check(address, size)
+
+    # ------------------------------------------------------------------
+    # Power failure
+    # ------------------------------------------------------------------
+    def on_power_failure(self) -> None:
+        """Volatile devices lose everything; durable ones keep it."""
+        if not self.durable:
+            self._data.clear()
+
+
+class DRAM(MemoryDevice):
+    """Volatile main memory."""
+
+    durable = False
+
+    def __init__(self, size: int, name: str = "dram"):
+        super().__init__(size, name)
+
+
+class NVM(MemoryDevice):
+    """Non-volatile memory (battery-backed DRAM / persistent memory).
+
+    Distinguishes the *visible* image (what loads/DMA reads observe) from the
+    *durable* image (what survives power failure).  Writes are visible
+    immediately but only become durable after :meth:`persist` — which is what
+    the NIC write cache's flush, and software ``clwb``-style flushes, invoke.
+    This split is the mechanism behind the paper's gFLUSH primitive: an RDMA
+    WRITE may be ACKed while its bytes are visible-but-not-durable.
+    """
+
+    durable = True
+
+    def __init__(self, size: int, name: str = "nvm"):
+        super().__init__(size, name)
+        self._durable_data = SparsePages()
+
+    def persist(self, address: int, size: int) -> None:
+        """Copy a visible range into the durable image."""
+        self._check(address, size)
+        self._durable_data.write(address, self._data.read(address, size))
+
+    def read_durable(self, address: int, size: int) -> bytes:
+        """What a post-crash reader would see for this range."""
+        self._check(address, size)
+        return self._durable_data.read(address, size)
+
+    def on_power_failure(self) -> None:
+        """Visible image reverts to the durable image."""
+        self._durable_data.snapshot_into(self._data)

@@ -1,0 +1,54 @@
+"""Simulated RDMA substrate: WQEs, verbs, driver, NIC, fabric."""
+
+from .driver import RingFullError, WorkQueue
+from .fabric import Fabric, FabricParams, Port
+from .nic import Message, NICParams, RNIC
+from .verbs import (
+    Access,
+    CompletionChannel,
+    CompletionQueue,
+    MemoryRegion,
+    QPState,
+    QueuePair,
+    RemoteAccessError,
+    WCStatus,
+    WorkCompletion,
+)
+from .wqe import (
+    MAX_SGE,
+    WQE_SIZE,
+    Opcode,
+    Sge,
+    WorkRequest,
+    WQEFlags,
+    decode_wqe,
+    encode_wqe,
+)
+
+__all__ = [
+    "RingFullError",
+    "WorkQueue",
+    "Fabric",
+    "FabricParams",
+    "Port",
+    "Message",
+    "NICParams",
+    "RNIC",
+    "Access",
+    "CompletionChannel",
+    "CompletionQueue",
+    "MemoryRegion",
+    "QPState",
+    "QueuePair",
+    "RemoteAccessError",
+    "WCStatus",
+    "WorkCompletion",
+    "MAX_SGE",
+    "WQE_SIZE",
+    "Opcode",
+    "Sge",
+    "WorkRequest",
+    "WQEFlags",
+    "decode_wqe",
+    "encode_wqe",
+]

@@ -1,0 +1,95 @@
+"""Network fabric connecting simulated RNICs.
+
+A single non-blocking switch model, adequate for the paper's testbed (a rack
+of machines behind one ToR): every NIC has one full-duplex port; a message
+experiences
+
+* **serialization** at the sender's egress (``size / bandwidth``, queued
+  FIFO behind earlier messages from the same port),
+* fixed **propagation/switching delay**, and
+* delivery into the receiving NIC's ingress pipeline.
+
+Loopback transfers (both QPs on the same NIC — HyperLoop's local-copy and
+local-CAS queue pairs) never touch the fabric; the NIC handles them with a
+small internal latency, so they are modelled in :mod:`repro.rdma.nic`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from ..sim.engine import Simulator
+from ..sim.units import gbps_to_bytes_per_ns, us
+
+__all__ = ["FabricParams", "Fabric", "Port"]
+
+
+@dataclass
+class FabricParams:
+    """Link characteristics, defaulting to the paper's 56 Gbps ConnectX-3."""
+
+    bandwidth_gbps: float = 56.0
+    propagation_ns: int = us(1)          # ToR switching + wire, one way.
+    per_message_overhead_bytes: int = 66  # Headers: Eth + IB transport.
+
+    @property
+    def bytes_per_ns(self) -> float:
+        return gbps_to_bytes_per_ns(self.bandwidth_gbps)
+
+    def serialization_ns(self, size_bytes: int) -> int:
+        wire_bytes = size_bytes + self.per_message_overhead_bytes
+        return max(1, int(wire_bytes / self.bytes_per_ns))
+
+
+class Port:
+    """One NIC's attachment point: an egress queue with FIFO serialization."""
+
+    def __init__(self, fabric: "Fabric", name: str):
+        self.fabric = fabric
+        self.name = name
+        self._egress_free_at = 0
+        self.bytes_sent = 0
+        self.messages_sent = 0
+        self._deliver: Optional[Callable[[object], None]] = None
+
+    def attach(self, deliver: Callable[[object], None]) -> None:
+        """Register the NIC-side ingress callback."""
+        self._deliver = deliver
+
+    def transmit(self, dest: "Port", size_bytes: int, message: object) -> int:
+        """Queue a message for transmission; returns its delivery time.
+
+        Delivery calls the destination port's ingress callback.  The sender's
+        egress is busy until serialization finishes; back-to-back messages
+        queue behind each other, which is what throttles Figure 9's
+        throughput at large message sizes.
+        """
+        if self._deliver is None or dest._deliver is None:
+            raise RuntimeError("both ports must be attached before transmit")
+        sim = self.fabric.sim
+        params = self.fabric.params
+        start = max(sim.now, self._egress_free_at)
+        done_serializing = start + params.serialization_ns(size_bytes)
+        self._egress_free_at = done_serializing
+        self.bytes_sent += size_bytes
+        self.messages_sent += 1
+        arrival = done_serializing + params.propagation_ns
+        sim.call_at(arrival, lambda: dest._deliver(message))
+        return arrival
+
+
+class Fabric:
+    """The switch: a registry of ports plus shared link parameters."""
+
+    def __init__(self, sim: Simulator, params: Optional[FabricParams] = None):
+        self.sim = sim
+        self.params = params or FabricParams()
+        self.ports: Dict[str, Port] = {}
+
+    def create_port(self, name: str) -> Port:
+        if name in self.ports:
+            raise ValueError(f"duplicate port name {name!r}")
+        port = Port(self, name)
+        self.ports[name] = port
+        return port

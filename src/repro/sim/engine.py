@@ -1,0 +1,373 @@
+"""Discrete-event simulation kernel.
+
+This module provides the event loop that every simulated component in the
+reproduction (NICs, CPUs, links, storage processes) runs on.  The design
+follows the classic process-interaction style popularised by SimPy: model
+logic is written as Python generator functions ("processes") that ``yield``
+events; the engine suspends the process until the event fires and resumes it
+with the event's value.
+
+Simulated time is kept in integer **nanoseconds** to avoid floating-point
+drift when summing many small delays.  Helpers for converting between units
+live in :mod:`repro.sim.units`.
+
+Example
+-------
+>>> sim = Simulator()
+>>> def hello(sim):
+...     yield sim.timeout(1000)
+...     return sim.now
+>>> proc = sim.process(hello(sim))
+>>> sim.run()
+>>> proc.value
+1000
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "Simulator",
+    "SimulationError",
+]
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation API (double trigger, etc.)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another process interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+PENDING = object()
+
+
+class Event:
+    """A happening at a point in simulated time.
+
+    Events start *untriggered*.  Calling :meth:`succeed` or :meth:`fail`
+    triggers them, which schedules their callbacks to run at the current
+    simulation time.  A process that ``yield``\\ s an untriggered event is
+    suspended until the event triggers.
+    """
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: Optional[bool] = None
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if self._ok is None:
+            raise SimulationError("event has not been triggered yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is PENDING:
+            raise SimulationError("event has not been triggered yet")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._queue(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        A process yielding on this event will have ``exception`` raised at
+        the ``yield`` statement.
+        """
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.sim._queue(self)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` when the event is processed.
+
+        If the event was already processed the callback runs immediately —
+        this keeps late subscribers from deadlocking.
+        """
+        if self.callbacks is None:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay."""
+
+    def __init__(self, sim: "Simulator", delay: int, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self._ok = True
+        self._value = value
+        self.delay = delay
+        sim._queue(self, delay=delay)
+
+
+class Process(Event):
+    """A running model process wrapping a generator.
+
+    The process is itself an event: it triggers when the generator returns
+    (successfully, with the generator's return value) or raises (a failure
+    carrying the exception).  This makes ``yield other_process`` a join.
+    """
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+        super().__init__(sim)
+        if not hasattr(generator, "send"):
+            raise TypeError(f"process requires a generator, got {generator!r}")
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        # Kick off the process at the current time.
+        bootstrap = Event(sim)
+        bootstrap._ok = True
+        bootstrap._value = None
+        bootstrap.callbacks = []
+        bootstrap.add_callback(self._resume)
+        sim._queue(bootstrap)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Raise :class:`Interrupt` inside the process at the current time.
+
+        Interrupting a finished process is an error; interrupting a process
+        twice before it handles the first interrupt queues both.
+        """
+        if self.triggered:
+            raise SimulationError(f"cannot interrupt finished process {self.name}")
+        poke = Event(self.sim)
+        poke._ok = False
+        poke._value = Interrupt(cause)
+        poke.callbacks = []
+        poke.add_callback(self._resume)
+        self.sim._queue(poke)
+
+    def _resume(self, trigger: Event) -> None:
+        if self.triggered:
+            return  # Process already finished (e.g. interrupted earlier).
+        # Detach from whatever we were waiting on so stale triggers from a
+        # superseded wait (after an interrupt) do not double-resume us.
+        if self._waiting_on is not None and trigger is not self._waiting_on \
+                and not isinstance(trigger._value, Interrupt):
+            return
+        self._waiting_on = None
+        self.sim._active_process = self
+        try:
+            if trigger._ok:
+                target = self.generator.send(trigger._value)
+            else:
+                target = self.generator.throw(trigger._value)
+        except StopIteration as stop:
+            self.sim._active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.sim._active_process = None
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            self.fail(exc)
+            return
+        self.sim._active_process = None
+        if not isinstance(target, Event):
+            # Give the process a chance to handle the misuse; otherwise it
+            # fails with the SimulationError.
+            error = SimulationError(
+                f"process {self.name} yielded non-event {target!r}")
+            try:
+                self.generator.throw(error)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+            except BaseException as exc:
+                if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                    raise
+                self.fail(exc)
+            else:
+                self.fail(error)
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+
+class AllOf(Event):
+    """Triggers when all child events have triggered successfully.
+
+    The value is a list of child values in the order given.  If any child
+    fails, this event fails with that child's exception (first failure wins).
+    """
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        self._remaining = len(self.events)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for event in self.events:
+            event.add_callback(self._check)
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([e._value for e in self.events])
+
+
+class AnyOf(Event):
+    """Triggers when the first child event triggers.
+
+    The value is a ``(event, value)`` pair identifying the winner.
+    """
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        if not self.events:
+            raise ValueError("AnyOf requires at least one event")
+        for event in self.events:
+            event.add_callback(self._check)
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event._ok:
+            self.succeed((event, event._value))
+        else:
+            self.fail(event._value)
+
+
+class Simulator:
+    """The event loop: a clock plus a priority queue of triggered events."""
+
+    def __init__(self):
+        self.now: int = 0
+        self._heap: List = []
+        self._seq = 0  # Tie-breaker preserving FIFO order at equal times.
+        self._active_process: Optional[Process] = None
+
+    # ------------------------------------------------------------------
+    # Factories
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        """A fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        """An event firing ``delay`` nanoseconds from now."""
+        return Timeout(self, int(delay), value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Start a model process from a generator."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # ------------------------------------------------------------------
+    # Scheduling & execution
+    # ------------------------------------------------------------------
+    def _queue(self, event: Event, delay: int = 0) -> None:
+        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+        self._seq += 1
+
+    def call_at(self, time: int, fn: Callable[[], None]) -> None:
+        """Run a plain callable at an absolute simulated time."""
+        if time < self.now:
+            raise SimulationError(f"cannot schedule in the past ({time} < {self.now})")
+        marker = Event(self)
+        marker._ok = True
+        marker._value = None
+        marker.add_callback(lambda _event: fn())
+        heapq.heappush(self._heap, (time, self._seq, marker))
+        self._seq += 1
+
+    def step(self) -> None:
+        """Process the next queued event.
+
+        A failed :class:`Process` that nobody joined re-raises here —
+        silent death of a model process (a NIC pipeline, a scheduler core)
+        is always a bug, never intended behaviour.
+        """
+        time, _seq, event = heapq.heappop(self._heap)
+        if time < self.now:
+            raise SimulationError("event queue corrupted: time went backwards")
+        self.now = time
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if (isinstance(event, Process) and event._ok is False
+                and not callbacks
+                and not isinstance(event._value, Interrupt)):
+            raise event._value
+
+    def run(self, until: Optional[int] = None) -> None:
+        """Run until the queue drains or the clock passes ``until``.
+
+        If ``until`` is given the clock is advanced to exactly ``until`` even
+        when the queue drains earlier, so back-to-back ``run`` calls compose.
+        """
+        if until is None:
+            while self._heap:
+                self.step()
+            return
+        until = int(until)
+        if until < self.now:
+            raise SimulationError(f"cannot run to the past ({until} < {self.now})")
+        while self._heap and self._heap[0][0] <= until:
+            self.step()
+        self.now = until
+
+    def peek(self) -> Optional[int]:
+        """Time of the next queued event, or None if the queue is empty."""
+        return self._heap[0][0] if self._heap else None

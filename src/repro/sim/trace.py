@@ -1,0 +1,85 @@
+"""Structured event tracing for simulated components.
+
+Components emit typed trace events into a :class:`Tracer`; analyses slice
+them by operation, component or kind.  The NIC and group layers emit
+events when a tracer is installed on the cluster (see
+:meth:`repro.host.Cluster.enable_tracing`), which powers the
+``examples/latency_breakdown.py`` tool: where do the ~10 µs of a gWRITE
+actually go?
+
+Tracing is strictly opt-in and zero-cost when disabled (the emit helpers
+short-circuit on a None tracer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+__all__ = ["TraceEvent", "Tracer", "span_durations"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped happening."""
+
+    time_ns: int
+    component: str     # e.g. "replica1.nic", "group0.client"
+    kind: str          # e.g. "wqe.execute", "msg.rx", "op.submit"
+    detail: str = ""
+    op_slot: int = -1  # Group-operation slot, when attributable.
+
+
+class Tracer:
+    """An append-only event log with simple query helpers."""
+
+    def __init__(self, capacity: int = 1_000_000):
+        self.capacity = capacity
+        self.events: List[TraceEvent] = []
+        self.dropped = 0
+
+    def emit(self, time_ns: int, component: str, kind: str,
+             detail: str = "", op_slot: int = -1) -> None:
+        if len(self.events) >= self.capacity:
+            self.dropped += 1
+            return
+        self.events.append(TraceEvent(time_ns, component, kind, detail,
+                                      op_slot))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def by_kind(self, kind: str) -> List[TraceEvent]:
+        return [event for event in self.events if event.kind == kind]
+
+    def by_component(self, prefix: str) -> List[TraceEvent]:
+        return [event for event in self.events
+                if event.component.startswith(prefix)]
+
+    def for_slot(self, op_slot: int) -> List[TraceEvent]:
+        return sorted((event for event in self.events
+                       if event.op_slot == op_slot),
+                      key=lambda event: event.time_ns)
+
+    def kinds(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.dropped = 0
+
+
+def span_durations(events: Iterable[TraceEvent]) -> List[tuple]:
+    """Turn a slot's ordered event list into (stage, duration_ns) spans.
+
+    Each span runs from one event to the next; the last event has no span.
+    """
+    ordered = sorted(events, key=lambda event: event.time_ns)
+    spans = []
+    for current, following in zip(ordered, ordered[1:]):
+        label = f"{current.component}:{current.kind}"
+        spans.append((label, following.time_ns - current.time_ns))
+    return spans

@@ -1,0 +1,67 @@
+"""Time and size unit helpers.
+
+Simulated time is integer nanoseconds throughout the code base; these helpers
+keep call sites readable (``us(5)`` instead of ``5_000``).  Converters back to
+floating-point microseconds/milliseconds exist for reporting, since the paper
+reports latencies in µs and ms.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ns",
+    "us",
+    "ms",
+    "seconds",
+    "to_us",
+    "to_ms",
+    "to_seconds",
+    "KiB",
+    "MiB",
+    "GiB",
+    "gbps_to_bytes_per_ns",
+]
+
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+
+
+def ns(value: float) -> int:
+    """Nanoseconds (identity, for symmetry)."""
+    return int(value)
+
+
+def us(value: float) -> int:
+    """Microseconds to nanoseconds."""
+    return int(value * 1_000)
+
+
+def ms(value: float) -> int:
+    """Milliseconds to nanoseconds."""
+    return int(value * 1_000_000)
+
+
+def seconds(value: float) -> int:
+    """Seconds to nanoseconds."""
+    return int(value * 1_000_000_000)
+
+
+def to_us(nanoseconds: float) -> float:
+    """Nanoseconds to microseconds."""
+    return nanoseconds / 1_000
+
+
+def to_ms(nanoseconds: float) -> float:
+    """Nanoseconds to milliseconds."""
+    return nanoseconds / 1_000_000
+
+
+def to_seconds(nanoseconds: float) -> float:
+    """Nanoseconds to seconds."""
+    return nanoseconds / 1_000_000_000
+
+
+def gbps_to_bytes_per_ns(gigabits_per_second: float) -> float:
+    """Link speed in Gbps to bytes transferred per nanosecond."""
+    return gigabits_per_second / 8.0

@@ -1,0 +1,31 @@
+"""Storage substrates: region layout, write-ahead log, group lock table."""
+
+from .layout import RegionLayout
+from .locktable import READER_MASK, WRITER_FLAG, GroupLockTable
+from .twophase import PartitionWrite, TwoPhaseCoordinator, TxnOutcome
+from .wal import (
+    ENTRY_DESC_SIZE,
+    HEADER_SIZE,
+    LogEntry,
+    LogRecord,
+    RecordKind,
+    WalFullError,
+    WalRing,
+)
+
+__all__ = [
+    "RegionLayout",
+    "READER_MASK",
+    "WRITER_FLAG",
+    "GroupLockTable",
+    "PartitionWrite",
+    "TwoPhaseCoordinator",
+    "TxnOutcome",
+    "ENTRY_DESC_SIZE",
+    "HEADER_SIZE",
+    "LogEntry",
+    "LogRecord",
+    "RecordKind",
+    "WalFullError",
+    "WalRing",
+]

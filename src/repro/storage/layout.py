@@ -1,0 +1,83 @@
+"""Shared region layout for replicated storage.
+
+HyperLoop requires the replicated region to have *identical offsets on every
+node* (gWRITE replicates "the caller's data located at offset to remote
+nodes' memory region at offset", Table 1).  All storage built here therefore
+shares one layout::
+
+    [0, locks_end)        lock table: 8-byte lock words
+    [locks_end, wal_end)  write-ahead log ring (incl. head/tail pointers)
+    [wal_end, region_end) database area
+
+The layout is pure arithmetic — it owns no memory — so the client and every
+replica can compute the same offsets independently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RegionLayout"]
+
+LOCK_WORD_SIZE = 8
+
+
+@dataclass(frozen=True)
+class RegionLayout:
+    """Offsets of the three storage areas within a replicated region."""
+
+    region_size: int
+    num_locks: int = 1024
+    wal_size: int = 4 << 20
+
+    def __post_init__(self):
+        if self.db_offset >= self.region_size:
+            raise ValueError(
+                f"region of {self.region_size}B too small for "
+                f"{self.num_locks} locks + {self.wal_size}B WAL")
+
+    # ------------------------------------------------------------------
+    # Lock table
+    # ------------------------------------------------------------------
+    @property
+    def locks_offset(self) -> int:
+        return 0
+
+    @property
+    def locks_size(self) -> int:
+        return self.num_locks * LOCK_WORD_SIZE
+
+    def lock_offset(self, lock_id: int) -> int:
+        if not 0 <= lock_id < self.num_locks:
+            raise IndexError(f"lock id {lock_id} out of range")
+        return self.locks_offset + lock_id * LOCK_WORD_SIZE
+
+    # ------------------------------------------------------------------
+    # Write-ahead log
+    # ------------------------------------------------------------------
+    @property
+    def wal_offset(self) -> int:
+        return self.locks_offset + self.locks_size
+
+    @property
+    def wal_end(self) -> int:
+        return self.wal_offset + self.wal_size
+
+    # ------------------------------------------------------------------
+    # Database area
+    # ------------------------------------------------------------------
+    @property
+    def db_offset(self) -> int:
+        return self.wal_end
+
+    @property
+    def db_size(self) -> int:
+        return self.region_size - self.db_offset
+
+    def db_address(self, db_relative_offset: int, size: int = 0) -> int:
+        """Region offset of a database-area location, bounds-checked."""
+        if db_relative_offset < 0 or db_relative_offset + size > self.db_size:
+            raise IndexError(
+                f"db access [{db_relative_offset}, "
+                f"{db_relative_offset + size}) outside {self.db_size}B area")
+        return self.db_offset + db_relative_offset

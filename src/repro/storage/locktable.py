@@ -1,0 +1,130 @@
+"""Group locking built on gCAS (§5, "Locking and Isolation").
+
+Lock words live in the lock-table area of the replicated region, so the same
+logical lock exists at the same offset on every replica.  The encoding is a
+single-writer / multiple-reader 64-bit word::
+
+    bit 62        writer flag
+    bits 0..47    reader count
+
+* ``wr_lock`` — one gCAS tries to move the word 0 → WRITER on *every*
+  replica.  If only some replicas succeeded (a racing client or active
+  readers on a subset), the paper's undo protocol runs: a second gCAS with
+  the execute map restricted to the nodes that succeeded swaps the word
+  back, then the client backs off and retries.
+* ``rd_lock``  — read locks are **not group based**: "only the replica being
+  read from needs to participate" (§5).  A one-hot execute map increments
+  the reader count on just that replica; the gCAS result map returns the
+  observed value on mismatch, so retries never need a separate READ.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..sim.engine import Simulator
+from .layout import RegionLayout
+
+__all__ = ["GroupLockTable", "WRITER_FLAG", "READER_MASK"]
+
+WRITER_FLAG = 1 << 62
+READER_MASK = (1 << 48) - 1
+
+
+class GroupLockTable:
+    """Client-side lock manager over one replication group.
+
+    All methods are simulation generators: drive them with
+    ``yield from table.wr_lock(lock_id)`` inside a sim process.
+    """
+
+    def __init__(self, group, layout: RegionLayout, rng,
+                 base_backoff_ns: int = 2_000, max_backoff_ns: int = 200_000):
+        self.group = group
+        self.layout = layout
+        self.sim: Simulator = group.sim
+        self.rng = rng
+        self.base_backoff_ns = base_backoff_ns
+        self.max_backoff_ns = max_backoff_ns
+        # Last value observed per (lock, hop) — seeds rd_lock's expected value.
+        self._observed: Dict[Tuple[int, int], int] = {}
+        self.wr_lock_retries = 0
+        self.rd_lock_retries = 0
+
+    # ------------------------------------------------------------------
+    # Write locks (group based)
+    # ------------------------------------------------------------------
+    def wr_lock(self, lock_id: int):
+        """Acquire the exclusive write lock on every replica."""
+        offset = self.layout.lock_offset(lock_id)
+        attempt = 0
+        while True:
+            result = yield self.group.gcas(offset, 0, WRITER_FLAG)
+            originals = result.cas_results()
+            succeeded = [value == 0 for value in originals]
+            if all(succeeded):
+                return
+            self.wr_lock_retries += 1
+            if any(succeeded):
+                # Undo on the nodes that did take the lock (§4.2's selective
+                # execution exists for exactly this).
+                yield self.group.gcas(offset, WRITER_FLAG, 0,
+                                      execute_map=succeeded)
+            yield self.sim.timeout(self._backoff(attempt))
+            attempt += 1
+
+    def wr_unlock(self, lock_id: int):
+        """Release the write lock everywhere."""
+        offset = self.layout.lock_offset(lock_id)
+        result = yield self.group.gcas(offset, WRITER_FLAG, 0)
+        originals = result.cas_results()
+        if any(value != WRITER_FLAG for value in originals):
+            raise RuntimeError(
+                f"wr_unlock({lock_id}): lock word was {originals}, "
+                "not write-locked")
+
+    # ------------------------------------------------------------------
+    # Read locks (single replica)
+    # ------------------------------------------------------------------
+    def rd_lock(self, lock_id: int, hop: int):
+        """Take a shared read lock on one replica only."""
+        offset = self.layout.lock_offset(lock_id)
+        execute_map = [i == hop for i in range(self.group.group_size)]
+        expected = self._observed.get((lock_id, hop), 0)
+        attempt = 0
+        while True:
+            if expected & WRITER_FLAG:
+                yield self.sim.timeout(self._backoff(attempt))
+                attempt += 1
+                expected = 0
+            result = yield self.group.gcas(offset, expected, expected + 1,
+                                           execute_map=execute_map)
+            original = result.cas_results()[hop]
+            if original == expected:
+                self._observed[(lock_id, hop)] = expected + 1
+                return
+            self.rd_lock_retries += 1
+            expected = original
+
+    def rd_unlock(self, lock_id: int, hop: int):
+        """Drop a shared read lock on one replica."""
+        offset = self.layout.lock_offset(lock_id)
+        execute_map = [i == hop for i in range(self.group.group_size)]
+        expected = self._observed.get((lock_id, hop), 1)
+        while True:
+            if expected & READER_MASK == 0:
+                raise RuntimeError(
+                    f"rd_unlock({lock_id}, hop={hop}): no readers recorded")
+            result = yield self.group.gcas(offset, expected, expected - 1,
+                                           execute_map=execute_map)
+            original = result.cas_results()[hop]
+            if original == expected:
+                self._observed[(lock_id, hop)] = expected - 1
+                return
+            expected = original
+
+    def _backoff(self, attempt: int) -> int:
+        ceiling = min(self.max_backoff_ns,
+                      self.base_backoff_ns * (2 ** min(attempt, 8)))
+        return self.rng.randint(self.base_backoff_ns, max(
+            self.base_backoff_ns + 1, ceiling))

@@ -1,0 +1,181 @@
+"""Two-phase commit across partitions (§2.1 background, Figure 1(b)).
+
+Large-scale storage systems shard data into partitions, each its own
+replication group; a transaction touching several partitions needs the
+classic two-phase commit the paper sketches in Figure 1(b).  This module
+runs that protocol over any number of :class:`ReplicatedStore` partitions
+(each backed by a HyperLoop *or* Naïve-RDMA chain), so a single logical
+transaction is atomic across partitions **and** replicated within each:
+
+Phase 1 (prepare)
+    For every touched partition: acquire the group write lock, then
+    durably replicate a PREPARE record carrying the partition's redo
+    entries (one HyperLoop ``Append``).  A partition votes *no* by failing
+    the append (e.g. its WAL is full and cannot truncate).
+
+Decision
+    The coordinator durably records the outcome in its own decision log
+    (client-side NVM — the coordinator's vote of record for recovery).
+
+Phase 2 (commit/abort)
+    Every prepared partition gets a COMMIT or ABORT marker record and the
+    decision is registered with its store, which lets
+    ``ExecuteAndAdvance`` either apply or skip the prepared entries; locks
+    are released last.
+
+In-doubt safety: a PREPARE with no registered decision pins the WAL head
+(see :meth:`ReplicatedStore.execute_and_advance`), so a crash between the
+phases can never surface half a transaction.
+"""
+
+from __future__ import annotations
+
+import itertools
+import struct
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Sequence
+
+from .wal import LogEntry, RecordKind, WalFullError
+
+if TYPE_CHECKING:  # Break the storage <-> core import cycle.
+    from ..core.client import ReplicatedStore
+
+__all__ = ["PartitionWrite", "TxnOutcome", "TwoPhaseCoordinator"]
+
+_DECISION = struct.Struct("<QB")
+
+
+@dataclass(frozen=True)
+class PartitionWrite:
+    """One partition's share of a distributed transaction."""
+
+    partition: str
+    entries: Sequence[LogEntry]
+    lock_id: int = 0
+
+
+@dataclass
+class TxnOutcome:
+    """Result of one distributed transaction."""
+
+    txn_id: int
+    committed: bool
+    prepared_partitions: List[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.committed
+
+
+class TwoPhaseCoordinator:
+    """Coordinates atomic transactions across replicated partitions."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, partitions: Dict[str, "ReplicatedStore"],
+                 decision_log_size: int = 1 << 16):
+        if not partitions:
+            raise ValueError("need at least one partition")
+        self.partitions = dict(partitions)
+        stores = list(self.partitions.values())
+        self.sim = stores[0].sim
+        # The coordinator's durable decision log lives in the client
+        # host's own NVM (it is the transaction's vote of record).
+        client_host = stores[0].group.client_host
+        self._decision_log = client_host.memory.allocate(
+            decision_log_size, f"2pc.decisions.{next(TwoPhaseCoordinator._ids)}")
+        self._decision_memory = client_host.memory
+        self._decision_cursor = 0
+        self._next_txn = 1
+        self.committed = 0
+        self.aborted = 0
+
+    # ------------------------------------------------------------------
+    # Decision log
+    # ------------------------------------------------------------------
+    def _record_decision(self, txn_id: int, decision: RecordKind) -> None:
+        offset = self._decision_log.address + self._decision_cursor
+        if self._decision_cursor + _DECISION.size > self._decision_log.size:
+            self._decision_cursor = 0  # Wrap: old decisions are resolved.
+            offset = self._decision_log.address
+        self._decision_memory.write(offset,
+                                    _DECISION.pack(txn_id, int(decision)))
+        self._decision_memory.persist(offset, _DECISION.size)
+        self._decision_cursor += _DECISION.size
+
+    def read_decision_log(self) -> List[tuple]:
+        """All durably recorded (txn_id, decision) pairs (recovery aid)."""
+        out = []
+        for cursor in range(0, self._decision_cursor, _DECISION.size):
+            txn_id, decision = _DECISION.unpack(self._decision_memory.read(
+                self._decision_log.address + cursor, _DECISION.size))
+            out.append((txn_id, RecordKind(decision)))
+        return out
+
+    # ------------------------------------------------------------------
+    # The protocol
+    # ------------------------------------------------------------------
+    def transact(self, writes: Sequence[PartitionWrite],
+                 force_abort: bool = False):
+        """Run one distributed transaction; generator → :class:`TxnOutcome`.
+
+        ``force_abort`` simulates a coordinator-side abort after the
+        prepare phase (used by tests to exercise the abort path).
+        """
+        if not writes:
+            raise ValueError("transaction touches no partitions")
+        names = [write.partition for write in writes]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate partition in one transaction")
+        for name in names:
+            if name not in self.partitions:
+                raise KeyError(f"unknown partition {name!r}")
+        txn_id = self._next_txn
+        self._next_txn += 1
+        outcome = TxnOutcome(txn_id=txn_id, committed=False)
+        # Lock in deterministic order to avoid deadlocks between
+        # concurrent coordinators.
+        ordered = sorted(writes, key=lambda write: write.partition)
+        locked: List[PartitionWrite] = []
+        try:
+            for write in ordered:
+                store = self.partitions[write.partition]
+                yield from store.wr_lock(write.lock_id)
+                locked.append(write)
+            # Phase 1: replicate PREPARE records durably.
+            decision = RecordKind.COMMIT
+            for write in ordered:
+                store = self.partitions[write.partition]
+                try:
+                    yield from store.append(list(write.entries),
+                                            kind=RecordKind.PREPARE,
+                                            txn_id=txn_id)
+                    outcome.prepared_partitions.append(write.partition)
+                except WalFullError:
+                    decision = RecordKind.ABORT  # A partition voted no.
+                    break
+            if force_abort:
+                decision = RecordKind.ABORT
+            # Decision point: durable on the coordinator.
+            self._record_decision(txn_id, decision)
+            # Phase 2: replicate the decision and resolve each partition.
+            for write in ordered:
+                if write.partition not in outcome.prepared_partitions \
+                        and decision is RecordKind.COMMIT:
+                    continue
+                store = self.partitions[write.partition]
+                try:
+                    yield from store.append([], kind=decision, txn_id=txn_id)
+                except WalFullError:
+                    pass  # The registered decision still resolves it.
+                store.register_decision(txn_id, decision)
+                yield from store.drain()
+            outcome.committed = decision is RecordKind.COMMIT
+        finally:
+            for write in reversed(locked):
+                store = self.partitions[write.partition]
+                yield from store.wr_unlock(write.lock_id)
+        if outcome.committed:
+            self.committed += 1
+        else:
+            self.aborted += 1
+        return outcome

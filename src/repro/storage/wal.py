@@ -1,0 +1,275 @@
+"""Write-ahead log: record format and ring arithmetic.
+
+Each log record is a redo record structured exactly as §5 describes: "a list
+of modifications to the database … each entry in the list contains a 3-tuple
+of (data, len, offset) representing that data of length len is to be copied
+at offset in the database."
+
+Binary format::
+
+    header   (40 B): magic u32 | seq u64 | kind u8 | pad u8 | n_entries u16
+                     | payload_len u32 | txn_id u64 | crc u32 | pad u32
+    entries  (16 B each): db_offset u64 | len u32 | pad u32
+    payloads (payload_len B): entry payloads, concatenated
+
+``kind`` distinguishes plain redo records from two-phase-commit markers
+(PREPARE / COMMIT / ABORT — see :mod:`repro.storage.twophase`); ``txn_id``
+ties a prepare record to its decision marker.
+
+The CRC covers everything after the crc field itself, so torn or
+partially-replicated records are detected during recovery ("the entire chain
+flushes the log of all valid entries, rejects invalid entries", §5.2).
+
+:class:`WalRing` does the ring-buffer arithmetic over a fixed WAL area: the
+first 16 bytes hold the head and tail pointers (ring-relative offsets of the
+oldest unprocessed record and the append position); records never wrap —
+when a record does not fit before the end of the ring the tail skips to the
+start, marked by a WRAP sentinel so scanners can follow.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Callable, List, Tuple
+
+__all__ = ["LogEntry", "LogRecord", "RecordKind", "WalRing", "RECORD_MAGIC",
+           "WRAP_MAGIC", "HEADER_SIZE", "ENTRY_DESC_SIZE", "WalFullError"]
+
+RECORD_MAGIC = 0x57414C52   # "WALR"
+WRAP_MAGIC = 0x57524150     # "WRAP"
+_HEADER = struct.Struct("<IQBxHIQIxxxx")
+_ENTRY = struct.Struct("<QII")
+HEADER_SIZE = _HEADER.size          # 40
+ENTRY_DESC_SIZE = _ENTRY.size       # 16
+POINTER_AREA = 24   # head u64 | tail u64 | last_seq u64 at ring start.
+
+
+class RecordKind(IntEnum):
+    """Record roles; markers drive the two-phase-commit protocol."""
+
+    DATA = 0      # Plain redo record: apply immediately on execute.
+    PREPARE = 1   # 2PC phase 1: apply only once the decision is COMMIT.
+    COMMIT = 2    # 2PC decision marker (no entries).
+    ABORT = 3     # 2PC decision marker (no entries).
+
+
+class WalFullError(Exception):
+    """The ring has no room: the head must advance (log truncation) first."""
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One (data, len, offset) modification."""
+
+    db_offset: int
+    data: bytes
+
+    @property
+    def length(self) -> int:
+        return len(self.data)
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """A redo record: sequence number, kind/txn tags, and modifications."""
+
+    seq: int
+    entries: Tuple[LogEntry, ...]
+    kind: RecordKind = RecordKind.DATA
+    txn_id: int = 0
+
+    @property
+    def payload_len(self) -> int:
+        return sum(entry.length for entry in self.entries)
+
+    @property
+    def encoded_size(self) -> int:
+        return (HEADER_SIZE + ENTRY_DESC_SIZE * len(self.entries)
+                + self.payload_len)
+
+    def _crcable(self, body: bytes) -> bytes:
+        return struct.pack("<QBxHIQ", self.seq, int(self.kind),
+                           len(self.entries), self.payload_len,
+                           self.txn_id) + body
+
+    def encode(self) -> bytes:
+        body_parts: List[bytes] = []
+        for entry in self.entries:
+            body_parts.append(_ENTRY.pack(entry.db_offset, entry.length, 0))
+        for entry in self.entries:
+            body_parts.append(entry.data)
+        body = b"".join(body_parts)
+        crc = zlib.crc32(self._crcable(body)) & 0xFFFFFFFF
+        header = _HEADER.pack(RECORD_MAGIC, self.seq, int(self.kind),
+                              len(self.entries), self.payload_len,
+                              self.txn_id, crc)
+        return header + body
+
+    @staticmethod
+    def decode(data: bytes) -> "LogRecord":
+        """Parse and CRC-check one record; raises ValueError if invalid."""
+        if len(data) < HEADER_SIZE:
+            raise ValueError("record truncated: no header")
+        magic, seq, kind_raw, n_entries, payload_len, txn_id, crc = \
+            _HEADER.unpack_from(data, 0)
+        if magic != RECORD_MAGIC:
+            raise ValueError(f"bad record magic {magic:#x}")
+        total = HEADER_SIZE + ENTRY_DESC_SIZE * n_entries + payload_len
+        if len(data) < total:
+            raise ValueError("record truncated: body incomplete")
+        body = data[HEADER_SIZE:total]
+        crcable = struct.pack("<QBxHIQ", seq, kind_raw, n_entries,
+                              payload_len, txn_id) + body
+        if zlib.crc32(crcable) & 0xFFFFFFFF != crc:
+            raise ValueError(f"CRC mismatch for record seq={seq}")
+        entries: List[LogEntry] = []
+        cursor = ENTRY_DESC_SIZE * n_entries
+        for i in range(n_entries):
+            db_offset, length, _pad = _ENTRY.unpack_from(
+                body, i * ENTRY_DESC_SIZE)
+            entries.append(LogEntry(db_offset,
+                                    bytes(body[cursor:cursor + length])))
+            cursor += length
+        return LogRecord(seq=seq, entries=tuple(entries),
+                         kind=RecordKind(kind_raw), txn_id=txn_id)
+
+    @staticmethod
+    def peek_size(header: bytes) -> int:
+        """Total encoded size given the first HEADER_SIZE bytes."""
+        magic, _seq, _kind, n_entries, payload_len, _txn, _crc = \
+            _HEADER.unpack_from(header, 0)
+        if magic != RECORD_MAGIC:
+            raise ValueError(f"bad record magic {magic:#x}")
+        return HEADER_SIZE + ENTRY_DESC_SIZE * n_entries + payload_len
+
+
+class WalRing:
+    """Ring-buffer placement of records inside the WAL area.
+
+    Operates through ``read``/``write`` callables that take *region offsets*
+    (so the same class runs against the client's local copy of the region,
+    with replication handled by the caller via gWRITE/gMEMCPY).
+    """
+
+    def __init__(self, wal_offset: int, wal_size: int,
+                 read: Callable[[int, int], bytes],
+                 write: Callable[[int, bytes], None]):
+        if wal_size <= POINTER_AREA + HEADER_SIZE:
+            raise ValueError("WAL area too small")
+        self.wal_offset = wal_offset
+        self.ring_offset = wal_offset + POINTER_AREA
+        self.ring_size = wal_size - POINTER_AREA
+        self._read = read
+        self._write = write
+
+    # ------------------------------------------------------------------
+    # Pointers (stored in the region so they replicate and survive crashes)
+    # ------------------------------------------------------------------
+    @property
+    def head(self) -> int:
+        return int.from_bytes(self._read(self.wal_offset, 8), "little")
+
+    @property
+    def tail(self) -> int:
+        return int.from_bytes(self._read(self.wal_offset + 8, 8), "little")
+
+    def write_head(self, value: int) -> None:
+        self._write(self.wal_offset, value.to_bytes(8, "little"))
+
+    def write_tail(self, value: int) -> None:
+        self._write(self.wal_offset + 8, value.to_bytes(8, "little"))
+
+    @property
+    def head_pointer_offset(self) -> int:
+        return self.wal_offset
+
+    @property
+    def tail_pointer_offset(self) -> int:
+        return self.wal_offset + 8
+
+    @property
+    def last_seq(self) -> int:
+        """Highest sequence number ever appended (survives truncation)."""
+        return int.from_bytes(self._read(self.wal_offset + 16, 8), "little")
+
+    def write_last_seq(self, value: int) -> None:
+        self._write(self.wal_offset + 16, value.to_bytes(8, "little"))
+
+    def used(self) -> int:
+        """Bytes between head and tail in ring order (incl. wrap gaps)."""
+        return (self.tail - self.head) % self.ring_size
+
+    def free(self) -> int:
+        """Appendable bytes.  One byte of slack keeps full ≠ empty."""
+        return self.ring_size - self.used() - 1
+
+    # ------------------------------------------------------------------
+    # Append-side placement
+    # ------------------------------------------------------------------
+    def place(self, record_size: int) -> Tuple[int, int, bool]:
+        """Where the next ``record_size``-byte record goes.
+
+        Returns ``(region_offset, new_tail, wrapped)`` with ``new_tail``
+        already normalized into ``[0, ring_size)``.  Raises
+        :class:`WalFullError` if the ring cannot hold the record until the
+        head advances (log truncation).
+        """
+        head, tail = self.head, self.tail
+        wrapped = tail + record_size > self.ring_size
+        candidate = 0 if wrapped else tail
+        # Wrapping also consumes the skipped gap at the end of the ring.
+        consumed = record_size + (self.ring_size - tail if wrapped else 0)
+        if consumed > self.free():
+            raise WalFullError(
+                f"record of {record_size}B does not fit "
+                f"({self.free()}B free, wrap={wrapped})")
+        new_tail = (candidate + record_size) % self.ring_size
+        return self.ring_offset + candidate, new_tail, wrapped
+
+    def write_wrap_marker(self, at_tail: int) -> None:
+        """Mark the tail position as a wrap point, if there is room."""
+        if at_tail + 4 <= self.ring_size:
+            self._write(self.ring_offset + at_tail,
+                        WRAP_MAGIC.to_bytes(4, "little"))
+
+    # ------------------------------------------------------------------
+    # Scan-side
+    # ------------------------------------------------------------------
+    def record_at(self, ring_pos: int) -> Tuple[LogRecord, int, int]:
+        """Decode the record at ring position ``ring_pos``.
+
+        Follows a wrap marker if present.  Returns
+        ``(record, region_offset, next_ring_pos)``.
+        """
+        pos = ring_pos
+        if pos + 4 <= self.ring_size:
+            magic = int.from_bytes(self._read(self.ring_offset + pos, 4),
+                                   "little")
+            if magic == WRAP_MAGIC:
+                pos = 0
+        elif pos + HEADER_SIZE > self.ring_size:
+            pos = 0
+        header = self._read(self.ring_offset + pos, HEADER_SIZE)
+        size = LogRecord.peek_size(header)
+        raw = self._read(self.ring_offset + pos, size)
+        return (LogRecord.decode(raw), self.ring_offset + pos,
+                (pos + size) % self.ring_size)
+
+    def scan(self) -> List[Tuple[LogRecord, int]]:
+        """All valid records from head to tail, with their region offsets.
+
+        Stops at the first invalid record (recovery semantics: a torn tail
+        record is rejected, everything before it is kept).
+        """
+        records = []
+        pos, tail = self.head, self.tail
+        while pos != tail:
+            try:
+                record, region_offset, pos = self.record_at(pos)
+            except ValueError:
+                break
+            records.append((record, region_offset))
+        return records

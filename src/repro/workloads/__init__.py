@@ -1,0 +1,26 @@
+"""Workload generation: YCSB mixes and closed-loop runners."""
+
+from .ycsb import (
+    WORKLOAD_MIXES,
+    OpType,
+    WorkloadMix,
+    YCSBConfig,
+    YCSBOperation,
+    YCSBWorkload,
+    make_value,
+)
+from .runner import MongoAdapter, RocksAdapter, RunStats, YCSBRunner
+
+__all__ = [
+    "WORKLOAD_MIXES",
+    "OpType",
+    "WorkloadMix",
+    "YCSBConfig",
+    "YCSBOperation",
+    "YCSBWorkload",
+    "make_value",
+    "MongoAdapter",
+    "RocksAdapter",
+    "RunStats",
+    "YCSBRunner",
+]

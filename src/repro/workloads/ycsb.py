@@ -1,0 +1,167 @@
+"""YCSB core workloads (Table 3 of the paper).
+
+The paper evaluates with the Yahoo Cloud Serving Benchmark's standard
+mixes::
+
+    Workload   Read  Update  Insert  Modify(RMW)  Scan
+    A           50     50      -        -           -
+    B           95      5      -        -           -
+    D           95      -      5        -           -
+    E            -      -      5        -          95
+    F           50      -      -       50           -
+
+(C — 100% read — is included for completeness.)  Request distributions
+follow YCSB defaults: scrambled-zipfian for A/B/E/F, "latest" for D, and
+uniform scan lengths for E.  Keys are dense integer ids; inserts grow the
+keyspace, which the latest distribution tracks.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterator, Optional
+
+from ..sim.rng import LatestGenerator, ScrambledZipfianGenerator
+
+__all__ = ["OpType", "WorkloadMix", "WORKLOAD_MIXES", "YCSBConfig",
+           "YCSBOperation", "YCSBWorkload", "make_value"]
+
+
+class OpType(Enum):
+    READ = "read"
+    UPDATE = "update"
+    INSERT = "insert"
+    MODIFY = "modify"   # read-modify-write
+    SCAN = "scan"
+
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    """Operation proportions, in percent (they must sum to 100)."""
+
+    read: int = 0
+    update: int = 0
+    insert: int = 0
+    modify: int = 0
+    scan: int = 0
+
+    def __post_init__(self):
+        total = self.read + self.update + self.insert + self.modify + self.scan
+        if total != 100:
+            raise ValueError(f"mix sums to {total}, not 100")
+
+    def pick(self, rng: random.Random) -> OpType:
+        roll = rng.random() * 100
+        if roll < self.read:
+            return OpType.READ
+        roll -= self.read
+        if roll < self.update:
+            return OpType.UPDATE
+        roll -= self.update
+        if roll < self.insert:
+            return OpType.INSERT
+        roll -= self.insert
+        if roll < self.modify:
+            return OpType.MODIFY
+        return OpType.SCAN
+
+
+#: Table 3, verbatim.
+WORKLOAD_MIXES: Dict[str, WorkloadMix] = {
+    "A": WorkloadMix(read=50, update=50),
+    "B": WorkloadMix(read=95, update=5),
+    "C": WorkloadMix(read=100),
+    "D": WorkloadMix(read=95, insert=5),
+    "E": WorkloadMix(insert=5, scan=95),
+    "F": WorkloadMix(read=50, modify=50),
+}
+
+
+@dataclass
+class YCSBConfig:
+    """Workload shape: §6.2 uses 32-byte keys and 1024-byte values."""
+
+    workload: str = "A"
+    record_count: int = 1000
+    field_length: int = 1024
+    max_scan_length: int = 100
+    zipfian_theta: float = 0.99
+    seed: int = 42
+
+
+@dataclass(frozen=True)
+class YCSBOperation:
+    """One generated operation."""
+
+    op: OpType
+    key: int
+    value_size: int = 0
+    scan_length: int = 0
+
+
+def make_value(key: int, size: int) -> bytes:
+    """Deterministic pseudo-payload for a key (cheap, reproducible)."""
+    seedling = (f"k{key}:".encode() * (size // 4 + 1))[:size]
+    return seedling
+
+
+class YCSBWorkload:
+    """Generates :class:`YCSBOperation` streams for one workload letter."""
+
+    def __init__(self, config: Optional[YCSBConfig] = None):
+        self.config = config or YCSBConfig()
+        letter = self.config.workload.upper()
+        if letter not in WORKLOAD_MIXES:
+            raise ValueError(f"unknown YCSB workload {letter!r}")
+        self.letter = letter
+        self.mix = WORKLOAD_MIXES[letter]
+        self.rng = random.Random(self.config.seed)
+        self.record_count = self.config.record_count
+        self._inserted = self.config.record_count
+        if letter == "D":
+            self._chooser = LatestGenerator(self.record_count,
+                                            self.config.zipfian_theta,
+                                            self.rng)
+        else:
+            self._chooser = ScrambledZipfianGenerator(
+                self.record_count, self.config.zipfian_theta, self.rng)
+
+    # ------------------------------------------------------------------
+    def load_keys(self) -> range:
+        """Keys to pre-load before the run (YCSB's load phase)."""
+        return range(self.config.record_count)
+
+    def next_key(self) -> int:
+        key = self._chooser.next()
+        # The scrambled generator can emit ids ≥ current keyspace; clamp the
+        # way YCSB does (retry is equivalent for our purposes).
+        return key % self._inserted
+
+    def next_insert_key(self) -> int:
+        key = self._inserted
+        self._inserted += 1
+        if isinstance(self._chooser, LatestGenerator):
+            self._chooser.observe_insert()
+        else:
+            self._chooser.items = self._inserted
+        return key
+
+    def operations(self, count: int) -> Iterator[YCSBOperation]:
+        """Generate ``count`` operations."""
+        for _ in range(count):
+            op = self.mix.pick(self.rng)
+            if op is OpType.INSERT:
+                yield YCSBOperation(op, self.next_insert_key(),
+                                    value_size=self.config.field_length)
+            elif op is OpType.SCAN:
+                yield YCSBOperation(
+                    op, self.next_key(),
+                    scan_length=self.rng.randint(1,
+                                                 self.config.max_scan_length))
+            elif op in (OpType.UPDATE, OpType.MODIFY):
+                yield YCSBOperation(op, self.next_key(),
+                                    value_size=self.config.field_length)
+            else:
+                yield YCSBOperation(op, self.next_key())

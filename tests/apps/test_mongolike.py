@@ -1,0 +1,233 @@
+"""Tests for the MongoDB-like document store."""
+
+import pytest
+
+from repro.apps.mongolike import MongoConfig, MongoLikeDB
+from repro.baseline.naive import NaiveConfig, NaiveGroup
+from repro.core.client import StoreConfig, initialize
+from repro.core.group import GroupConfig, HyperLoopGroup
+from repro.sim.units import ms
+
+
+def make_db(cluster, group_kind="hyperloop"):
+    client = cluster.add_host(f"mg-client-{group_kind}")
+    replicas = cluster.add_hosts(3, prefix=f"mg-replica-{group_kind}")
+    if group_kind == "hyperloop":
+        group = HyperLoopGroup(client, replicas,
+                               GroupConfig(slots=32, region_size=8 << 20))
+    else:
+        group = NaiveGroup(client, replicas,
+                           NaiveConfig(slots=32, region_size=8 << 20))
+    store = initialize(group, StoreConfig(wal_size=1 << 20))
+    return MongoLikeDB(store, MongoConfig())
+
+
+def run(cluster, generator, deadline_ms=60_000):
+    process = cluster.sim.process(generator)
+    deadline = cluster.sim.now + ms(deadline_ms)
+    while not process.triggered and cluster.sim.peek() is not None \
+            and cluster.sim.peek() <= deadline:
+        cluster.sim.step()
+    assert process.triggered, "mongo workload did not finish"
+    if not process.ok:
+        raise process.value
+    return process.value
+
+
+class TestWrites:
+    def test_insert_and_find(self, cluster):
+        db = make_db(cluster)
+        session = db.session()
+
+        def proc():
+            yield from session.insert(1, b"document-one")
+            found = yield from session.find(1)
+            return found
+
+        assert run(cluster, proc()) == b"document-one"
+        assert db.inserts == 1
+        assert db.document_count == 1
+
+    def test_update_in_place(self, cluster):
+        db = make_db(cluster)
+        session = db.session()
+
+        def proc():
+            yield from session.insert(1, b"original-doc")
+            yield from session.update(1, b"updated-docx")
+            return (yield from session.find(1))
+
+        assert run(cluster, proc()) == b"updated-docx"
+        assert db.updates == 1
+
+    def test_update_missing_rejected(self, cluster):
+        db = make_db(cluster)
+        session = db.session()
+
+        def proc():
+            with pytest.raises(KeyError):
+                yield from session.update(99, b"nope")
+
+        run(cluster, proc())
+
+    def test_write_reaches_all_replicas(self, cluster):
+        db = make_db(cluster)
+        session = db.session()
+
+        def proc():
+            yield from session.insert(5, b"replicated-doc")
+            found = []
+            for hop in range(3):
+                found.append((yield from session.find(5, hop=hop)))
+            return found
+
+        assert run(cluster, proc()) == [b"replicated-doc"] * 3
+
+    def test_journal_lock_released(self, cluster):
+        db = make_db(cluster)
+        session = db.session()
+
+        def proc():
+            yield from session.insert(1, b"doc")
+
+        run(cluster, proc())
+        store = db.store
+        offset = store.layout.lock_offset(db.config.journal_lock_id)
+        for hop in range(3):
+            assert store.group.read_replica(hop, offset, 8) == bytes(8)
+
+    def test_read_modify_write(self, cluster):
+        db = make_db(cluster)
+        session = db.session()
+
+        def proc():
+            yield from session.insert(2, b"before-rmw!")
+            yield from session.read_modify_write(2, b"after-rmw!!")
+            return (yield from session.find(2))
+
+        assert run(cluster, proc()) == b"after-rmw!!"
+
+    def test_document_too_large(self, cluster):
+        db = make_db(cluster)
+        session = db.session()
+
+        def proc():
+            with pytest.raises(ValueError):
+                yield from session.insert(1, b"x" * (1 << 20))
+
+        run(cluster, proc())
+
+
+class TestReads:
+    def test_missing_document_returns_none(self, cluster):
+        db = make_db(cluster)
+        session = db.session()
+
+        def proc():
+            return (yield from session.find(404))
+
+        assert run(cluster, proc()) is None
+
+    def test_replica_read_takes_read_lock(self, cluster):
+        """Reads from a replica must leave the lock word clean afterwards."""
+        db = make_db(cluster)
+        session = db.session()
+
+        def proc():
+            yield from session.insert(7, b"locked-read")
+            yield from session.find(7, hop=2)
+
+        run(cluster, proc())
+        store = db.store
+        lock_id = 1 + 7 % (store.layout.num_locks - 1)
+        offset = store.layout.lock_offset(lock_id)
+        assert store.group.read_replica(2, offset, 8) == bytes(8)
+
+    def test_scan_in_id_order(self, cluster):
+        db = make_db(cluster)
+        session = db.session()
+
+        def proc():
+            for doc_id in (5, 1, 9, 3, 7):
+                yield from session.insert(doc_id, f"d{doc_id}".encode())
+            docs = yield from session.scan(3, 3)
+            return [doc_id for doc_id, _d in docs]
+
+        assert run(cluster, proc()) == [3, 5, 7]
+
+    def test_scan_from_replica(self, cluster):
+        db = make_db(cluster)
+        session = db.session()
+
+        def proc():
+            for doc_id in range(4):
+                yield from session.insert(doc_id, f"doc{doc_id}".encode())
+            docs = yield from session.scan(0, 10, hop=1)
+            return docs
+
+        docs = run(cluster, proc())
+        assert [d for _i, d in docs] == [b"doc0", b"doc1", b"doc2", b"doc3"]
+
+
+class TestSessions:
+    def test_concurrent_sessions(self, cluster):
+        db = make_db(cluster)
+        session_a, session_b = db.session(), db.session()
+
+        def writer(session, base):
+            for i in range(5):
+                yield from session.insert(base + i, b"w" * 32)
+
+        process_a = cluster.sim.process(writer(session_a, 0))
+        process_b = cluster.sim.process(writer(session_b, 100))
+        done = cluster.sim.all_of([process_a, process_b])
+        deadline = cluster.sim.now + ms(60_000)
+        while not done.triggered and cluster.sim.peek() is not None \
+                and cluster.sim.peek() <= deadline:
+            cluster.sim.step()
+        assert done.triggered
+        assert db.document_count == 10
+
+    def test_sessions_have_distinct_threads(self, cluster):
+        db = make_db(cluster)
+        assert db.session().thread is not db.session().thread
+
+
+class TestOverNaive:
+    def test_same_behaviour_over_naive(self, cluster):
+        db = make_db(cluster, group_kind="naive")
+        session = db.session()
+
+        def proc():
+            yield from session.insert(1, b"native-doc")
+            yield from session.update(1, b"native-upd")
+            local = yield from session.find(1)
+            remote = yield from session.find(1, hop=1)
+            return local, remote
+
+        assert run(cluster, proc()) == (b"native-upd", b"native-upd")
+
+
+class TestLockModes:
+    def test_global_journal_lock_mode(self, cluster):
+        """lock_per_document=False serializes writes on one lock."""
+        db = make_db(cluster)
+        db.config.lock_per_document = False
+        session = db.session()
+
+        def proc():
+            yield from session.insert(1, b"serialized")
+            yield from session.update(1, b"still-works")
+            return (yield from session.find(1))
+
+        assert run(cluster, proc()) == b"still-works"
+        offset = db.store.layout.lock_offset(db.config.journal_lock_id)
+        for hop in range(3):
+            assert db.store.group.read_replica(hop, offset, 8) == bytes(8)
+
+    def test_per_document_locks_are_distinct(self, cluster):
+        db = make_db(cluster)
+        locks = db.store.layout.num_locks
+        lock_a = 1 + 10 % (locks - 1)
+        lock_b = 1 + 11 % (locks - 1)
+        assert lock_a != lock_b

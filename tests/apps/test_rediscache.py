@@ -1,0 +1,222 @@
+"""Tests for the replicated cache (§7 weaker-consistency case study)."""
+
+import pytest
+
+from repro.apps.rediscache import CacheConfig, ReplicatedCache
+from repro.core.group import GroupConfig, HyperLoopGroup
+from repro.sim.units import ms, seconds
+
+
+def make_cache(cluster, **cfg):
+    client = cluster.add_host("rc-client")
+    replicas = cluster.add_hosts(3, prefix="rc-replica")
+    group = HyperLoopGroup(client, replicas,
+                           GroupConfig(slots=32, region_size=4 << 20))
+    config = CacheConfig(**cfg) if cfg else CacheConfig()
+    return ReplicatedCache(group, config), group, replicas
+
+
+def run(cluster, generator, deadline_ms=5000):
+    process = cluster.sim.process(generator)
+    deadline = cluster.sim.now + ms(deadline_ms)
+    while not process.triggered and cluster.sim.peek() is not None \
+            and cluster.sim.peek() <= deadline:
+        cluster.sim.step()
+    assert process.triggered, "cache workload did not finish"
+    if not process.ok:
+        raise process.value
+    return process.value
+
+
+class TestSetGet:
+    def test_set_then_get(self, cluster):
+        cache, _group, _replicas = make_cache(cluster)
+
+        def proc():
+            yield from cache.set(b"session:1", b"token-abc")
+            return cache.get(b"session:1")
+
+        assert run(cluster, proc()) == b"token-abc"
+        assert cache.hits == 1
+
+    def test_miss(self, cluster):
+        cache, _group, _replicas = make_cache(cluster)
+        assert cache.get(b"absent") is None
+        assert cache.misses == 1
+
+    def test_overwrite(self, cluster):
+        cache, _group, _replicas = make_cache(cluster)
+
+        def proc():
+            yield from cache.set(b"k", b"v1")
+            yield from cache.set(b"k", b"v2")
+            return cache.get(b"k")
+
+        assert run(cluster, proc()) == b"v2"
+
+    def test_replica_reads(self, cluster):
+        cache, _group, _replicas = make_cache(cluster)
+
+        def proc():
+            yield from cache.set(b"hot", b"everywhere")
+            values = []
+            for hop in range(3):
+                values.append((yield from cache.get_from_replica(hop,
+                                                                 b"hot")))
+            return values
+
+        assert run(cluster, proc()) == [b"everywhere"] * 3
+
+    def test_delete(self, cluster):
+        cache, _group, _replicas = make_cache(cluster)
+
+        def proc():
+            yield from cache.set(b"gone", b"soon")
+            yield from cache.delete(b"gone")
+            local = cache.get(b"gone")
+            return local
+
+        assert run(cluster, proc()) is None
+
+    def test_delete_visible_on_replicas(self, cluster):
+        cache, _group, _replicas = make_cache(cluster)
+
+        def proc():
+            yield from cache.set(b"d", b"v")
+            offset, size = cache._index[b"d"]
+            yield from cache.delete(b"d")
+            # The tombstone header replicated: decode on a replica misses.
+            raw = yield _group_read(cache, 1, offset, size)
+            return cache._decode(b"d", raw)
+
+        def _group_read(cache, hop, offset, size):
+            return cache.group.remote_read(hop, offset, size)
+
+        assert run(cluster, proc()) is None
+
+
+class TestVolatility:
+    def test_cache_contents_do_not_survive_power_failure(self, cluster):
+        """The defining difference from the durable KV store."""
+        cache, group, replicas = make_cache(cluster)
+
+        def proc():
+            yield from cache.set(b"volatile", b"bytes!")
+
+        run(cluster, proc())
+        replicas[1].fail_power()
+        offset, size = cache._index[b"volatile"]
+        raw = group.read_replica(1, offset, size)
+        assert raw == bytes(size)
+
+
+class TestTtl:
+    def test_value_expires(self, cluster):
+        cache, _group, _replicas = make_cache(cluster)
+
+        def proc():
+            yield from cache.set(b"shortlived", b"x", ttl_ns=ms(5))
+            first = cache.get(b"shortlived")
+            yield cluster.sim.timeout(ms(10))
+            second = cache.get(b"shortlived")
+            return first, second
+
+        first, second = run(cluster, proc())
+        assert first == b"x"
+        assert second is None
+        assert cache.expirations == 1
+
+    def test_default_ttl(self, cluster):
+        cache, _group, _replicas = make_cache(cluster,
+                                              default_ttl_ns=ms(2))
+
+        def proc():
+            yield from cache.set(b"k", b"v")
+            yield cluster.sim.timeout(ms(5))
+            return cache.get(b"k")
+
+        assert run(cluster, proc()) is None
+
+    def test_no_ttl_never_expires(self, cluster):
+        cache, _group, _replicas = make_cache(cluster)
+
+        def proc():
+            yield from cache.set(b"forever", b"v")
+            yield cluster.sim.timeout(seconds(2))
+            return cache.get(b"forever")
+
+        assert run(cluster, proc()) == b"v"
+
+    def test_janitor_sweeps(self, cluster):
+        client = cluster.add_host("rcj-client")
+        replicas = cluster.add_hosts(3, prefix="rcj-replica")
+        from repro.core.group import GroupConfig, HyperLoopGroup
+        group = HyperLoopGroup(client, replicas,
+                               GroupConfig(slots=32, region_size=4 << 20))
+        cache = ReplicatedCache(group, CacheConfig(janitor_period_ns=ms(5)),
+                                start_janitor=True)
+
+        def proc():
+            yield from cache.set(b"sweep", b"me", ttl_ns=ms(2))
+            yield cluster.sim.timeout(ms(20))
+            return b"sweep" in cache._index
+
+        assert run(cluster, proc()) is False
+
+
+class TestCounters:
+    def test_incr_from_zero(self, cluster):
+        cache, group, _replicas = make_cache(cluster)
+
+        def proc():
+            value = yield from cache.incr(b"visits")
+            value = yield from cache.incr(b"visits", 10)
+            return value
+
+        assert run(cluster, proc()) == 11
+        assert cache.counter_value(b"visits") == 11
+        # The counter is replicated: every replica agrees.
+        offset = cache._counter_offset(b"visits")
+        for hop in range(3):
+            assert int.from_bytes(group.read_replica(hop, offset, 8),
+                                  "little") == 11
+
+    def test_decr(self, cluster):
+        cache, _group, _replicas = make_cache(cluster)
+
+        def proc():
+            yield from cache.incr(b"stock", 5)
+            value = yield from cache.decr(b"stock", 2)
+            return value
+
+        assert run(cluster, proc()) == 3
+
+    def test_independent_counters(self, cluster):
+        cache, _group, _replicas = make_cache(cluster)
+
+        def proc():
+            yield from cache.incr(b"a")
+            yield from cache.incr(b"b", 7)
+
+        run(cluster, proc())
+        assert cache.counter_value(b"a") == 1
+        assert cache.counter_value(b"b") == 7
+
+    def test_counter_area_exhaustion(self, cluster):
+        cache, _group, _replicas = make_cache(cluster, counter_area=16)
+        cache._counter_offset(b"one")
+        cache._counter_offset(b"two")
+        with pytest.raises(MemoryError):
+            cache._counter_offset(b"three")
+
+
+class TestCapacity:
+    def test_region_exhaustion(self, cluster):
+        cache, group, _replicas = make_cache(cluster)
+        cache._alloc = group.config.region_size - 80
+
+        def proc():
+            with pytest.raises(MemoryError):
+                yield from cache.set(b"big", b"x" * 256)
+
+        run(cluster, proc())

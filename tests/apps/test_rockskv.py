@@ -1,0 +1,160 @@
+"""Tests for the replicated RocksDB-like KV store."""
+
+import pytest
+
+from repro.apps.rockskv import (
+    ReplicatedRocksKV,
+    RocksConfig,
+    decode_kv,
+    encode_kv,
+)
+from repro.core.client import StoreConfig, initialize
+from repro.core.group import GroupConfig, HyperLoopGroup
+from repro.sim.units import ms
+
+
+def make_kv(cluster, start_background=True, **rocks):
+    client = cluster.add_host("kv-client")
+    replicas = cluster.add_hosts(3, prefix="kv-replica")
+    group = HyperLoopGroup(client, replicas,
+                           GroupConfig(slots=32, region_size=8 << 20))
+    store = initialize(group, StoreConfig(wal_size=1 << 20))
+    config = RocksConfig(**rocks) if rocks else RocksConfig()
+    return ReplicatedRocksKV(store, config,
+                             start_background=start_background)
+
+
+def run(cluster, generator, deadline_ms=30_000):
+    process = cluster.sim.process(generator)
+    deadline = cluster.sim.now + ms(deadline_ms)
+    while not process.triggered and cluster.sim.peek() is not None \
+            and cluster.sim.peek() <= deadline:
+        cluster.sim.step()
+    assert process.triggered, "kv workload did not finish"
+    if not process.ok:
+        raise process.value
+    return process.value
+
+
+class TestCodec:
+    def test_roundtrip(self):
+        assert decode_kv(encode_kv(b"key", b"value")) == (b"key", b"value")
+
+    def test_tombstone(self):
+        assert decode_kv(encode_kv(b"key", None)) == (b"key", None)
+
+    def test_empty_value(self):
+        assert decode_kv(encode_kv(b"k", b"")) == (b"k", b"")
+
+    def test_key_too_long(self):
+        with pytest.raises(ValueError):
+            encode_kv(b"x" * 70000, b"v")
+
+
+class TestPutGet:
+    def test_put_then_get(self, cluster):
+        kv = make_kv(cluster)
+
+        def proc():
+            yield from kv.put(b"alpha", b"one")
+            yield from kv.put(b"beta", b"two")
+            return kv.get(b"alpha"), kv.get(b"beta"), kv.get(b"missing")
+
+        assert run(cluster, proc()) == (b"one", b"two", None)
+
+    def test_overwrite_in_place(self, cluster):
+        kv = make_kv(cluster)
+
+        def proc():
+            yield from kv.put(b"key", b"v1")
+            yield from kv.put(b"key", b"v2")
+            return kv.get(b"key")
+
+        assert run(cluster, proc()) == b"v2"
+
+    def test_delete(self, cluster):
+        kv = make_kv(cluster)
+
+        def proc():
+            yield from kv.put(b"gone", b"soon")
+            yield from kv.delete(b"gone")
+            return kv.get(b"gone")
+
+        assert run(cluster, proc()) is None
+
+    def test_put_replicates_log_record(self, cluster):
+        kv = make_kv(cluster, start_background=False)
+
+        def proc():
+            yield from kv.put(b"k", b"v")
+
+        run(cluster, proc())
+        assert kv.store.appended_records == 1
+        # The WAL record reached every replica's NVM.
+        scanned = kv.store.ring.scan()
+        assert len(scanned) == 1
+
+
+class TestReplicaReads:
+    def test_eventually_consistent_replica_view(self, cluster):
+        kv = make_kv(cluster, replica_sync_period_ns=ms(2),
+                     flush_period_ns=ms(500))
+
+        def proc():
+            yield from kv.put(b"ec-key", b"ec-value")
+            # Before the sync period elapses the replica may not see it...
+            yield cluster.sim.timeout(ms(10))
+            # ...after a few periods it must.
+            return [kv.get_from_replica(hop, b"ec-key") for hop in range(3)]
+
+        values = run(cluster, proc())
+        assert values == [b"ec-value"] * 3
+
+    def test_replica_sees_tombstone(self, cluster):
+        kv = make_kv(cluster, replica_sync_period_ns=ms(2),
+                     flush_period_ns=ms(500))
+
+        def proc():
+            yield from kv.put(b"dk", b"dv")
+            yield from kv.delete(b"dk")
+            yield cluster.sim.timeout(ms(10))
+            return kv.get_from_replica(1, b"dk")
+
+        assert run(cluster, proc()) is None
+
+
+class TestBackground:
+    def test_flusher_truncates_wal(self, cluster):
+        kv = make_kv(cluster, flush_period_ns=ms(5))
+
+        def proc():
+            for i in range(10):
+                yield from kv.put(f"k{i}".encode(), b"x" * 64)
+            yield cluster.sim.timeout(ms(30))
+            return kv.store.executed_records
+
+        executed = run(cluster, proc())
+        assert executed == 10
+        assert kv.store.ring.used() == 0
+
+    def test_db_area_exhaustion(self, cluster):
+        kv = make_kv(cluster, start_background=False)
+        kv._alloc = kv.store.layout.db_size - 8  # Nearly full.
+
+        def proc():
+            with pytest.raises(MemoryError):
+                yield from kv.put(b"big", b"v" * 128)
+
+        run(cluster, proc())
+
+    def test_counters(self, cluster):
+        kv = make_kv(cluster)
+
+        def proc():
+            yield from kv.put(b"a", b"1")
+            kv.get(b"a")
+            kv.get(b"a")
+
+        run(cluster, proc())
+        assert kv.puts == 1
+        assert kv.gets == 2

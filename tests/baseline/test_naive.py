@@ -1,0 +1,229 @@
+"""Tests for the Naïve-RDMA baseline: semantics parity with HyperLoop."""
+
+import pytest
+
+from repro.baseline.naive import (
+    HEADER_SIZE,
+    NaiveConfig,
+    NaiveGroup,
+    decode_header,
+    encode_header,
+)
+from repro.core.metadata import OpKind, OpSpec
+from repro.host import Cluster
+from repro.sim.units import ms
+
+
+def make_group(cluster, mode="event", replicas=3, slots=16):
+    client = cluster.add_host(f"nv-client-{mode}")
+    hosts = cluster.add_hosts(replicas, prefix=f"nv-replica-{mode}")
+    group = NaiveGroup(client, hosts,
+                       NaiveConfig(slots=slots, region_size=2 << 20,
+                                   mode=mode))
+    return group, hosts
+
+
+def run(cluster, generator, deadline_ms=5000):
+    process = cluster.sim.process(generator)
+    deadline = cluster.sim.now + ms(deadline_ms)
+    while not process.triggered and cluster.sim.peek() is not None \
+            and cluster.sim.peek() <= deadline:
+        cluster.sim.step()
+    assert process.triggered, "naive workload did not finish"
+    if not process.ok:
+        raise process.value
+    return process.value
+
+
+class TestHeaderCodec:
+    def test_roundtrip(self):
+        op = OpSpec(OpKind.GCAS, offset=640, old_value=3, new_value=9,
+                    durable=True)
+        encoded = encode_header(op, slot=17, hop=1, group_size=3)
+        assert len(encoded) == HEADER_SIZE
+        decoded, slot, hop, exec_map = decode_header(encoded)
+        assert decoded.kind is OpKind.GCAS
+        assert decoded.offset == 640
+        assert decoded.old_value == 3 and decoded.new_value == 9
+        assert decoded.durable
+        assert (slot, hop) == (17, 1)
+        assert exec_map == 0b111  # Default: all replicas execute.
+
+    def test_execute_map_encoding(self):
+        op = OpSpec(OpKind.GCAS, execute_map=[True, False, True])
+        _d, _s, _h, exec_map = decode_header(
+            encode_header(op, slot=0, hop=0, group_size=3))
+        assert exec_map == 0b101
+
+    def test_all_kinds(self):
+        for kind in OpKind:
+            op = OpSpec(kind, offset=8, size=16)
+            decoded, _s, _h, _e = decode_header(
+                encode_header(op, slot=1, hop=2, group_size=3))
+            assert decoded.kind is kind
+
+
+class TestSemanticsParity:
+    """The baseline must produce the same replica state as HyperLoop."""
+
+    def test_gwrite(self, cluster):
+        group, _hosts = make_group(cluster)
+
+        def proc():
+            group.write_local(100, b"naive-write")
+            result = yield group.gwrite(100, 11)
+            return result
+
+        result = run(cluster, proc())
+        assert result.slot == 0
+        for hop in range(3):
+            assert group.read_replica(hop, 100, 11) == b"naive-write"
+
+    def test_gcas_with_results(self, cluster):
+        group, _hosts = make_group(cluster)
+
+        def proc():
+            yield group.gcas(64, 0, 5)
+            result = yield group.gcas(64, 99, 1)
+            return result
+
+        result = run(cluster, proc())
+        assert result.cas_results() == [5, 5, 5]
+        assert int.from_bytes(group.read_replica(2, 64, 8), "little") == 5
+
+    def test_gcas_execute_map(self, cluster):
+        group, _hosts = make_group(cluster)
+
+        def proc():
+            result = yield group.gcas(64, 0, 7,
+                                      execute_map=[False, True, False])
+            return result
+
+        result = run(cluster, proc())
+        values = [int.from_bytes(group.read_replica(h, 64, 8), "little")
+                  for h in range(3)]
+        assert values == [0, 7, 0]
+        assert result.cas_results()[0] == 0
+
+    def test_gmemcpy(self, cluster):
+        group, _hosts = make_group(cluster)
+
+        def proc():
+            group.write_local(0, b"copy-src")
+            yield group.gwrite(0, 8)
+            yield group.gmemcpy(0, 9000, 8)
+
+        run(cluster, proc())
+        for hop in range(3):
+            assert group.read_replica(hop, 9000, 8) == b"copy-src"
+
+    def test_durable_write_survives(self, cluster):
+        group, hosts = make_group(cluster)
+
+        def proc():
+            group.write_local(0, b"safe")
+            yield group.gwrite(0, 4, durable=True)
+
+        run(cluster, proc())
+        hosts[0].fail_power()
+        assert group.read_replica(0, 0, 4) == b"safe"
+
+    def test_gflush(self, cluster):
+        group, hosts = make_group(cluster)
+
+        def proc():
+            group.write_local(0, b"pend")
+            yield group.gwrite(0, 4)
+            yield group.gflush()
+
+        run(cluster, proc())
+        hosts[2].fail_power()
+        assert group.read_replica(2, 0, 4) == b"pend"
+
+
+class TestCpuInvolvement:
+    def test_replica_cpu_burns_in_event_mode(self, cluster):
+        """The defining difference from HyperLoop: replica handler threads
+        consume CPU for every operation."""
+        group, hosts = make_group(cluster, mode="event")
+
+        def proc():
+            group.write_local(0, b"h" * 256)
+            for _ in range(20):
+                yield group.gwrite(0, 256)
+
+        run(cluster, proc())
+        for host in hosts:
+            handler_time = sum(thread.cpu_time_ns
+                               for thread in host.cpu.threads)
+            assert handler_time > 0
+
+    def test_polling_mode_occupies_core(self, cluster):
+        group, hosts = make_group(cluster, mode="polling")
+
+        def proc():
+            group.write_local(0, b"p" * 64)
+            for _ in range(5):
+                yield group.gwrite(0, 64)
+            yield cluster.sim.timeout(ms(20))
+
+        run(cluster, proc())
+        for host in hosts:
+            pollers = [t for t in host.cpu.threads if t.is_busy_loop]
+            assert pollers
+            assert host.cpu.thread_cpu_time_ns(pollers[0]) > ms(15)
+
+
+class TestOrdering:
+    def test_pipelined_ops_complete_in_order(self, cluster):
+        group, _hosts = make_group(cluster, slots=16)
+
+        def proc():
+            group.write_local(0, b"o" * 32)
+            events = [group.gwrite(0, 32) for _ in range(10)]
+            slots = []
+            for event in events:
+                result = yield event
+                slots.append(result.slot)
+            return slots
+
+        assert run(cluster, proc()) == list(range(10))
+
+    def test_abort_in_flight(self, cluster):
+        group, hosts = make_group(cluster)
+
+        def proc():
+            hosts[1].nic.on_power_failure()
+            group.write_local(0, b"lost!")
+            event = group.gwrite(0, 5)
+            yield cluster.sim.timeout(ms(2))
+            group.abort_in_flight(RuntimeError("down"))
+            try:
+                yield event
+            except RuntimeError:
+                return "aborted"
+
+        assert run(cluster, proc()) == "aborted"
+
+
+class TestValidation:
+    def test_out_of_range_rejected(self, cluster):
+        group, _hosts = make_group(cluster)
+        with pytest.raises(ValueError):
+            group.gwrite(group.config.region_size, 8)
+
+    def test_empty_group_rejected(self, cluster):
+        client = cluster.add_host("nv-alone")
+        with pytest.raises(ValueError):
+            NaiveGroup(client, [], NaiveConfig())
+
+    def test_remote_read(self, cluster):
+        group, _hosts = make_group(cluster)
+
+        def proc():
+            group.write_local(0, b"readable")
+            yield group.gwrite(0, 8)
+            data = yield group.remote_read(1, 0, 8)
+            return data
+
+        assert run(cluster, proc()) == b"readable"

@@ -1,0 +1,38 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.host import Cluster, HostParams
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def cluster() -> Cluster:
+    return Cluster(seed=1234)
+
+
+@pytest.fixture
+def small_cluster() -> Cluster:
+    """A 4-core cluster — cheaper for scheduler-heavy tests."""
+    return Cluster(seed=99, host_params=HostParams(cores=4))
+
+
+def drive(sim: Simulator, generator, until=None):
+    """Run a generator process to completion and return its value."""
+    process = sim.process(generator)
+    if until is None:
+        while not process.triggered and sim.peek() is not None:
+            sim.step()
+    else:
+        sim.run(until=until)
+    assert process.triggered, "process did not finish"
+    if not process.ok:
+        raise process.value
+    return process.value

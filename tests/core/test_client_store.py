@@ -1,0 +1,224 @@
+"""Tests for the §5 storage API: Append, ExecuteAndAdvance, transactions."""
+
+import pytest
+
+from repro.core.client import ReplicatedStore, StoreConfig, initialize
+from repro.core.group import GroupConfig, HyperLoopGroup
+from repro.baseline.naive import NaiveConfig, NaiveGroup
+from repro.sim.units import ms
+from repro.storage.wal import LogEntry, WalFullError
+
+
+def make_store(cluster, group_kind="hyperloop", wal_size=128 * 1024,
+               region=4 << 20, slots=16):
+    client = cluster.add_host(f"st-client-{group_kind}")
+    replicas = cluster.add_hosts(3, prefix=f"st-replica-{group_kind}")
+    if group_kind == "hyperloop":
+        group = HyperLoopGroup(client, replicas,
+                               GroupConfig(slots=slots, region_size=region))
+    else:
+        group = NaiveGroup(client, replicas,
+                           NaiveConfig(slots=slots, region_size=region))
+    return initialize(group, StoreConfig(wal_size=wal_size))
+
+
+def run(cluster, generator, deadline_ms=10_000):
+    process = cluster.sim.process(generator)
+    deadline = cluster.sim.now + ms(deadline_ms)
+    while not process.triggered and cluster.sim.peek() is not None \
+            and cluster.sim.peek() <= deadline:
+        cluster.sim.step()
+    assert process.triggered, "store workload did not finish"
+    if not process.ok:
+        raise process.value
+    return process.value
+
+
+class TestAppend:
+    def test_append_replicates_record(self, cluster):
+        store = make_store(cluster)
+
+        def proc():
+            record = yield from store.append([LogEntry(0, b"hello-wal")])
+            return record
+
+        record = run(cluster, proc())
+        assert record.seq == 1
+        # The record bytes landed in every replica's WAL area, durably.
+        scanned = store.ring.scan()
+        assert len(scanned) == 1
+        _rec, region_offset = scanned[0]
+        encoded = store.group.read_local(region_offset, record.encoded_size)
+        for hop in range(3):
+            assert store.group.read_replica(hop, region_offset,
+                                            record.encoded_size) == encoded
+
+    def test_tail_pointer_replicated(self, cluster):
+        store = make_store(cluster)
+
+        def proc():
+            yield from store.append([LogEntry(0, b"abc")])
+
+        run(cluster, proc())
+        tail_offset = store.ring.tail_pointer_offset
+        local = store.group.read_local(tail_offset, 8)
+        assert local != bytes(8)
+        for hop in range(3):
+            assert store.group.read_replica(hop, tail_offset, 8) == local
+
+    def test_sequence_numbers_increment(self, cluster):
+        store = make_store(cluster)
+
+        def proc():
+            sequences = []
+            for i in range(5):
+                record = yield from store.append([LogEntry(i * 8, b"x")])
+                sequences.append(record.seq)
+            return sequences
+
+        assert run(cluster, proc()) == [1, 2, 3, 4, 5]
+
+    def test_wal_full_raises(self, cluster):
+        store = make_store(cluster, wal_size=2048)
+
+        def proc():
+            with pytest.raises(WalFullError):
+                for _ in range(100):
+                    yield from store.append([LogEntry(0, b"q" * 128)])
+
+        run(cluster, proc())
+
+
+class TestExecuteAndAdvance:
+    def test_moves_data_to_db_everywhere(self, cluster):
+        store = make_store(cluster)
+
+        def proc():
+            yield from store.append([LogEntry(64, b"committed")])
+            record = yield from store.execute_and_advance()
+            return record
+
+        record = run(cluster, proc())
+        assert record.seq == 1
+        assert store.db_read_local(64, 9) == b"committed"
+        for hop in range(3):
+            raw = run(cluster, read_one(store, hop, 64, 9))
+            assert raw == b"committed"
+
+    def test_empty_log_returns_none(self, cluster):
+        store = make_store(cluster)
+
+        def proc():
+            result = yield from store.execute_and_advance()
+            return result
+
+        assert run(cluster, proc()) is None
+
+    def test_truncation_frees_space(self, cluster):
+        store = make_store(cluster, wal_size=4096)
+
+        def proc():
+            for _ in range(100):  # Far more data than the ring holds.
+                yield from store.append_blocking_truncate(
+                    [LogEntry(0, b"w" * 100)])
+            return store.executed_records
+
+        executed = run(cluster, proc())
+        assert executed > 0
+        assert store.appended_records == 100
+
+    def test_multi_entry_record(self, cluster):
+        store = make_store(cluster)
+
+        def proc():
+            yield from store.append([
+                LogEntry(0, b"AA"), LogEntry(100, b"BB"), LogEntry(200, b"CC")])
+            yield from store.execute_and_advance()
+
+        run(cluster, proc())
+        assert store.db_read_local(0, 2) == b"AA"
+        assert store.db_read_local(100, 2) == b"BB"
+        assert store.db_read_local(200, 2) == b"CC"
+
+    def test_drain_processes_all(self, cluster):
+        store = make_store(cluster)
+
+        def proc():
+            for i in range(6):
+                yield from store.append([LogEntry(i * 8,
+                                                  i.to_bytes(8, "little"))])
+            processed = yield from store.drain()
+            return processed
+
+        processed = run(cluster, proc())
+        assert [record.seq for record in processed] == [1, 2, 3, 4, 5, 6]
+        assert int.from_bytes(store.db_read_local(40, 8), "little") == 5
+
+
+class TestTransaction:
+    def test_full_transaction(self, cluster):
+        store = make_store(cluster)
+
+        def proc():
+            record = yield from store.transaction(
+                3, [LogEntry(0, b"tx-payload")])
+            return record
+
+        record = run(cluster, proc())
+        assert record.seq == 1
+        assert store.db_read_local(0, 10) == b"tx-payload"
+        # Lock released afterwards.
+        offset = store.layout.lock_offset(3)
+        for hop in range(3):
+            assert store.group.read_replica(hop, offset, 8) == bytes(8)
+
+    def test_transaction_is_durable(self, cluster):
+        store = make_store(cluster)
+
+        def proc():
+            yield from store.transaction(0, [LogEntry(8, b"acid")])
+            # Chain one trailing flush so the tail's execute is covered.
+            yield store.group.gflush()
+
+        run(cluster, proc())
+        for hop, replica in enumerate(store.group.replicas):
+            replica.host.fail_power()
+            raw = replica.host.memory.read(
+                replica.region.address + store.layout.db_address(8, 4), 4)
+            assert raw == b"acid", hop
+
+    def test_lock_released_on_execute_failure(self, cluster):
+        store = make_store(cluster)
+
+        def proc():
+            with pytest.raises(IndexError):
+                # The entry's offset is outside the database area; execution
+                # fails after the lock was taken.
+                yield from store.transaction(
+                    1, [LogEntry(store.layout.db_size + 10, b"bad")])
+
+        run(cluster, proc())
+        # The finally-block released the group lock everywhere.
+        offset = store.layout.lock_offset(1)
+        for hop in range(3):
+            assert store.group.read_replica(hop, offset, 8) == bytes(8)
+
+
+class TestOverNaive:
+    def test_same_api_over_naive_group(self, cluster):
+        """The §5 API is group-implementation agnostic."""
+        store = make_store(cluster, group_kind="naive")
+
+        def proc():
+            yield from store.transaction(2, [LogEntry(16, b"naive-tx")])
+
+        run(cluster, proc())
+        assert store.db_read_local(16, 8) == b"naive-tx"
+        for hop in range(3):
+            raw = run(cluster, read_one(store, hop, 16, 8))
+            assert raw == b"naive-tx"
+
+
+def read_one(store, hop, db_offset, size):
+    data = yield store.db_read(hop, db_offset, size)
+    return data

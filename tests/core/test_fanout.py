@@ -1,0 +1,177 @@
+"""Tests for the fan-out (FaRM-style) replication extension (§7)."""
+
+import pytest
+
+from repro.core.fanout import FanoutGroup
+from repro.core.group import GroupConfig, HyperLoopGroup
+from repro.sim.units import ms
+
+
+def make_group(cluster, replicas=3, slots=16):
+    client = cluster.add_host("fo-client")
+    hosts = cluster.add_hosts(replicas, prefix="fo-replica")
+    group = FanoutGroup(client, hosts,
+                        GroupConfig(slots=slots, region_size=2 << 20))
+    return group, hosts
+
+
+def run(cluster, generator, deadline_ms=2000):
+    process = cluster.sim.process(generator)
+    deadline = cluster.sim.now + ms(deadline_ms)
+    while not process.triggered and cluster.sim.peek() is not None \
+            and cluster.sim.peek() <= deadline:
+        cluster.sim.step()
+    assert process.triggered, "fanout workload did not finish"
+    if not process.ok:
+        raise process.value
+    return process.value
+
+
+class TestGwrite:
+    def test_replicates_to_primary_and_backups(self, cluster):
+        group, _hosts = make_group(cluster)
+
+        def proc():
+            group.write_local(0, b"fanout-write")
+            result = yield group.gwrite(0, 12)
+            return result
+
+        result = run(cluster, proc())
+        for hop in range(3):
+            assert group.read_replica(hop, 0, 12) == b"fanout-write"
+        assert result.latency_ns > 0
+
+    def test_zero_replica_cpu_including_primary(self, cluster):
+        """The §7 point: coordination moves to the primary's *NIC*."""
+        group, hosts = make_group(cluster)
+
+        def proc():
+            group.write_local(0, b"y" * 256)
+            for _ in range(30):
+                yield group.gwrite(0, 256)
+
+        run(cluster, proc())
+        for host in hosts:
+            assert all(thread.cpu_time_ns == 0
+                       for thread in host.cpu.threads)
+
+    def test_slot_reuse(self, cluster):
+        group, _hosts = make_group(cluster, slots=8)
+
+        def proc():
+            for i in range(40):
+                group.write_local(i * 8, i.to_bytes(8, "little"))
+                yield group.gwrite(i * 8, 8)
+
+        run(cluster, proc())
+        for i in (0, 17, 39):
+            assert group.read_replica(2, i * 8, 8) == i.to_bytes(8, "little")
+
+    def test_two_replica_group(self, cluster):
+        group, _hosts = make_group(cluster, replicas=2)
+
+        def proc():
+            group.write_local(0, b"pair")
+            yield group.gwrite(0, 4)
+
+        run(cluster, proc())
+        assert group.read_replica(1, 0, 4) == b"pair"
+
+    def test_group_size_limits(self, cluster):
+        client = cluster.add_host("fo-limits")
+        hosts = cluster.add_hosts(4, prefix="fo-many")
+        with pytest.raises(ValueError):
+            FanoutGroup(client, hosts[:1], GroupConfig())
+        with pytest.raises(ValueError):
+            FanoutGroup(client, hosts, GroupConfig())
+
+    def test_out_of_range_rejected(self, cluster):
+        group, _hosts = make_group(cluster)
+        with pytest.raises(ValueError):
+            group.gwrite(group.config.region_size, 8)
+
+
+class TestGcas:
+    def test_cas_everywhere(self, cluster):
+        group, _hosts = make_group(cluster)
+
+        def proc():
+            result = yield group.gcas(64, 0, 9)
+            return result
+
+        result = run(cluster, proc())
+        assert result.cas_results() == [0, 0, 0]
+        for hop in range(3):
+            assert int.from_bytes(group.read_replica(hop, 64, 8),
+                                  "little") == 9
+
+    def test_mismatch_returns_originals(self, cluster):
+        group, _hosts = make_group(cluster)
+
+        def proc():
+            yield group.gcas(64, 0, 4)
+            result = yield group.gcas(64, 77, 5)
+            return result
+
+        result = run(cluster, proc())
+        assert result.cas_results() == [4, 4, 4]
+
+
+class TestGmemcpy:
+    def test_copy_on_all_nodes(self, cluster):
+        group, _hosts = make_group(cluster)
+
+        def proc():
+            group.write_local(0, b"move-me!")
+            yield group.gwrite(0, 8)
+            yield group.gmemcpy(0, 4096, 8)
+
+        run(cluster, proc())
+        assert group.read_local(4096, 8) == b"move-me!"
+        for hop in range(3):
+            assert group.read_replica(hop, 4096, 8) == b"move-me!"
+
+
+class TestPipelining:
+    def test_pipelined_ops(self, cluster):
+        group, _hosts = make_group(cluster, slots=16)
+
+        def proc():
+            group.write_local(0, b"p" * 64)
+            events = [group.gwrite(0, 64) for _ in range(10)]
+            slots = []
+            for event in events:
+                slots.append((yield event).slot)
+            return slots
+
+        assert run(cluster, proc()) == list(range(10))
+
+
+class TestVsChain:
+    def test_fanout_fewer_hops_lower_latency(self, cluster):
+        """At small payloads, 2 network stages beat the chain's 4."""
+        chain_client = cluster.add_host("vs-chain-client")
+        chain_hosts = cluster.add_hosts(3, prefix="vs-chain")
+        chain = HyperLoopGroup(chain_client, chain_hosts,
+                               GroupConfig(slots=16, region_size=1 << 20))
+        fanout_client = cluster.add_host("vs-fo-client")
+        fanout_hosts = cluster.add_hosts(3, prefix="vs-fo")
+        fanout = FanoutGroup(fanout_client, fanout_hosts,
+                             GroupConfig(slots=16, region_size=1 << 20))
+        latencies = {}
+
+        def proc(group, key):
+            group.write_local(0, b"z" * 128)
+            samples = []
+            for _ in range(20):
+                result = yield group.gwrite(0, 128)
+                samples.append(result.latency_ns)
+            latencies[key] = sum(samples[5:]) / len(samples[5:])
+
+        process_a = cluster.sim.process(proc(chain, "chain"))
+        process_b = cluster.sim.process(proc(fanout, "fanout"))
+        done = cluster.sim.all_of([process_a, process_b])
+        while not done.triggered and cluster.sim.peek() is not None:
+            cluster.sim.step()
+        assert done.triggered
+        assert latencies["fanout"] < latencies["chain"]

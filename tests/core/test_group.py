@@ -1,0 +1,313 @@
+"""End-to-end tests of HyperLoop group primitives."""
+
+import pytest
+
+from repro.core.group import GroupConfig, HyperLoopGroup
+from repro.host import Cluster
+from repro.sim.units import ms, to_us, us
+
+
+def make_group(cluster, replicas=3, slots=16, region=2 << 20, **cfg):
+    client = cluster.add_host("hl-client")
+    hosts = cluster.add_hosts(replicas, prefix="hl-replica")
+    group = HyperLoopGroup(client, hosts,
+                           GroupConfig(slots=slots, region_size=region, **cfg))
+    return group, client, hosts
+
+
+def run(cluster, generator, deadline_ms=2000):
+    process = cluster.sim.process(generator)
+    deadline = cluster.sim.now + ms(deadline_ms)
+    while not process.triggered and cluster.sim.peek() is not None \
+            and cluster.sim.peek() <= deadline:
+        cluster.sim.step()
+    assert process.triggered, "workload did not finish"
+    if not process.ok:
+        raise process.value
+    return process.value
+
+
+class TestGwrite:
+    def test_replicates_to_all(self, cluster):
+        group, _c, _r = make_group(cluster)
+
+        def proc():
+            group.write_local(100, b"replicate-me")
+            result = yield group.gwrite(100, 12)
+            return result
+
+        result = run(cluster, proc())
+        for hop in range(3):
+            assert group.read_replica(hop, 100, 12) == b"replicate-me"
+        assert result.latency_ns > 0
+
+    def test_zero_replica_cpu(self, cluster):
+        """The headline property: replica CPUs do nothing on the data path."""
+        group, _c, hosts = make_group(cluster)
+
+        def proc():
+            group.write_local(0, b"x" * 1024)
+            for _ in range(50):
+                yield group.gwrite(0, 1024)
+
+        run(cluster, proc())
+        for host in hosts:
+            assert all(thread.cpu_time_ns == 0
+                       for thread in host.cpu.threads)
+
+    def test_durable_gwrite_survives_power_failure(self, cluster):
+        group, _c, hosts = make_group(cluster)
+
+        def proc():
+            group.write_local(0, b"must-survive")
+            yield group.gwrite(0, 12, durable=True)
+
+        run(cluster, proc())
+        for hop, host in enumerate(hosts):
+            host.fail_power()
+            assert group.read_replica(hop, 0, 12) == b"must-survive", hop
+
+    def test_nondurable_gwrite_can_be_lost(self, cluster):
+        """Ablation: without the interleaved gFLUSH an immediately-injected
+        power failure loses the ACKed data."""
+        group, _c, hosts = make_group(cluster)
+
+        def proc():
+            group.write_local(0, b"ephemeral!")
+            yield group.gwrite(0, 10, durable=False)
+
+        run(cluster, proc())
+        hosts[1].fail_power()
+        assert group.read_replica(1, 0, 10) == bytes(10)
+
+    def test_many_ops_reuse_slots(self, cluster):
+        group, _c, _r = make_group(cluster, slots=8)
+
+        def proc():
+            for i in range(64):  # 8x ring reuse.
+                group.write_local(i * 16, i.to_bytes(4, "little"))
+                yield group.gwrite(i * 16, 4)
+
+        run(cluster, proc())
+        for i in (0, 7, 40, 63):
+            assert group.read_replica(2, i * 16, 4) \
+                == i.to_bytes(4, "little")
+
+    def test_pipelined_submissions(self, cluster):
+        group, _c, _r = make_group(cluster, slots=16)
+
+        def proc():
+            group.write_local(0, b"y" * 64)
+            events = [group.gwrite(0, 64) for _ in range(12)]
+            results = []
+            for event in events:
+                results.append((yield event))
+            return results
+
+        results = run(cluster, proc())
+        assert [r.slot for r in results] == list(range(12))
+
+    def test_out_of_range_rejected(self, cluster):
+        group, _c, _r = make_group(cluster)
+        with pytest.raises(ValueError):
+            group.gwrite(group.config.region_size - 4, 8)
+        with pytest.raises(ValueError):
+            group.gwrite(-1, 8)
+
+    def test_latency_in_paper_ballpark(self, cluster):
+        """Unloaded 3-replica gWRITE completes in ~10 us (paper: ~10 us)."""
+        group, _c, _r = make_group(cluster)
+
+        def proc():
+            group.write_local(0, b"z" * 512)
+            latencies = []
+            for _ in range(20):
+                result = yield group.gwrite(0, 512)
+                latencies.append(result.latency_ns)
+            return latencies
+
+        latencies = run(cluster, proc())
+        steady = latencies[5:]
+        assert us(3) < sum(steady) / len(steady) < us(40)
+
+
+class TestGcas:
+    def test_swap_on_all_replicas(self, cluster):
+        group, _c, _r = make_group(cluster)
+
+        def proc():
+            result = yield group.gcas(64, 0, 42)
+            return result
+
+        result = run(cluster, proc())
+        assert result.cas_results() == [0, 0, 0]
+        for hop in range(3):
+            assert int.from_bytes(group.read_replica(hop, 64, 8),
+                                  "little") == 42
+
+    def test_mismatch_returns_originals(self, cluster):
+        group, _c, _r = make_group(cluster)
+
+        def proc():
+            yield group.gcas(64, 0, 7)
+            result = yield group.gcas(64, 99, 8)  # Wrong expectation.
+            return result
+
+        result = run(cluster, proc())
+        assert result.cas_results() == [7, 7, 7]
+        assert int.from_bytes(group.read_replica(0, 64, 8), "little") == 7
+
+    def test_execute_map_selective(self, cluster):
+        group, _c, _r = make_group(cluster)
+
+        def proc():
+            yield group.gcas(64, 0, 5)
+            result = yield group.gcas(64, 5, 6,
+                                      execute_map=[True, False, True])
+            return result
+
+        result = run(cluster, proc())
+        values = [int.from_bytes(group.read_replica(h, 64, 8), "little")
+                  for h in range(3)]
+        assert values == [6, 5, 6]
+        # Skipped replica's result field stays zero.
+        assert result.cas_results()[1] == 0
+
+    def test_undo_pattern(self, cluster):
+        """The §4.2 undo: roll back a partially-acquired CAS using the
+        execute map built from the previous result map."""
+        group, _c, _r = make_group(cluster)
+
+        def proc():
+            # Simulate a partial acquire: replica 1 already holds value 9.
+            yield group.gcas(64, 0, 9, execute_map=[False, True, False])
+            result = yield group.gcas(64, 0, 1)
+            succeeded = [value == 0 for value in result.cas_results()]
+            assert succeeded == [True, False, True]
+            # Undo exactly where it succeeded.
+            yield group.gcas(64, 1, 0, execute_map=succeeded)
+            return [int.from_bytes(group.read_replica(h, 64, 8), "little")
+                    for h in range(3)]
+
+        values = run(cluster, proc())
+        assert values == [0, 9, 0]
+
+
+class TestGmemcpy:
+    def test_copies_on_every_node(self, cluster):
+        group, _c, _r = make_group(cluster)
+
+        def proc():
+            group.write_local(0, b"journal-entry")
+            yield group.gwrite(0, 13)
+            yield group.gmemcpy(0, 8192, 13)
+
+        run(cluster, proc())
+        assert group.read_local(8192, 13) == b"journal-entry"
+        for hop in range(3):
+            assert group.read_replica(hop, 8192, 13) == b"journal-entry"
+
+    def test_durable_copy(self, cluster):
+        group, _c, hosts = make_group(cluster)
+
+        def proc():
+            group.write_local(0, b"persist-copy")
+            yield group.gwrite(0, 12, durable=True)
+            yield group.gmemcpy(0, 4096, 12, durable=True)
+            # One more durable op pushes flush coverage past the tail copy.
+            yield group.gflush()
+
+        run(cluster, proc())
+        hosts[0].fail_power()
+        assert group.read_replica(0, 4096, 12) == b"persist-copy"
+
+
+class TestGflush:
+    def test_flushes_pending_writes(self, cluster):
+        group, _c, hosts = make_group(cluster)
+
+        def proc():
+            group.write_local(0, b"flush-me")
+            yield group.gwrite(0, 8)       # Volatile so far.
+            yield group.gflush()           # Now durable everywhere.
+
+        run(cluster, proc())
+        for hop, host in enumerate(hosts):
+            host.fail_power()
+            assert group.read_replica(hop, 0, 8) == b"flush-me"
+
+
+class TestAbort:
+    def test_abort_in_flight_fails_pending(self, cluster):
+        group, _c, hosts = make_group(cluster)
+
+        def proc():
+            hosts[1].nic.on_power_failure()  # Break the chain silently.
+            group.write_local(0, b"never")
+            event = group.gwrite(0, 5)
+            yield cluster.sim.timeout(ms(1))
+            assert not event.triggered
+            aborted = group.abort_in_flight(RuntimeError("chain down"))
+            assert aborted == 1
+            try:
+                yield event
+            except RuntimeError as exc:
+                return str(exc)
+
+        assert run(cluster, proc()) == "chain down"
+
+
+class TestReads:
+    def test_remote_read(self, cluster):
+        group, _c, _r = make_group(cluster)
+
+        def proc():
+            group.write_local(0, b"readable")
+            yield group.gwrite(0, 8)
+            data = yield group.remote_read(2, 0, 8)
+            return data
+
+        assert run(cluster, proc()) == b"readable"
+
+    def test_remote_read_bounds(self, cluster):
+        group, _c, _r = make_group(cluster)
+        with pytest.raises(ValueError):
+            group.remote_read(0, group.config.region_size, 8)
+
+
+class TestMultipleGroups:
+    def test_independent_groups_coexist(self, cluster):
+        group_a, client, hosts = make_group(cluster, region=1 << 20)
+        group_b = HyperLoopGroup(client, hosts,
+                                 GroupConfig(slots=8, region_size=1 << 20))
+
+        def proc():
+            group_a.write_local(0, b"AAAA")
+            group_b.write_local(0, b"BBBB")
+            yield group_a.gwrite(0, 4)
+            yield group_b.gwrite(0, 4)
+
+        run(cluster, proc())
+        assert group_a.read_replica(0, 0, 4) == b"AAAA"
+        assert group_b.read_replica(0, 0, 4) == b"BBBB"
+
+
+class TestGroupSizes:
+    @pytest.mark.parametrize("group_size", [1, 2, 5])
+    def test_various_sizes(self, cluster, group_size):
+        group, _c, _r = make_group(cluster, replicas=group_size)
+
+        def proc():
+            group.write_local(0, b"size-test")
+            result = yield group.gwrite(0, 9)
+            return result
+
+        result = run(cluster, proc())
+        assert len(result.result_map) == 8 * group_size
+        for hop in range(group_size):
+            assert group.read_replica(hop, 0, 9) == b"size-test"
+
+    def test_empty_group_rejected(self, cluster):
+        client = cluster.add_host("lonely")
+        with pytest.raises(ValueError):
+            HyperLoopGroup(client, [], GroupConfig())

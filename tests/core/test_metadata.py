@@ -1,0 +1,205 @@
+"""Tests for the metadata wire format and descriptor-image builder."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.metadata import (
+    ENTRY_SIZE,
+    ClientLayout,
+    NodeLayout,
+    OpKind,
+    OpSpec,
+    build_metadata,
+    max_staging_len,
+    meta_len,
+    result_map_len,
+    result_offset_in_staging,
+    staging_len,
+)
+from repro.rdma.wqe import WQE_SIZE, Opcode, decode_wqe
+
+
+def make_layouts(group_size=3, slots=16):
+    layouts = [NodeLayout(name=f"r{i}", region_addr=0x10000 * (i + 1),
+                          region_rkey=0x100 + i, staging_addr=0x900000 * (i + 1),
+                          staging_stride=max_staging_len(group_size),
+                          slots=slots)
+               for i in range(group_size)]
+    client = ClientLayout(ack_addr=0xAAAA00, ack_rkey=0xCC,
+                          ack_stride=result_map_len(group_size), slots=slots)
+    return layouts, client
+
+
+def entries_of(message, group_size):
+    """Split a metadata message into per-hop entries + result map."""
+    entries = []
+    for hop in range(group_size):
+        raw = message[hop * ENTRY_SIZE:(hop + 1) * ENTRY_SIZE]
+        entries.append([decode_wqe(raw[i * WQE_SIZE:(i + 1) * WQE_SIZE])
+                        for i in range(4)])
+    result_map = message[group_size * ENTRY_SIZE:]
+    return entries, result_map
+
+
+class TestLayoutMath:
+    @given(st.integers(min_value=1, max_value=9))
+    def test_meta_len_telescopes(self, group_size):
+        """Each hop consumes exactly one entry: len(hop) - len(hop+1) ==
+        ENTRY_SIZE, and the tail stages only the result map."""
+        for hop in range(group_size - 1):
+            assert meta_len(group_size, hop) - meta_len(group_size, hop + 1) \
+                == ENTRY_SIZE
+        assert staging_len(group_size, group_size - 1) \
+            == result_map_len(group_size)
+
+    def test_staging_is_meta_minus_entry(self):
+        for group_size in (1, 3, 7):
+            for hop in range(group_size):
+                assert staging_len(group_size, hop) \
+                    == meta_len(group_size, hop) - ENTRY_SIZE
+
+    def test_result_offset(self):
+        assert result_offset_in_staging(3, 2) == 0  # Tail: result first.
+        assert result_offset_in_staging(3, 0) == 2 * ENTRY_SIZE
+
+    def test_bad_hop_rejected(self):
+        with pytest.raises(ValueError):
+            meta_len(3, 3)
+
+    def test_staging_slot_addressing(self):
+        layouts, _client = make_layouts(slots=4)
+        node = layouts[0]
+        assert node.staging_slot(0) == node.staging_addr
+        assert node.staging_slot(4) == node.staging_addr  # Modulo reuse.
+        assert node.staging_slot(1) == node.staging_addr + node.staging_stride
+
+    def test_ack_slot_addressing(self):
+        _layouts, client = make_layouts(slots=4)[0], make_layouts(slots=4)[1]
+        assert client.ack_slot(0) == client.ack_addr
+        assert client.ack_slot(5) == client.ack_addr + client.ack_stride
+
+
+class TestGwriteImages:
+    def test_structure(self):
+        layouts, client = make_layouts()
+        message = build_metadata(OpSpec(OpKind.GWRITE, offset=256, size=128),
+                                 layouts, client, slot=0)
+        assert len(message) == meta_len(3, 0)
+        entries, result_map = entries_of(message, 3)
+        assert result_map == bytes(result_map_len(3))
+        for hop, (local, fwd_data, fwd_flush, fwd_meta) in enumerate(entries):
+            assert local.opcode is Opcode.NOP and local.signaled
+            assert all(image.owned for image in
+                       (local, fwd_data, fwd_flush, fwd_meta))
+            if hop < 2:
+                assert fwd_data.opcode is Opcode.WRITE
+                assert fwd_data.sg_list[0].addr \
+                    == layouts[hop].region_addr + 256
+                assert fwd_data.remote_addr == layouts[hop + 1].region_addr + 256
+                assert fwd_data.rkey == layouts[hop + 1].region_rkey
+                assert fwd_meta.opcode is Opcode.SEND
+                assert fwd_meta.sg_list[0].length == staging_len(3, hop)
+                assert fwd_flush.opcode is Opcode.NOP  # Not durable.
+            else:
+                assert fwd_data.opcode is Opcode.NOP  # Tail forwards nothing.
+                assert fwd_meta.opcode is Opcode.WRITE_WITH_IMM
+                assert fwd_meta.remote_addr == client.ack_slot(0)
+                assert fwd_meta.rkey == client.ack_rkey
+
+    def test_durable_adds_flush_reads(self):
+        layouts, client = make_layouts()
+        message = build_metadata(
+            OpSpec(OpKind.GWRITE, offset=0, size=64, durable=True),
+            layouts, client, slot=1)
+        entries, _rm = entries_of(message, 3)
+        for hop, (_l, _fd, fwd_flush, _fm) in enumerate(entries):
+            if hop < 2:
+                assert fwd_flush.opcode is Opcode.READ
+                assert fwd_flush.total_length == 0
+                assert fwd_flush.rkey == layouts[hop + 1].region_rkey
+            else:
+                assert fwd_flush.opcode is Opcode.NOP
+
+    def test_zero_size_write_is_nop_chain(self):
+        layouts, client = make_layouts()
+        message = build_metadata(OpSpec(OpKind.GWRITE, offset=0, size=0),
+                                 layouts, client, slot=0)
+        entries, _rm = entries_of(message, 3)
+        assert entries[0][1].opcode is Opcode.NOP
+
+
+class TestGcasImages:
+    def test_cas_everywhere_by_default(self):
+        layouts, client = make_layouts()
+        message = build_metadata(
+            OpSpec(OpKind.GCAS, offset=8, old_value=5, new_value=6),
+            layouts, client, slot=2)
+        entries, _rm = entries_of(message, 3)
+        for hop, (local, _fd, _ff, _fm) in enumerate(entries):
+            assert local.opcode is Opcode.CAS
+            assert local.compare == 5 and local.swap == 6
+            assert local.remote_addr == layouts[hop].region_addr + 8
+            assert local.rkey == layouts[hop].region_rkey
+            expected_result = (layouts[hop].staging_slot(2)
+                               + result_offset_in_staging(3, hop) + hop * 8)
+            assert local.sg_list[0].addr == expected_result
+
+    def test_execute_map_turns_skips_into_nops(self):
+        layouts, client = make_layouts()
+        message = build_metadata(
+            OpSpec(OpKind.GCAS, offset=8, old_value=1, new_value=2,
+                   execute_map=[True, False, True]),
+            layouts, client, slot=0)
+        entries, _rm = entries_of(message, 3)
+        assert entries[0][0].opcode is Opcode.CAS
+        assert entries[1][0].opcode is Opcode.NOP
+        assert entries[1][0].signaled  # Must still tick the WAIT chain.
+        assert entries[2][0].opcode is Opcode.CAS
+
+    def test_wrong_map_size_rejected(self):
+        layouts, client = make_layouts()
+        with pytest.raises(ValueError):
+            build_metadata(OpSpec(OpKind.GCAS, execute_map=[True]),
+                           layouts, client, slot=0)
+
+
+class TestGmemcpyImages:
+    def test_local_copy_descriptor(self):
+        layouts, client = make_layouts()
+        message = build_metadata(
+            OpSpec(OpKind.GMEMCPY, src_offset=100, dst_offset=5000, size=64),
+            layouts, client, slot=0)
+        entries, _rm = entries_of(message, 3)
+        for hop, (local, fwd_data, _ff, _fm) in enumerate(entries):
+            assert local.opcode is Opcode.WRITE
+            assert local.sg_list[0] .addr == layouts[hop].region_addr + 100
+            assert local.sg_list[0].length == 64
+            assert local.remote_addr == layouts[hop].region_addr + 5000
+            assert local.rkey == layouts[hop].region_rkey
+            assert fwd_data.opcode is Opcode.NOP  # Data already everywhere.
+
+
+class TestGflushImages:
+    def test_flush_chain(self):
+        layouts, client = make_layouts()
+        message = build_metadata(OpSpec(OpKind.GFLUSH, durable=True),
+                                 layouts, client, slot=0)
+        entries, _rm = entries_of(message, 3)
+        for hop, (local, fwd_data, fwd_flush, _fm) in enumerate(entries):
+            assert local.opcode is Opcode.NOP
+            assert fwd_data.opcode is Opcode.NOP
+            if hop < 2:
+                assert fwd_flush.opcode is Opcode.READ
+
+
+def test_empty_group_rejected():
+    _layouts, client = make_layouts()
+    with pytest.raises(ValueError):
+        build_metadata(OpSpec(OpKind.GWRITE), [], client, slot=0)
+
+
+def test_negative_spec_rejected():
+    layouts, client = make_layouts()
+    with pytest.raises(ValueError):
+        build_metadata(OpSpec(OpKind.GWRITE, offset=-1, size=8),
+                       layouts, client, slot=0)

@@ -1,0 +1,174 @@
+"""Tests for heartbeat failure detection and chain repair."""
+
+import pytest
+
+from repro.core.group import GroupConfig, HyperLoopGroup
+from repro.core.recovery import ChainFailure, ChainSupervisor, RecoveryConfig
+from repro.sim.units import ms
+
+
+def make_supervisor(cluster, replicas=3, **recovery):
+    client = cluster.add_host("rc-client")
+    hosts = cluster.add_hosts(replicas, prefix="rc-replica")
+
+    def factory(client_host, replica_hosts):
+        return HyperLoopGroup(client_host, replica_hosts,
+                              GroupConfig(slots=16, region_size=1 << 20))
+
+    supervisor = ChainSupervisor(
+        client, hosts, factory,
+        RecoveryConfig(**recovery) if recovery else RecoveryConfig())
+    return supervisor, client, hosts
+
+
+def run(cluster, generator, deadline_ms=20_000):
+    process = cluster.sim.process(generator)
+    deadline = cluster.sim.now + ms(deadline_ms)
+    while not process.triggered and cluster.sim.peek() is not None \
+            and cluster.sim.peek() <= deadline:
+        cluster.sim.step()
+    assert process.triggered, "recovery workload did not finish"
+    if not process.ok:
+        raise process.value
+    return process.value
+
+
+class TestHealthyOperation:
+    def test_no_false_positives_idle(self, cluster):
+        supervisor, _c, _hosts = make_supervisor(cluster)
+        supervisor.start_monitoring()
+        cluster.run(until=ms(200))
+        assert supervisor.healthy
+        assert supervisor.failures_detected == 0
+
+    def test_monitoring_idempotent(self, cluster):
+        supervisor, _c, _hosts = make_supervisor(cluster)
+        supervisor.start_monitoring()
+        supervisor.start_monitoring()  # Must not double-start.
+        cluster.run(until=ms(100))
+        assert supervisor.healthy
+
+
+class TestDetection:
+    def test_crash_detected(self, cluster):
+        supervisor, _c, hosts = make_supervisor(cluster)
+        supervisor.start_monitoring()
+        seen = []
+        supervisor.on_failure(lambda hop, host: seen.append((hop, host.name)))
+        cluster.run(until=ms(20))
+        hosts[1].crash()
+        cluster.run(until=ms(100))
+        assert not supervisor.healthy
+        assert seen == [(1, hosts[1].name)]
+        assert supervisor.failures_detected == 1
+
+    def test_pending_ops_aborted_on_detection(self, cluster):
+        supervisor, _c, hosts = make_supervisor(cluster)
+        supervisor.start_monitoring()
+        group = supervisor.group
+        outcome = []
+
+        def proc():
+            yield cluster.sim.timeout(ms(10))
+            hosts[2].crash()
+            group.write_local(0, b"stuck")
+            event = group.gwrite(0, 5)
+            try:
+                yield event
+                outcome.append("acked")
+            except ChainFailure as exc:
+                outcome.append(("aborted", exc.hop))
+
+        run(cluster, proc(), deadline_ms=500)
+        assert outcome == [("aborted", 2)]
+
+    def test_detection_latency_bounded(self, cluster):
+        supervisor, _c, hosts = make_supervisor(
+            cluster, heartbeat_period_ns=ms(2), miss_threshold=2)
+        supervisor.start_monitoring()
+        detected_at = []
+        supervisor.on_failure(
+            lambda hop, host: detected_at.append(cluster.sim.now))
+        cluster.run(until=ms(10))
+        crash_time = cluster.sim.now
+        hosts[0].crash()
+        cluster.run(until=ms(60))
+        assert detected_at
+        # Detected within a few periods of the threshold.
+        assert detected_at[0] - crash_time < ms(2) * 6
+
+
+class TestRepair:
+    def test_repair_drops_failed_replica(self, cluster):
+        supervisor, _c, hosts = make_supervisor(cluster)
+        supervisor.start_monitoring()
+
+        def proc():
+            group = supervisor.group
+            group.write_local(0, b"pre-crash!")
+            yield group.gwrite(0, 10, durable=True)
+            hosts[1].crash()
+            while supervisor.healthy:
+                yield cluster.sim.timeout(ms(5))
+            new_group = yield from supervisor.repair()
+            return new_group
+
+        new_group = run(cluster, proc())
+        assert new_group.group_size == 2
+        assert supervisor.repairs_completed == 1
+        assert supervisor.healthy
+        # State survived onto the new chain.
+        for hop in range(2):
+            assert new_group.read_replica(hop, 0, 10) == b"pre-crash!"
+
+    def test_repair_with_replacement(self, cluster):
+        supervisor, _c, hosts = make_supervisor(cluster)
+        spare = cluster.add_host("rc-spare")
+        supervisor.start_monitoring()
+
+        def proc():
+            group = supervisor.group
+            group.write_local(64, b"carried")
+            yield group.gwrite(64, 7, durable=True)
+            hosts[0].crash()
+            while supervisor.healthy:
+                yield cluster.sim.timeout(ms(5))
+            new_group = yield from supervisor.repair(replacement=spare)
+            # New chain fully functional, including the replacement tail.
+            new_group.write_local(128, b"fresh")
+            yield new_group.gwrite(128, 5, durable=True)
+            return new_group
+
+        new_group = run(cluster, proc())
+        assert new_group.group_size == 3
+        assert spare in supervisor.replica_hosts
+        assert new_group.read_replica(2, 64, 7) == b"carried"
+        assert new_group.read_replica(2, 128, 5) == b"fresh"
+
+    def test_repair_healthy_chain_rejected(self, cluster):
+        supervisor, _c, _hosts = make_supervisor(cluster)
+
+        def proc():
+            with pytest.raises(RuntimeError):
+                yield from supervisor.repair()
+
+        run(cluster, proc())
+
+    def test_double_failure_leaves_one(self, cluster):
+        supervisor, _c, hosts = make_supervisor(cluster)
+        supervisor.start_monitoring()
+
+        def proc():
+            hosts[0].crash()
+            while supervisor.healthy:
+                yield cluster.sim.timeout(ms(5))
+            yield from supervisor.repair()
+            hosts[1].crash()
+            while supervisor.healthy:
+                yield cluster.sim.timeout(ms(5))
+            new_group = yield from supervisor.repair()
+            return new_group
+
+        new_group = run(cluster, proc())
+        assert new_group.group_size == 1
+        assert supervisor.failures_detected == 2

@@ -1,0 +1,171 @@
+"""Model-based consistency checking of the group primitives.
+
+Hypothesis drives random operation sequences against a HyperLoop group and
+an oracle: a plain-Python model of what every replica's region must
+contain.  After the sequence completes, every replica's actual NVM bytes
+must equal the model — the strongest statement that remote WQE
+manipulation, WAIT chaining, cyclic ring reuse and CAS semantics compose
+correctly under arbitrary interleavings.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.fanout import FanoutGroup
+from repro.core.group import GroupConfig, HyperLoopGroup
+from repro.baseline.naive import NaiveConfig, NaiveGroup
+from repro.host import Cluster
+from repro.sim.units import seconds
+
+REGION = 64 * 1024
+GROUP_SIZE = 3
+
+# An op is one of:
+#   ("write", offset, data)
+#   ("cas", offset8, new_value)           -- expected read from the model
+#   ("memcpy", src, dst, size)
+#   ("flush",)
+_ops = st.one_of(
+    st.tuples(st.just("write"),
+              st.integers(min_value=0, max_value=REGION - 256),
+              st.binary(min_size=1, max_size=200)),
+    st.tuples(st.just("cas"),
+              st.integers(min_value=0, max_value=(REGION - 256) // 8),
+              st.integers(min_value=0, max_value=2 ** 32)),
+    st.tuples(st.just("memcpy"),
+              st.integers(min_value=0, max_value=REGION - 256),
+              st.integers(min_value=0, max_value=REGION - 256),
+              st.integers(min_value=1, max_value=200)),
+    st.tuples(st.just("flush")),
+)
+
+
+def _run_sequence(group_kind: str, operations) -> None:
+    cluster = Cluster(seed=77)
+    client = cluster.add_host("mc-client")
+    replicas = cluster.add_hosts(GROUP_SIZE, prefix="mc-replica")
+    if group_kind == "hyperloop":
+        group = HyperLoopGroup(client, replicas,
+                               GroupConfig(slots=8, region_size=REGION))
+    elif group_kind == "fanout":
+        group = FanoutGroup(client, replicas,
+                            GroupConfig(slots=8, region_size=REGION))
+    else:
+        group = NaiveGroup(client, replicas,
+                           NaiveConfig(slots=8, region_size=REGION))
+    model = bytearray(REGION)
+
+    def driver():
+        for op in operations:
+            if op[0] == "write":
+                _kind, offset, data = op
+                group.write_local(offset, data)
+                model[offset:offset + len(data)] = data
+                yield group.gwrite(offset, len(data))
+            elif op[0] == "cas":
+                _kind, slot8, new_value = op
+                offset = slot8 * 8
+                expected = int.from_bytes(model[offset:offset + 8],
+                                          "little")
+                result = yield group.gcas(offset, expected, new_value)
+                assert result.cas_results() == [expected] * GROUP_SIZE
+                model[offset:offset + 8] = new_value.to_bytes(8, "little")
+                group.write_local(offset,
+                                  new_value.to_bytes(8, "little"))
+            elif op[0] == "memcpy":
+                _kind, src, dst, size = op
+                model[dst:dst + size] = model[src:src + size]
+                yield group.gmemcpy(src, dst, size)
+            else:
+                yield group.gflush()
+
+    process = cluster.sim.process(driver())
+    deadline = seconds(60)
+    while not process.triggered and cluster.sim.peek() is not None \
+            and cluster.sim.peek() <= deadline:
+        cluster.sim.step()
+    assert process.triggered, "sequence did not complete"
+    if not process.ok:
+        raise process.value
+    # Oracle check: every replica's region equals the model, byte for
+    # byte.  Fan-out groups reserve the region's last 64 bytes as CAS
+    # result scratch, so the comparable window excludes them.
+    comparable = REGION - 64 if group_kind == "fanout" else REGION
+    expected = bytes(model[:comparable])
+    for hop in range(GROUP_SIZE):
+        actual = group.read_replica(hop, 0, comparable)
+        assert actual == expected, f"replica {hop} diverged"
+    assert group.read_local(0, comparable) == expected
+
+
+class TestModelBased:
+    @settings(max_examples=12, deadline=None)
+    @given(st.lists(_ops, min_size=1, max_size=25))
+    def test_hyperloop_matches_model(self, operations):
+        _run_sequence("hyperloop", operations)
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.lists(_ops, min_size=1, max_size=15))
+    def test_naive_matches_model(self, operations):
+        _run_sequence("naive", operations)
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.lists(_ops, min_size=1, max_size=15))
+    def test_fanout_matches_model(self, operations):
+        _run_sequence("fanout", operations)
+
+    def test_known_tricky_sequence(self):
+        """Overlapping writes + copy-from-copy + CAS on copied bytes."""
+        _run_sequence("hyperloop", [
+            ("write", 0, b"A" * 64),
+            ("memcpy", 0, 64, 64),
+            ("write", 32, b"B" * 64),       # Overlaps both halves.
+            ("memcpy", 32, 0, 64),
+            ("cas", 0, 123456789),
+            ("flush",),
+            ("memcpy", 0, 128, 200),
+        ])
+
+
+class TestDurabilityModel:
+    @settings(max_examples=8, deadline=None)
+    @given(st.lists(st.tuples(
+        st.integers(min_value=0, max_value=4096),
+        st.binary(min_size=1, max_size=64),
+        st.booleans()), min_size=1, max_size=10))
+    def test_durable_prefix_survives_crash(self, writes):
+        """After a power failure, each replica holds exactly the writes
+        that were durable (explicitly flushed or ordered before one)."""
+        cluster = Cluster(seed=78)
+        client = cluster.add_host("dm-client")
+        replicas = cluster.add_hosts(3, prefix="dm-replica")
+        group = HyperLoopGroup(client, replicas,
+                               GroupConfig(slots=8, region_size=64 * 1024))
+        durable_model = bytearray(8192)
+        # Chain FIFO ordering: a durable op flushes everything before it.
+        last_durable_index = max(
+            (i for i, (_o, _d, durable) in enumerate(writes) if durable),
+            default=-1)
+
+        def driver():
+            for offset, data, durable in writes:
+                group.write_local(offset, data)
+                yield group.gwrite(offset, len(data), durable=durable)
+
+        process = cluster.sim.process(driver())
+        while not process.triggered and cluster.sim.peek() is not None:
+            cluster.sim.step()
+        assert process.ok
+        for i, (offset, data, _durable) in enumerate(writes):
+            if i <= last_durable_index:
+                durable_model[offset:offset + len(data)] = data
+        replicas[2].fail_power()
+        base = group.replicas[2].region.address
+        actual = replicas[2].memory.read(base, 8192)
+        # The lazy writeback may have persisted *more* than required, but
+        # everything up to the last durable op must match the model.
+        for i, (offset, data, _durable) in enumerate(writes):
+            if i <= last_durable_index:
+                chunk = actual[offset:offset + len(data)]
+                expected = bytes(
+                    durable_model[offset:offset + len(data)])
+                assert chunk == expected, f"write {i} lost or torn"

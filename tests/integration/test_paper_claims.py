@@ -1,0 +1,146 @@
+"""Integration tests asserting the paper's qualitative claims hold.
+
+These are scaled-down versions of the §6 experiments with hard assertions
+on the *shape* of the results: who wins, and by a meaningful factor.  The
+full-size experiment harness lives in ``benchmarks/``.
+"""
+
+import pytest
+
+from repro.experiments.common import (
+    build_testbed,
+    latency_sweep,
+    make_hyperloop,
+    make_naive,
+    throughput_run,
+)
+from repro.sim.units import MiB, us
+
+TENANTS = 160  # 10:1 over 16 cores, as in §6.
+
+
+@pytest.fixture(scope="module")
+def microbench_results():
+    """One shared loaded-cluster run per system (they are expensive)."""
+    results = {}
+    for system in ("hyperloop", "naive"):
+        testbed = build_testbed(3, seed=42, replica_tenants=TENANTS)
+        if system == "hyperloop":
+            group = make_hyperloop(testbed)
+        else:
+            group = make_naive(testbed, mode="event")
+        results[system] = {
+            "recorder": latency_sweep(group, "gwrite", 512, 600),
+            "testbed": testbed,
+        }
+    return results
+
+
+class TestTailLatencyClaim:
+    """§6.1: HyperLoop cuts p99 latency by orders of magnitude."""
+
+    def test_hyperloop_tail_is_flat(self, microbench_results):
+        recorder = microbench_results["hyperloop"]["recorder"]
+        assert recorder.percentile_us(99) < 50
+
+    def test_naive_tail_is_inflated(self, microbench_results):
+        recorder = microbench_results["naive"]["recorder"]
+        assert recorder.percentile_us(99) > 500
+
+    def test_p99_gap_exceeds_50x(self, microbench_results):
+        hyper = microbench_results["hyperloop"]["recorder"].percentile_us(99)
+        naive = microbench_results["naive"]["recorder"].percentile_us(99)
+        assert naive / hyper > 50
+
+    def test_average_gap_exceeds_5x(self, microbench_results):
+        hyper = microbench_results["hyperloop"]["recorder"].mean_us()
+        naive = microbench_results["naive"]["recorder"].mean_us()
+        assert naive / hyper > 5
+
+
+class TestCpuClaim:
+    """§6.1/Figure 9: ~0% replica CPU for HyperLoop."""
+
+    def test_hyperloop_replicas_spend_zero_cpu(self, microbench_results):
+        testbed = microbench_results["hyperloop"]["testbed"]
+        for replica in testbed.replicas:
+            datapath_threads = [
+                thread for thread in replica.cpu.threads
+                if "tenant" not in thread.name]
+            assert all(thread.cpu_time_ns == 0
+                       for thread in datapath_threads)
+
+    def test_naive_replicas_burn_cpu(self, microbench_results):
+        testbed = microbench_results["naive"]["testbed"]
+        for replica in testbed.replicas:
+            handler_time = sum(
+                thread.cpu_time_ns for thread in replica.cpu.threads
+                if "handler" in thread.name)
+            assert handler_time > 0
+
+
+class TestThroughputClaim:
+    """Figure 9: HyperLoop matches Naïve-RDMA's throughput."""
+
+    def test_comparable_throughput(self):
+        results = {}
+        for system in ("hyperloop", "naive"):
+            testbed = build_testbed(3, seed=7)
+            if system == "hyperloop":
+                group = make_hyperloop(testbed, slots=256)
+            else:
+                group = make_naive(testbed, mode="polling", slots=256)
+            results[system] = throughput_run(group, 4096, 8 * MiB,
+                                             window=128)
+        ratio = results["hyperloop"]["kops_per_sec"] \
+            / results["naive"]["kops_per_sec"]
+        assert 0.5 < ratio < 4.0
+
+    def test_line_rate_at_large_messages(self):
+        testbed = build_testbed(3, seed=8)
+        group = make_hyperloop(testbed, slots=256)
+        result = throughput_run(group, 65536, 32 * MiB, window=128)
+        assert result["gbps"] > 40  # Close to the 56 Gbps line.
+
+
+class TestGroupScalingClaim:
+    """Figure 10: HyperLoop's tail stays flat as the chain grows."""
+
+    def test_tail_flat_3_to_7(self):
+        tails = {}
+        for group_size in (3, 7):
+            testbed = build_testbed(group_size, seed=21,
+                                    replica_tenants=TENANTS)
+            group = make_hyperloop(testbed)
+            recorder = latency_sweep(group, "gwrite", 512, 300)
+            tails[group_size] = recorder.percentile_us(99)
+        # Longer chains add wire+NIC time only: well under 3x, and in
+        # absolute terms still tens of microseconds.
+        assert tails[7] / tails[3] < 3.0
+        assert tails[7] < 100
+
+
+class TestDurabilityClaim:
+    """§4.2: gFLUSH-covered data survives power failure; uncovered data
+    need not."""
+
+    def test_durable_vs_volatile_writes(self):
+        testbed = build_testbed(3, seed=30)
+        group = make_hyperloop(testbed)
+        sim = testbed.cluster.sim
+
+        def proc():
+            group.write_local(0, b"durable-one")
+            yield group.gwrite(0, 11, durable=True)
+            group.write_local(100, b"volatile-two")
+            yield group.gwrite(100, 12, durable=False)
+
+        process = sim.process(proc())
+        while not process.triggered and sim.peek() is not None:
+            sim.step()
+        assert process.ok
+        host = testbed.replicas[2]
+        host.fail_power()
+        base = group.replicas[2].region.address
+        assert host.memory.read(base, 11) == b"durable-one"
+        assert host.memory.read(base + 100, 12) == bytes(12)

@@ -1,0 +1,101 @@
+"""Chain semantics under mid-operation failures.
+
+Chain replication's correctness story: an operation propagates head →
+tail, so when a replica dies mid-stream the chain state is always a
+*prefix* — upstream replicas may have the data, downstream ones do not,
+and the client only saw an ACK if the tail did.  These tests freeze the
+chain at various points and check exactly that.
+"""
+
+import pytest
+
+from repro.core.group import GroupConfig, HyperLoopGroup
+from repro.host import Cluster
+from repro.sim.units import ms, us
+
+
+def make_group(cluster, replicas=3):
+    client = cluster.add_host("pf-client")
+    hosts = cluster.add_hosts(replicas, prefix="pf-replica")
+    group = HyperLoopGroup(client, hosts,
+                           GroupConfig(slots=16, region_size=1 << 20))
+    return group, hosts
+
+
+def run_for(cluster, generator, duration_ms):
+    process = cluster.sim.process(generator)
+    cluster.run(until=cluster.sim.now + ms(duration_ms))
+    return process
+
+
+class TestPrefixProperty:
+    @pytest.mark.parametrize("dead_hop", [0, 1, 2])
+    def test_unacked_op_reaches_only_a_prefix(self, cluster, dead_hop):
+        group, hosts = make_group(cluster)
+
+        def proc():
+            # Break one replica's NIC *before* issuing the op.
+            hosts[dead_hop].nic.on_power_failure()
+            group.write_local(0, b"prefix-check")
+            event = group.gwrite(0, 12)
+            yield cluster.sim.timeout(ms(5))
+            assert not event.triggered  # No tail ACK: client never confirms.
+
+        process = run_for(cluster, proc(), 10)
+        assert process.triggered and process.ok
+        for hop in range(3):
+            data = group.read_replica(hop, 0, 12)
+            if hop < dead_hop:
+                assert data == b"prefix-check", f"hop {hop} missing data"
+            else:
+                assert data == bytes(12), f"hop {hop} unexpectedly has data"
+
+    def test_acked_ops_are_everywhere(self, cluster):
+        """An ACK means every replica has the payload — no exceptions."""
+        group, hosts = make_group(cluster)
+        acked = []
+
+        def proc():
+            group.write_local(0, b"complete-op!")
+            result = yield group.gwrite(0, 12)
+            acked.append(result.slot)
+            hosts[1].nic.on_power_failure()
+
+        process = run_for(cluster, proc(), 10)
+        assert process.ok and acked == [0]
+        for hop in range(3):
+            assert group.read_replica(hop, 0, 12) == b"complete-op!"
+
+    def test_pipeline_freezes_in_order(self, cluster):
+        """With several ops in flight, a mid-chain failure freezes them in
+        slot order: no later op lands anywhere an earlier one is missing."""
+        group, hosts = make_group(cluster)
+
+        def killer():
+            yield cluster.sim.timeout(us(8))
+            hosts[1].nic.on_power_failure()
+
+        def proc():
+            for i in range(8):
+                group.write_local(i * 32, f"op-{i:02d}".encode())
+                group.gwrite(i * 32, 5)
+            yield cluster.sim.timeout(ms(5))
+
+        cluster.sim.process(killer())
+        process = run_for(cluster, proc(), 10)
+        assert process.triggered
+        for hop in range(3):
+            landed = [i for i in range(8)
+                      if group.read_replica(hop, i * 32, 5)
+                      == f"op-{i:02d}".encode()]
+            assert landed == list(range(len(landed))), \
+                f"hop {hop}: non-prefix landing {landed}"
+        # Replica 0 (upstream of the failure) has at least as much as
+        # replica 1, which has at least as much as replica 2.
+        counts = []
+        for hop in range(3):
+            counts.append(sum(
+                1 for i in range(8)
+                if group.read_replica(hop, i * 32, 5)
+                == f"op-{i:02d}".encode()))
+        assert counts[0] >= counts[1] >= counts[2]

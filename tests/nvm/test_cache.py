@@ -1,0 +1,109 @@
+"""Tests for the NIC volatile write cache (the gFLUSH hazard)."""
+
+import pytest
+
+from repro.nvm.cache import NICWriteCache
+from repro.nvm.memory import NVM
+from repro.sim.engine import Simulator
+from repro.sim.units import us
+
+
+@pytest.fixture
+def setup():
+    sim = Simulator()
+    memory = NVM(64 * 1024)
+    cache = NICWriteCache(sim, memory, writeback_delay_ns=us(100),
+                          capacity_bytes=1024)
+    return sim, memory, cache
+
+
+class TestDmaPath:
+    def test_write_visible_immediately(self, setup):
+        _sim, memory, cache = setup
+        cache.dma_write(0, b"payload")
+        assert memory.read(0, 7) == b"payload"
+        assert cache.dma_read(0, 7) == b"payload"
+
+    def test_write_not_durable_until_flush(self, setup):
+        _sim, memory, cache = setup
+        cache.dma_write(0, b"payload")
+        assert memory.read_durable(0, 7) == bytes(7)
+        cache.flush()
+        assert memory.read_durable(0, 7) == b"payload"
+
+    def test_empty_write_ignored(self, setup):
+        _sim, _memory, cache = setup
+        cache.dma_write(0, b"")
+        assert cache.dirty_bytes == 0
+
+    def test_copy_within_via_cache(self, setup):
+        _sim, memory, cache = setup
+        memory.write(0, b"abcdef")
+        cache.dma_copy_within(0, 100, 6)
+        assert memory.read(100, 6) == b"abcdef"
+        assert cache.dirty_bytes == 6
+
+    def test_out_of_bounds_rejected(self, setup):
+        _sim, _memory, cache = setup
+        with pytest.raises(IndexError):
+            cache.dma_write(64 * 1024 - 2, b"toolong")
+
+
+class TestFlushAndWriteback:
+    def test_flush_returns_bytes_drained(self, setup):
+        _sim, _memory, cache = setup
+        cache.dma_write(0, b"12345678")
+        assert cache.flush() == 8
+        assert cache.dirty_bytes == 0
+        assert cache.flushes == 1
+
+    def test_background_writeback_after_delay(self, setup):
+        sim, memory, cache = setup
+        cache.dma_write(0, b"lazy")
+        sim.run(until=us(50))
+        assert memory.read_durable(0, 4) == bytes(4)
+        sim.run(until=us(150))
+        assert memory.read_durable(0, 4) == b"lazy"
+        assert cache.writebacks == 1
+
+    def test_capacity_pressure_forces_flush(self, setup):
+        _sim, memory, cache = setup
+        cache.dma_write(0, b"x" * 1024)
+        cache.dma_write(2048, b"y")  # Pushes past capacity.
+        assert memory.read_durable(0, 1024) == b"x" * 1024
+        assert cache.flushes == 1
+
+    def test_flush_preserves_write_order(self, setup):
+        _sim, memory, cache = setup
+        cache.dma_write(0, b"first")
+        cache.dma_write(0, b"secon")
+        cache.flush()
+        assert memory.read_durable(0, 5) == b"secon"
+
+
+class TestPowerFailure:
+    def test_unflushed_data_lost(self, setup):
+        _sim, memory, cache = setup
+        cache.dma_write(0, b"doomed")
+        cache.on_power_failure()
+        memory.on_power_failure()
+        assert memory.read(0, 6) == bytes(6)
+        assert cache.bytes_lost_on_power_failure == 6
+
+    def test_flushed_data_survives(self, setup):
+        _sim, memory, cache = setup
+        cache.dma_write(0, b"safe!!")
+        cache.flush()
+        cache.on_power_failure()
+        memory.on_power_failure()
+        assert memory.read(0, 6) == b"safe!!"
+
+    def test_mixed_flushed_and_pending(self, setup):
+        _sim, memory, cache = setup
+        cache.dma_write(0, b"early")
+        cache.flush()
+        cache.dma_write(100, b"late")
+        cache.on_power_failure()
+        memory.on_power_failure()
+        assert memory.read(0, 5) == b"early"
+        assert memory.read(100, 4) == bytes(4)

@@ -1,0 +1,53 @@
+"""Tests for power-domain failure injection."""
+
+import pytest
+
+from repro.nvm.memory import DRAM, NVM
+from repro.nvm.power import PowerDomain
+
+
+class Recorder:
+    def __init__(self):
+        self.failures = 0
+
+    def on_power_failure(self):
+        self.failures += 1
+
+
+def test_fail_reaches_all_components():
+    domain = PowerDomain("host")
+    components = [Recorder(), Recorder()]
+    for component in components:
+        domain.register(component)
+    domain.fail()
+    assert all(component.failures == 1 for component in components)
+    assert domain.failures == 1
+
+
+def test_repeated_failures():
+    domain = PowerDomain()
+    component = Recorder()
+    domain.register(component)
+    domain.fail()
+    domain.fail()
+    assert component.failures == 2
+
+
+def test_rejects_non_volatile_objects():
+    domain = PowerDomain()
+    with pytest.raises(TypeError):
+        domain.register(object())
+
+
+def test_mixed_durable_and_volatile():
+    domain = PowerDomain()
+    nvm = NVM(64)
+    dram = DRAM(64)
+    domain.register(nvm)
+    domain.register(dram)
+    nvm.write(0, b"keep")
+    nvm.persist(0, 4)
+    dram.write(0, b"lose")
+    domain.fail()
+    assert nvm.read(0, 4) == b"keep"
+    assert dram.read(0, 4) == bytes(4)

@@ -1,0 +1,107 @@
+"""Tests for the FETCH_ADD atomic and atomic interaction semantics."""
+
+import pytest
+
+from repro.nvm.memory import NVM
+from repro.rdma.fabric import Fabric
+from repro.rdma.nic import RNIC
+from repro.rdma.verbs import Access, WCStatus
+from repro.rdma.wqe import Opcode, Sge, WorkRequest
+from repro.sim.units import ms
+
+
+@pytest.fixture
+def pair(sim):
+    fabric = Fabric(sim)
+    mem_a, mem_b = NVM(1 << 20), NVM(1 << 20)
+    nic_a = RNIC(sim, mem_a, fabric, "fa")
+    nic_b = RNIC(sim, mem_b, fabric, "fb")
+    cq_a, cq_b = nic_a.create_cq(), nic_b.create_cq()
+    qp_a = nic_a.create_qp(cq_a, cq_a, sq_slots=64, rq_slots=16)
+    qp_b = nic_b.create_qp(cq_b, cq_b, sq_slots=16, rq_slots=16)
+    qp_a.connect(qp_b)
+    buf_a = mem_a.allocate(4096, "a")
+    buf_b = mem_b.allocate(4096, "b")
+    mr_b = nic_b.register_mr(buf_b.address, 4096,
+                             Access.REMOTE_ATOMIC | Access.REMOTE_WRITE)
+    return sim, mem_a, mem_b, qp_a, cq_a, buf_a, buf_b, mr_b, nic_b
+
+
+class TestFetchAdd:
+    def test_adds_and_returns_original(self, pair):
+        sim, mem_a, mem_b, qp_a, cq_a, buf_a, buf_b, mr_b, _nb = pair
+        mem_b.write(buf_b.address, (100).to_bytes(8, "little"))
+        qp_a.post_send(WorkRequest(
+            Opcode.FETCH_ADD, [Sge(buf_a.address, 8)],
+            remote_addr=buf_b.address, rkey=mr_b.rkey, swap=5))
+        sim.run(until=ms(1))
+        assert int.from_bytes(mem_b.read(buf_b.address, 8),
+                              "little") == 105
+        assert int.from_bytes(mem_a.read(buf_a.address, 8),
+                              "little") == 100
+        assert cq_a.poll()[0].status is WCStatus.SUCCESS
+
+    def test_sequential_adds_accumulate(self, pair):
+        sim, mem_a, mem_b, qp_a, _cq, buf_a, buf_b, mr_b, _nb = pair
+        for _ in range(10):
+            qp_a.post_send(WorkRequest(
+                Opcode.FETCH_ADD, [Sge(buf_a.address, 8)],
+                remote_addr=buf_b.address, rkey=mr_b.rkey, swap=3))
+        sim.run(until=ms(2))
+        assert int.from_bytes(mem_b.read(buf_b.address, 8),
+                              "little") == 30
+
+    def test_wraps_at_64_bits(self, pair):
+        sim, _ma, mem_b, qp_a, _cq, buf_a, buf_b, mr_b, _nb = pair
+        mem_b.write(buf_b.address, ((1 << 64) - 1).to_bytes(8, "little"))
+        qp_a.post_send(WorkRequest(
+            Opcode.FETCH_ADD, [Sge(buf_a.address, 8)],
+            remote_addr=buf_b.address, rkey=mr_b.rkey, swap=2))
+        sim.run(until=ms(1))
+        assert int.from_bytes(mem_b.read(buf_b.address, 8), "little") == 1
+
+    def test_requires_atomic_permission(self, pair):
+        sim, _ma, _mb, qp_a, cq_a, buf_a, buf_b, _mr, nic_b = pair
+        limited = nic_b.register_mr(buf_b.address, 64, Access.REMOTE_WRITE)
+        qp_a.post_send(WorkRequest(
+            Opcode.FETCH_ADD, [Sge(buf_a.address, 8)],
+            remote_addr=buf_b.address, rkey=limited.rkey, swap=1))
+        sim.run(until=ms(1))
+        assert cq_a.poll()[0].status is WCStatus.REMOTE_ACCESS_ERROR
+
+    def test_triggers_wait_chain(self, pair):
+        """A FETCH_ADD completion can gate a WAIT like any other op."""
+        sim, mem_a, _mb, qp_a, cq_a, buf_a, buf_b, mr_b, nic_b = pair
+        nic_a = qp_a.nic
+        loop_cq = nic_a.create_cq()
+        qp_loop = nic_a.create_qp(loop_cq, loop_cq, sq_slots=8, rq_slots=8)
+        qp_loop.connect(qp_loop)
+        qp_loop.post_send(WorkRequest(Opcode.WAIT, wait_cq=cq_a.cq_id,
+                                      wait_count=1, signaled=False))
+        qp_loop.post_send(WorkRequest(Opcode.NOP, wr_id=9, signaled=True))
+        sim.run(until=ms(1))
+        assert loop_cq.poll() == []  # Gate closed.
+        qp_a.post_send(WorkRequest(
+            Opcode.FETCH_ADD, [Sge(buf_a.address, 8)],
+            remote_addr=buf_b.address, rkey=mr_b.rkey, swap=1))
+        sim.run(until=ms(2))
+        nops = [wc for wc in loop_cq.poll(8) if wc.opcode is Opcode.NOP]
+        assert [wc.wr_id for wc in nops] == [9]
+
+
+class TestAtomicInterleaving:
+    def test_cas_and_faa_on_same_word(self, pair):
+        sim, mem_a, mem_b, qp_a, _cq, buf_a, buf_b, mr_b, _nb = pair
+        qp_a.post_send(WorkRequest(
+            Opcode.FETCH_ADD, [Sge(buf_a.address, 8)],
+            remote_addr=buf_b.address, rkey=mr_b.rkey, swap=7))
+        qp_a.post_send(WorkRequest(
+            Opcode.CAS, [Sge(buf_a.address + 8, 8)],
+            remote_addr=buf_b.address, rkey=mr_b.rkey,
+            compare=7, swap=50))
+        sim.run(until=ms(1))
+        # FIFO per QP: the FAA lands first, so the CAS sees 7 and swaps.
+        assert int.from_bytes(mem_b.read(buf_b.address, 8),
+                              "little") == 50
+        assert int.from_bytes(mem_a.read(buf_a.address + 8, 8),
+                              "little") == 7

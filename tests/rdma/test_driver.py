@@ -1,0 +1,143 @@
+"""Tests for the modified userspace driver: descriptor rings."""
+
+import pytest
+
+from repro.nvm.memory import NVM
+from repro.rdma.driver import RingFullError, WorkQueue
+from repro.rdma.wqe import WQE_SIZE, Opcode, Sge, WorkRequest
+
+
+@pytest.fixture
+def ring():
+    memory = NVM(64 * 1024)
+    alloc = memory.allocate(8 * WQE_SIZE, "ring")
+    return memory, WorkQueue(memory, alloc, name="testwq")
+
+
+class TestPosting:
+    def test_post_and_peek(self, ring):
+        _memory, wq = ring
+        index = wq.post(WorkRequest(Opcode.SEND, [Sge(0, 4)], wr_id=9))
+        assert index == 0
+        decoded = wq.peek_head()
+        assert decoded.opcode is Opcode.SEND
+        assert decoded.wr_id == 9
+        assert decoded.owned
+
+    def test_deferred_ownership(self, ring):
+        """The HyperLoop driver change: post without yielding ownership."""
+        _memory, wq = ring
+        wq.post(WorkRequest(Opcode.WRITE), owned=False)
+        assert not wq.peek_head().owned
+        wq.grant(0)
+        assert wq.peek_head().owned
+
+    def test_ring_full(self, ring):
+        _memory, wq = ring
+        for _ in range(8):
+            wq.post(WorkRequest(Opcode.NOP))
+        with pytest.raises(RingFullError):
+            wq.post(WorkRequest(Opcode.NOP))
+
+    def test_fifo_order(self, ring):
+        _memory, wq = ring
+        for wr_id in range(4):
+            wq.post(WorkRequest(Opcode.NOP, wr_id=wr_id))
+        seen = []
+        while wq.peek_head() is not None:
+            seen.append(wq.peek_head().wr_id)
+            wq.advance_head()
+        assert seen == [0, 1, 2, 3]
+
+    def test_slot_reuse_after_advance(self, ring):
+        _memory, wq = ring
+        for _ in range(8):
+            wq.post(WorkRequest(Opcode.NOP))
+        for _ in range(8):
+            wq.advance_head()
+        index = wq.post(WorkRequest(Opcode.SEND))
+        assert index == 8
+        assert wq.slot_address(8) == wq.slot_address(0)
+
+    def test_advance_past_tail_rejected(self, ring):
+        _memory, wq = ring
+        with pytest.raises(RuntimeError):
+            wq.advance_head()
+
+    def test_empty_peek(self, ring):
+        _memory, wq = ring
+        assert wq.peek_head() is None
+
+
+class TestRemotePatching:
+    def test_memory_patch_changes_behaviour(self, ring):
+        """Writing descriptor bytes directly into ring memory changes what
+        the NIC decodes — the substance of remote WR manipulation."""
+        memory, wq = ring
+        from repro.rdma.wqe import encode_wqe
+        index = wq.post(WorkRequest(Opcode.NOP), owned=False)
+        patch = encode_wqe(WorkRequest(
+            Opcode.WRITE, [Sge(0x500, 128)], remote_addr=0x900, rkey=3),
+            owned=True)
+        memory.write(wq.slot_address(index), patch)
+        decoded = wq.peek_head()
+        assert decoded.opcode is Opcode.WRITE
+        assert decoded.owned
+        assert decoded.remote_addr == 0x900
+
+    def test_field_address(self, ring):
+        _memory, wq = ring
+        base = wq.slot_address(2)
+        assert wq.field_address(2, 16) == base + 16
+        with pytest.raises(ValueError):
+            wq.field_address(0, WQE_SIZE)
+
+
+class TestCyclicRings:
+    def test_cyclic_rearms_slots(self):
+        memory = NVM(64 * 1024)
+        alloc = memory.allocate(4 * WQE_SIZE, "cyc")
+        wq = WorkQueue(memory, alloc, cyclic=True)
+        for _ in range(4):
+            wq.post(WorkRequest(Opcode.NOP), owned=False)
+        for _ in range(10):  # Far more consumes than slots.
+            wq.advance_head()
+        assert wq.outstanding == 4  # Tail follows head.
+
+    def test_cyclic_clears_ownership_on_writeback(self):
+        memory = NVM(64 * 1024)
+        alloc = memory.allocate(2 * WQE_SIZE, "cyc2")
+        wq = WorkQueue(memory, alloc, cyclic=True)
+        wq.post(WorkRequest(Opcode.SEND), owned=True)
+        wq.post(WorkRequest(Opcode.SEND), owned=True)
+        wq.advance_head()
+        wq.advance_head()
+        # Re-armed descriptors are unowned: they stall until re-patched.
+        assert not wq.peek_head().owned
+
+    def test_cyclic_keeps_wait_armed(self):
+        memory = NVM(64 * 1024)
+        alloc = memory.allocate(2 * WQE_SIZE, "cyc3")
+        wq = WorkQueue(memory, alloc, cyclic=True)
+        wq.post(WorkRequest(Opcode.WAIT, wait_cq=1, wait_count=0))
+        wq.post(WorkRequest(Opcode.NOP), owned=False)
+        wq.advance_head()
+        wq.advance_head()
+        assert wq.peek_head().owned  # The WAIT stays NIC-owned.
+
+    def test_cyclic_keeps_recv_armed(self):
+        memory = NVM(64 * 1024)
+        alloc = memory.allocate(WQE_SIZE, "cyc4")
+        wq = WorkQueue(memory, alloc, cyclic=True)
+        wq.post(WorkRequest(Opcode.RECV, [Sge(0, 64)]))
+        wq.advance_head()
+        decoded = wq.peek_head()
+        assert decoded.opcode is Opcode.RECV
+        assert decoded.owned
+
+
+def test_misaligned_ring_rejected():
+    memory = NVM(4096)
+    alloc = memory.allocate(WQE_SIZE + 1, "bad")
+    with pytest.raises(ValueError):
+        WorkQueue(memory, alloc)

@@ -1,0 +1,102 @@
+"""Tests for the fabric model: serialization, propagation, FIFO."""
+
+import pytest
+
+from repro.rdma.fabric import Fabric, FabricParams
+from repro.sim.engine import Simulator
+from repro.sim.units import us
+
+
+def make_pair(sim, **params):
+    fabric = Fabric(sim, FabricParams(**params) if params else None)
+    a = fabric.create_port("a")
+    b = fabric.create_port("b")
+    inbox_a, inbox_b = [], []
+    a.attach(lambda msg: inbox_a.append((sim.now, msg)))
+    b.attach(lambda msg: inbox_b.append((sim.now, msg)))
+    return fabric, a, b, inbox_a, inbox_b
+
+
+class TestDelivery:
+    def test_basic_delivery(self, sim):
+        _fabric, a, b, _inbox_a, inbox_b = make_pair(sim)
+        a.transmit(b, 100, "hello")
+        sim.run()
+        assert len(inbox_b) == 1
+        assert inbox_b[0][1] == "hello"
+
+    def test_propagation_plus_serialization(self, sim):
+        _fabric, a, b, _ia, inbox_b = make_pair(
+            sim, bandwidth_gbps=8.0, propagation_ns=us(1),
+            per_message_overhead_bytes=0)
+        # 8 Gbps = 1 byte/ns; 1000 bytes -> 1000 ns + 1000 ns propagation.
+        a.transmit(b, 1000, "m")
+        sim.run()
+        assert inbox_b[0][0] == 2000
+
+    def test_egress_serialization_queues(self, sim):
+        _fabric, a, b, _ia, inbox_b = make_pair(
+            sim, bandwidth_gbps=8.0, propagation_ns=0,
+            per_message_overhead_bytes=0)
+        a.transmit(b, 1000, "one")
+        a.transmit(b, 1000, "two")
+        sim.run()
+        times = [t for t, _m in inbox_b]
+        assert times == [1000, 2000]  # Second waits for the first.
+
+    def test_fifo_order_preserved(self, sim):
+        _fabric, a, b, _ia, inbox_b = make_pair(sim)
+        for i in range(10):
+            a.transmit(b, 64, i)
+        sim.run()
+        assert [m for _t, m in inbox_b] == list(range(10))
+
+    def test_full_duplex(self, sim):
+        _fabric, a, b, inbox_a, inbox_b = make_pair(
+            sim, bandwidth_gbps=8.0, propagation_ns=0,
+            per_message_overhead_bytes=0)
+        a.transmit(b, 1000, "ab")
+        b.transmit(a, 1000, "ba")
+        sim.run()
+        # Directions do not serialize against each other.
+        assert inbox_a[0][0] == 1000
+        assert inbox_b[0][0] == 1000
+
+    def test_accounting(self, sim):
+        _fabric, a, b, _ia, _ib = make_pair(sim)
+        a.transmit(b, 100, "x")
+        a.transmit(b, 200, "y")
+        assert a.bytes_sent == 300
+        assert a.messages_sent == 2
+
+    def test_unattached_rejected(self, sim):
+        fabric = Fabric(sim)
+        a = fabric.create_port("a")
+        b = fabric.create_port("b")
+        a.attach(lambda m: None)
+        with pytest.raises(RuntimeError):
+            a.transmit(b, 10, "x")
+
+    def test_duplicate_port_name(self, sim):
+        fabric = Fabric(sim)
+        fabric.create_port("x")
+        with pytest.raises(ValueError):
+            fabric.create_port("x")
+
+    def test_min_serialization_one_ns(self, sim):
+        _fabric, a, b, _ia, inbox_b = make_pair(
+            sim, bandwidth_gbps=1000.0, propagation_ns=0,
+            per_message_overhead_bytes=0)
+        a.transmit(b, 0, "tiny")
+        sim.run()
+        assert inbox_b[0][0] >= 1
+
+
+class TestParams:
+    def test_bytes_per_ns(self):
+        assert FabricParams(bandwidth_gbps=56).bytes_per_ns == 7.0
+
+    def test_overhead_included(self):
+        params = FabricParams(bandwidth_gbps=8, per_message_overhead_bytes=66)
+        assert params.serialization_ns(0) == 66
+        assert params.serialization_ns(34) == 100

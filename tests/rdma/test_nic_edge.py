@@ -1,0 +1,188 @@
+"""Edge-case and interaction tests for the RNIC model."""
+
+import pytest
+
+from repro.nvm.memory import NVM
+from repro.rdma.fabric import Fabric, FabricParams
+from repro.rdma.nic import NICParams, RNIC
+from repro.rdma.verbs import Access, WCStatus
+from repro.rdma.wqe import Opcode, Sge, WorkRequest
+from repro.sim.engine import Simulator
+from repro.sim.units import ms, us
+
+FULL = Access.LOCAL_WRITE | Access.REMOTE_WRITE | Access.REMOTE_READ \
+    | Access.REMOTE_ATOMIC
+
+
+def make_pair(sim, params=None):
+    fabric = Fabric(sim)
+    mem_a, mem_b = NVM(1 << 22, "ea.mem"), NVM(1 << 22, "eb.mem")
+    nic_a = RNIC(sim, mem_a, fabric, "ea", params=params)
+    nic_b = RNIC(sim, mem_b, fabric, "eb", params=params)
+    cq_a, cq_b = nic_a.create_cq(), nic_b.create_cq()
+    qp_a = nic_a.create_qp(cq_a, cq_a, sq_slots=128, rq_slots=128)
+    qp_b = nic_b.create_qp(cq_b, cq_b, sq_slots=128, rq_slots=128)
+    qp_a.connect(qp_b)
+    buf_a = mem_a.allocate(1 << 16, "buf")
+    buf_b = mem_b.allocate(1 << 16, "buf")
+    mr_b = nic_b.register_mr(buf_b.address, 1 << 16, FULL)
+    return (nic_a, nic_b, qp_a, qp_b, cq_a, cq_b, mem_a, mem_b,
+            buf_a, buf_b, mr_b)
+
+
+class TestPipelining:
+    def test_many_outstanding_writes_all_land(self, sim):
+        (nic_a, _nb, qp_a, _qb, cq_a, _cb, mem_a, mem_b,
+         buf_a, buf_b, mr_b) = make_pair(sim)
+        for i in range(64):
+            mem_a.write(buf_a.address + i * 16, bytes([i]) * 16)
+            qp_a.post_send(WorkRequest(
+                Opcode.WRITE, [Sge(buf_a.address + i * 16, 16)],
+                remote_addr=buf_b.address + i * 16, rkey=mr_b.rkey))
+        sim.run(until=ms(5))
+        for i in range(64):
+            assert mem_b.read(buf_b.address + i * 16, 16) == bytes([i]) * 16
+        assert len(cq_a.poll(128)) == 64
+
+    def test_pipelining_faster_than_serial_rtt(self, sim):
+        """N outstanding small writes complete in far less than N RTTs."""
+        (nic_a, _nb, qp_a, _qb, cq_a, _cb, mem_a, _mb,
+         buf_a, buf_b, mr_b) = make_pair(sim)
+        count = 32
+        finished = []
+        cq_a.subscribe_count(count, lambda: finished.append(sim.now))
+        for _ in range(count):
+            qp_a.post_send(WorkRequest(
+                Opcode.WRITE, [Sge(buf_a.address, 32)],
+                remote_addr=buf_b.address, rkey=mr_b.rkey))
+        sim.run(until=ms(10))
+        assert len(cq_a.poll(64)) == count
+        assert finished
+        # One-at-a-time would take >= count * RTT (~2.5 us each);
+        # pipelining overlaps the round trips.
+        serial_floor = count * us(2)
+        assert finished[0] < serial_floor
+
+    def test_per_qp_fifo_execution(self, sim):
+        """WQEs on one QP execute strictly in post order."""
+        (nic_a, _nb, qp_a, qp_b, cq_a, cq_b, mem_a, mem_b,
+         buf_a, buf_b, mr_b) = make_pair(sim)
+        for i in range(8):
+            qp_b.post_recv(WorkRequest(
+                Opcode.RECV, [Sge(buf_b.address + 1024 + i * 8, 8)],
+                wr_id=100 + i))
+        for i in range(8):
+            mem_a.write(buf_a.address + i * 8, bytes([i]) * 8)
+            qp_a.post_send(WorkRequest(
+                Opcode.SEND, [Sge(buf_a.address + i * 8, 8)], wr_id=i))
+        sim.run(until=ms(2))
+        recv_order = [wc.wr_id for wc in cq_b.poll(16)]
+        assert recv_order == [100 + i for i in range(8)]
+        for i in range(8):
+            assert mem_b.read(buf_b.address + 1024 + i * 8, 8) \
+                == bytes([i]) * 8
+
+
+class TestInterQpParallelism:
+    def test_two_qps_execute_concurrently(self, sim):
+        """A stalled QP (unowned WQE) does not block a sibling QP."""
+        fabric = Fabric(sim)
+        mem_a, mem_b = NVM(1 << 22), NVM(1 << 22)
+        nic_a = RNIC(sim, mem_a, fabric, "pa")
+        nic_b = RNIC(sim, mem_b, fabric, "pb")
+        cq = nic_a.create_cq()
+        cq_b = nic_b.create_cq()
+        qp1 = nic_a.create_qp(cq, cq, sq_slots=8, rq_slots=8)
+        qp2 = nic_a.create_qp(cq, cq, sq_slots=8, rq_slots=8)
+        peer1 = nic_b.create_qp(cq_b, cq_b, sq_slots=8, rq_slots=8)
+        peer2 = nic_b.create_qp(cq_b, cq_b, sq_slots=8, rq_slots=8)
+        qp1.connect(peer1)
+        qp2.connect(peer2)
+        buf_a = mem_a.allocate(4096, "a")
+        buf_b = mem_b.allocate(4096, "b")
+        mr_b = nic_b.register_mr(buf_b.address, 4096, FULL)
+        # qp1 stalls on an unowned descriptor…
+        qp1.post_send(WorkRequest(
+            Opcode.WRITE, [Sge(buf_a.address, 4)],
+            remote_addr=buf_b.address, rkey=mr_b.rkey), owned=False)
+        # …while qp2 proceeds.
+        mem_a.write(buf_a.address + 100, b"flow")
+        qp2.post_send(WorkRequest(
+            Opcode.WRITE, [Sge(buf_a.address + 100, 4)],
+            remote_addr=buf_b.address + 100, rkey=mr_b.rkey))
+        sim.run(until=ms(1))
+        assert mem_b.read(buf_b.address + 100, 4) == b"flow"
+        assert mem_b.read(buf_b.address, 4) == bytes(4)
+
+
+class TestCacheBehaviour:
+    def test_flush_counter_increments_per_read(self, sim):
+        (nic_a, nic_b, qp_a, _qb, _ca, _cb, mem_a, _mb,
+         buf_a, buf_b, mr_b) = make_pair(sim)
+        for _ in range(3):
+            qp_a.post_send(WorkRequest(
+                Opcode.READ, [Sge(buf_a.address, 0)],
+                remote_addr=buf_b.address, rkey=mr_b.rkey))
+        sim.run(until=ms(1))
+        assert nic_b.cache.flushes == 3
+
+    def test_lazy_writeback_eventually_persists(self, sim):
+        params = NICParams(cache_writeback_ns=us(50))
+        (nic_a, _nb, qp_a, _qb, _ca, _cb, mem_a, mem_b,
+         buf_a, buf_b, mr_b) = make_pair(sim, params=params)
+        mem_a.write(buf_a.address, b"lazy-persist")
+        qp_a.post_send(WorkRequest(
+            Opcode.WRITE, [Sge(buf_a.address, 12)],
+            remote_addr=buf_b.address, rkey=mr_b.rkey))
+        sim.run(until=ms(1))
+        assert mem_b.read_durable(buf_b.address, 12) == b"lazy-persist"
+
+
+class TestCounters:
+    def test_message_accounting(self, sim):
+        (nic_a, nic_b, qp_a, _qb, _ca, _cb, mem_a, _mb,
+         buf_a, buf_b, mr_b) = make_pair(sim)
+        qp_a.post_send(WorkRequest(
+            Opcode.WRITE, [Sge(buf_a.address, 64)],
+            remote_addr=buf_b.address, rkey=mr_b.rkey))
+        sim.run(until=ms(1))
+        assert nic_b.messages_handled.value >= 1  # The write request.
+        assert nic_a.messages_handled.value >= 1  # The ack.
+        assert nic_a.wqes_executed.value == 1
+        assert nic_a.port.messages_sent == 1
+
+    def test_wire_bytes_counted(self, sim):
+        (nic_a, _nb, qp_a, _qb, _ca, _cb, mem_a, _mb,
+         buf_a, buf_b, mr_b) = make_pair(sim)
+        qp_a.post_send(WorkRequest(
+            Opcode.WRITE, [Sge(buf_a.address, 500)],
+            remote_addr=buf_b.address, rkey=mr_b.rkey))
+        sim.run(until=ms(1))
+        assert nic_a.port.bytes_sent == 500
+
+
+class TestBandwidthEffects:
+    def test_large_transfer_takes_serialization_time(self, sim):
+        """A 1 MiB write takes at least size/line-rate to deliver."""
+        fabric_params = FabricParams(bandwidth_gbps=56)
+        fabric = Fabric(sim, fabric_params)
+        mem_a, mem_b = NVM(1 << 22), NVM(1 << 22)
+        nic_a = RNIC(sim, mem_a, fabric, "bw-a")
+        nic_b = RNIC(sim, mem_b, fabric, "bw-b")
+        cq = nic_a.create_cq()
+        cq_b = nic_b.create_cq()
+        qp_a = nic_a.create_qp(cq, cq, sq_slots=8, rq_slots=8)
+        qp_b = nic_b.create_qp(cq_b, cq_b, sq_slots=8, rq_slots=8)
+        qp_a.connect(qp_b)
+        buf_a = mem_a.allocate(1 << 20, "big")
+        buf_b = mem_b.allocate(1 << 20, "big")
+        mr_b = nic_b.register_mr(buf_b.address, 1 << 20, Access.REMOTE_WRITE)
+        qp_a.post_send(WorkRequest(
+            Opcode.WRITE, [Sge(buf_a.address, 1 << 20)],
+            remote_addr=buf_b.address, rkey=mr_b.rkey))
+        done = []
+        cq.subscribe_count(1, lambda: done.append(sim.now))
+        sim.run(until=ms(10))
+        assert done
+        serialization_floor = int((1 << 20) / 7.0)  # 56 Gbps = 7 B/ns.
+        assert done[0] >= serialization_floor

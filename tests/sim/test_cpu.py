@@ -1,0 +1,314 @@
+"""Unit tests for the per-core CFS-like CPU scheduler."""
+
+import pytest
+
+from repro.sim.cpu import HostCPU, SchedParams, ThreadState
+from repro.sim.engine import Simulator
+from repro.sim.units import ms, us
+
+
+def make_cpu(sim, cores=2, **overrides):
+    params = SchedParams(**overrides)
+    return HostCPU(sim, cores, params=params)
+
+
+class TestBasicService:
+    def test_single_thread_gets_service(self, sim):
+        cpu = make_cpu(sim, cores=1, context_switch_ns=0)
+        thread = cpu.spawn_thread("worker")
+        done = thread.run(us(100))
+        sim.run()
+        assert done.triggered
+        assert sim.now == us(100)
+        assert thread.cpu_time_ns == us(100)
+
+    def test_context_switch_cost_added(self, sim):
+        cpu = make_cpu(sim, cores=1, context_switch_ns=us(5))
+        thread = cpu.spawn_thread("worker")
+        thread.run(us(100))
+        sim.run()
+        assert sim.now == us(105)
+        assert cpu.context_switches.value == 1
+
+    def test_zero_service_completes_instantly(self, sim):
+        cpu = make_cpu(sim, cores=1)
+        thread = cpu.spawn_thread("worker")
+        done = thread.run(0)
+        assert done.triggered
+
+    def test_negative_service_rejected(self, sim):
+        cpu = make_cpu(sim, cores=1)
+        thread = cpu.spawn_thread("worker")
+        with pytest.raises(ValueError):
+            thread.run(-1)
+
+    def test_outstanding_work_rejected(self, sim):
+        cpu = make_cpu(sim, cores=1)
+        thread = cpu.spawn_thread("worker")
+        thread.run(us(10))
+        with pytest.raises(RuntimeError):
+            thread.run(us(10))
+
+    def test_sequential_runs_accumulate(self, sim):
+        cpu = make_cpu(sim, cores=1, context_switch_ns=0)
+
+        def proc(sim, thread):
+            yield thread.run(us(10))
+            yield thread.run(us(20))
+            return sim.now
+
+        thread = cpu.spawn_thread("worker")
+        process = sim.process(proc(sim, thread))
+        sim.run()
+        assert process.value == us(30)
+        assert thread.cpu_time_ns == us(30)
+
+    def test_needs_at_least_one_core(self, sim):
+        with pytest.raises(ValueError):
+            HostCPU(sim, 0)
+
+
+class TestMultiCore:
+    def test_parallel_threads_use_both_cores(self, sim):
+        cpu = make_cpu(sim, cores=2, context_switch_ns=0)
+        a = cpu.spawn_thread("a")
+        b = cpu.spawn_thread("b")
+        a.run(ms(1))
+        b.run(ms(1))
+        sim.run()
+        assert sim.now == ms(1)  # Ran in parallel, not serially.
+
+    def test_oversubscription_serializes(self, sim):
+        cpu = make_cpu(sim, cores=1, context_switch_ns=0)
+        a = cpu.spawn_thread("a")
+        b = cpu.spawn_thread("b")
+        a.run(ms(1))
+        b.run(ms(1))
+        sim.run()
+        assert sim.now == ms(2)
+
+    def test_fair_sharing_under_contention(self, sim):
+        """Two CPU-bound threads on one core split it roughly evenly."""
+        cpu = make_cpu(sim, cores=1, context_switch_ns=0)
+        a = cpu.spawn_thread("a")
+        b = cpu.spawn_thread("b")
+        a.run_forever()
+        b.run_forever()
+        sim.run(until=ms(100))
+        total = a.cpu_time_ns + b.cpu_time_ns
+        assert total > 0
+        assert abs(a.cpu_time_ns - b.cpu_time_ns) / total < 0.1
+
+    def test_idle_core_steals_work(self, sim):
+        """Threads queued on one busy core migrate to an idle one."""
+        cpu = make_cpu(sim, cores=2, context_switch_ns=0)
+        # Fill core queues: three CPU hogs.
+        hogs = cpu.spawn_background_load(3)
+        sim.run(until=ms(30))
+        # All three hogs progressed: the third was stolen by the idle core.
+        assert all(hog.cpu_time_ns > ms(5) for hog in hogs)
+
+
+class TestWakeupBehaviour:
+    def test_unloaded_wakeup_is_fast(self, sim):
+        cpu = make_cpu(sim, cores=2, context_switch_ns=us(2))
+        worker = cpu.spawn_thread("worker")
+        latencies = []
+
+        def proc(sim):
+            for _ in range(10):
+                yield sim.timeout(ms(1))
+                start = sim.now
+                yield worker.run(us(5))
+                latencies.append(sim.now - start)
+
+        sim.process(proc(sim))
+        sim.run()
+        # Idle machine: service + context switch only.
+        assert all(latency <= us(10) for latency in latencies)
+
+    def test_loaded_wakeup_waits_for_slice(self, sim):
+        """With a hog per core, a wakeup waits out the current timeslice
+        (no preemption: sleeper bonus < wakeup granularity)."""
+        cpu = make_cpu(sim, cores=1, context_switch_ns=0,
+                       min_granularity_ns=us(750),
+                       wakeup_granularity_ns=us(1000),
+                       sleeper_bonus_ns=us(900))
+        cpu.spawn_background_load(2)
+        worker = cpu.spawn_thread("worker")
+        waits = []
+
+        def proc(sim):
+            for _ in range(20):
+                yield sim.timeout(us(3100))
+                start = sim.now
+                yield worker.run(us(5))
+                waits.append(sim.now - start)
+
+        sim.process(proc(sim))
+        sim.run(until=ms(90))
+        assert waits, "no wakeups measured"
+        # Some wakeups must have waited a meaningful fraction of a slice.
+        assert max(waits) > us(200)
+        # But bounded: the bonus queues it near the head — far below a
+        # full rotation of the two hogs (2 x timeslice(3) = 4 ms each).
+        assert max(waits) < 2 * cpu.params.timeslice(3) + us(100)
+
+    def test_sleeper_bonus_prioritizes_waker(self, sim):
+        """A woken thread runs before queued CPU hogs on the same core."""
+        cpu = make_cpu(sim, cores=1, context_switch_ns=0)
+        cpu.spawn_background_load(4)
+        sim.run(until=ms(20))  # Let hog vruntimes accumulate.
+        worker = cpu.spawn_thread("worker")
+        start = sim.now
+        finished = []
+        done = worker.run(us(5))
+        done.add_callback(lambda _e: finished.append(sim.now))
+        sim.run(until=sim.now + ms(10))
+        assert finished
+        # Despite 4 queued hogs, the worker lands near the queue head:
+        # far less than the hogs' full rotation (4 x timeslice).
+        rotation = 4 * cpu.params.timeslice(5)
+        assert finished[0] - start < rotation
+
+    def test_sleeper_credit_preempts_when_granularity_small(self, sim):
+        """A thread that *slept* wakes with a vruntime credit; when the
+        wakeup granularity is below that credit, it preempts mid-slice."""
+        cpu = make_cpu(sim, cores=1, context_switch_ns=0,
+                       wakeup_granularity_ns=us(100),
+                       sleeper_bonus_ns=us(900))
+        hog = cpu.spawn_thread("hog")
+        hog.run_forever()
+        worker = cpu.spawn_thread("worker")
+        waits = []
+
+        def proc(sim):
+            # First run earns the worker a history; subsequent sleeps give
+            # it the sleeper credit relative to the advancing min_vruntime.
+            for _ in range(5):
+                yield sim.timeout(ms(7))
+                start = sim.now
+                yield worker.run(us(5))
+                waits.append(sim.now - start)
+
+        sim.process(proc(sim))
+        sim.run(until=ms(60))
+        assert len(waits) == 5
+        # After the first wake, the credit beats the 0.1 ms granularity:
+        # the hog is preempted mid-slice instead of running out 6 ms.
+        assert all(wait < ms(1) for wait in waits[1:])
+
+    def test_no_preemption_when_granularity_exceeds_credit(self, sim):
+        """Default params: bonus < granularity, so wakeups wait the slice."""
+        cpu = make_cpu(sim, cores=1, context_switch_ns=0,
+                       wakeup_granularity_ns=us(1000),
+                       sleeper_bonus_ns=us(900))
+        hog = cpu.spawn_thread("hog")
+        hog.run_forever()
+        worker = cpu.spawn_thread("worker")
+        waits = []
+
+        def proc(sim):
+            for _ in range(5):
+                yield sim.timeout(ms(7))
+                start = sim.now
+                yield worker.run(us(5))
+                waits.append(sim.now - start)
+
+        sim.process(proc(sim))
+        sim.run(until=ms(80))
+        assert len(waits) >= 4
+        # Every wake lands mid-slice and has to wait it out.
+        assert max(waits[1:]) > us(100)
+
+
+class TestWhenRunning:
+    def test_fires_when_scheduled(self, sim):
+        cpu = make_cpu(sim, cores=1, context_switch_ns=0)
+        poller = cpu.spawn_thread("poller")
+        poller.run_forever()
+        event = poller.when_running()
+        sim.run(until=us(10))
+        assert event.triggered
+
+    def test_immediate_when_already_running(self, sim):
+        cpu = make_cpu(sim, cores=1, context_switch_ns=0)
+        poller = cpu.spawn_thread("poller")
+        poller.run_forever()
+        sim.run(until=us(100))
+        assert poller.state is ThreadState.RUNNING
+        assert poller.when_running().triggered
+
+    def test_waits_while_descheduled(self, sim):
+        cpu = make_cpu(sim, cores=1, context_switch_ns=0)
+        poller = cpu.spawn_thread("poller")
+        other = cpu.spawn_thread("other")
+        poller.run_forever()
+        other.run_forever()
+        sim.run(until=us(100))
+        # One of them is running; the other must wait for its turn.
+        waiting = other if poller.state is ThreadState.RUNNING else poller
+        event = waiting.when_running()
+        assert not event.triggered
+        sim.run(until=sim.now + ms(10))
+        assert event.triggered
+
+
+class TestStop:
+    def test_stop_runnable_thread(self, sim):
+        cpu = make_cpu(sim, cores=1, context_switch_ns=0)
+        a = cpu.spawn_thread("a")
+        b = cpu.spawn_thread("b")
+        a.run_forever()
+        b.run_forever()
+        sim.run(until=ms(5))
+        queued = b if b.state is ThreadState.RUNNABLE else a
+        queued.stop()
+        assert queued.state is ThreadState.BLOCKED
+        sim.run(until=ms(20))
+        running = a if queued is b else b
+        assert running.cpu_time_ns > queued.cpu_time_ns
+
+    def test_stop_running_thread_frees_core(self, sim):
+        cpu = make_cpu(sim, cores=1, context_switch_ns=0)
+        hog = cpu.spawn_thread("hog")
+        hog.run_forever()
+        sim.run(until=ms(1))
+        hog.stop()
+        worker = cpu.spawn_thread("worker")
+        done = worker.run(us(10))
+        sim.run(until=sim.now + ms(20))
+        assert done.triggered
+        assert hog.state is ThreadState.BLOCKED
+
+
+class TestAccounting:
+    def test_utilization_full_load(self, sim):
+        cpu = make_cpu(sim, cores=2, context_switch_ns=0)
+        cpu.spawn_background_load(4)
+        sim.run(until=ms(50))
+        assert cpu.utilization(ms(50)) > 0.95
+
+    def test_utilization_idle(self, sim):
+        cpu = make_cpu(sim, cores=2)
+        sim.run(until=ms(10))
+        assert cpu.utilization(ms(10)) == 0.0
+
+    def test_thread_utilization(self, sim):
+        cpu = make_cpu(sim, cores=2, context_switch_ns=0)
+        hog = cpu.spawn_thread("hog")
+        hog.run_forever()
+        sim.run(until=ms(10))
+        assert cpu.thread_utilization(hog, ms(10)) > 0.95
+
+    def test_context_switches_counted_under_contention(self, sim):
+        cpu = make_cpu(sim, cores=1, context_switch_ns=0)
+        cpu.spawn_background_load(3)
+        sim.run(until=ms(50))
+        # Round-robin among 3 threads: many switches.
+        assert cpu.context_switches.value > 10
+
+    def test_bad_window_rejected(self, sim):
+        cpu = make_cpu(sim, cores=1)
+        with pytest.raises(ValueError):
+            cpu.utilization(0)

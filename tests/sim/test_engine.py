@@ -1,0 +1,317 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    SimulationError,
+    Simulator,
+)
+
+
+class TestEvent:
+    def test_starts_untriggered(self, sim):
+        event = sim.event()
+        assert not event.triggered
+        assert not event.processed
+
+    def test_succeed_carries_value(self, sim):
+        event = sim.event()
+        event.succeed(42)
+        assert event.triggered
+        assert event.ok
+        assert event.value == 42
+
+    def test_double_trigger_rejected(self, sim):
+        event = sim.event()
+        event.succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_fail_requires_exception(self, sim):
+        event = sim.event()
+        with pytest.raises(TypeError):
+            event.fail("not an exception")
+
+    def test_value_before_trigger_raises(self, sim):
+        event = sim.event()
+        with pytest.raises(SimulationError):
+            _ = event.value
+        with pytest.raises(SimulationError):
+            _ = event.ok
+
+    def test_late_callback_runs_immediately(self, sim):
+        event = sim.event()
+        event.succeed("x")
+        sim.run()
+        seen = []
+        event.add_callback(lambda e: seen.append(e.value))
+        assert seen == ["x"]
+
+
+class TestTimeout:
+    def test_advances_clock(self, sim):
+        fired = []
+
+        def proc(sim):
+            yield sim.timeout(500)
+            fired.append(sim.now)
+
+        sim.process(proc(sim))
+        sim.run()
+        assert fired == [500]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.timeout(-1)
+
+    def test_zero_delay_fires_now(self, sim):
+        times = []
+
+        def proc(sim):
+            yield sim.timeout(0)
+            times.append(sim.now)
+
+        sim.process(proc(sim))
+        sim.run()
+        assert times == [0]
+
+    def test_timeout_value_passthrough(self, sim):
+        def proc(sim):
+            got = yield sim.timeout(10, value="payload")
+            return got
+
+        process = sim.process(proc(sim))
+        sim.run()
+        assert process.value == "payload"
+
+    def test_fifo_at_equal_times(self, sim):
+        order = []
+
+        def proc(sim, tag):
+            yield sim.timeout(100)
+            order.append(tag)
+
+        for tag in range(5):
+            sim.process(proc(sim, tag))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+
+class TestProcess:
+    def test_return_value(self, sim):
+        def proc(sim):
+            yield sim.timeout(1)
+            return "done"
+
+        process = sim.process(proc(sim))
+        sim.run()
+        assert process.value == "done"
+
+    def test_join_another_process(self, sim):
+        def child(sim):
+            yield sim.timeout(50)
+            return 7
+
+        def parent(sim):
+            value = yield sim.process(child(sim))
+            return value * 2
+
+        process = sim.process(parent(sim))
+        sim.run()
+        assert process.value == 14
+        assert sim.now == 50
+
+    def test_exception_propagates_to_joiner(self, sim):
+        def child(sim):
+            yield sim.timeout(1)
+            raise RuntimeError("boom")
+
+        def parent(sim):
+            try:
+                yield sim.process(child(sim))
+            except RuntimeError as exc:
+                return f"caught {exc}"
+
+        process = sim.process(parent(sim))
+        sim.run()
+        assert process.value == "caught boom"
+
+    def test_unjoined_exception_escapes_loudly(self, sim):
+        """A failed process nobody joined must crash the run, not vanish."""
+        def proc(sim):
+            yield sim.timeout(1)
+            raise ValueError("bad")
+
+        process = sim.process(proc(sim))
+        with pytest.raises(ValueError, match="bad"):
+            sim.run()
+        assert process.triggered
+        assert not process.ok
+
+    def test_requires_generator(self, sim):
+        with pytest.raises(TypeError):
+            sim.process(lambda: None)
+
+    def test_interrupt_delivers_cause(self, sim):
+        def proc(sim):
+            try:
+                yield sim.timeout(1000)
+            except Interrupt as interrupt:
+                return ("interrupted", interrupt.cause, sim.now)
+
+        process = sim.process(proc(sim))
+        sim.call_at(100, lambda: process.interrupt("stop it"))
+        sim.run()
+        assert process.value == ("interrupted", "stop it", 100)
+
+    def test_interrupt_finished_process_rejected(self, sim):
+        def proc(sim):
+            yield sim.timeout(1)
+
+        process = sim.process(proc(sim))
+        sim.run()
+        with pytest.raises(SimulationError):
+            process.interrupt()
+
+    def test_stale_wait_after_interrupt_ignored(self, sim):
+        """After an interrupt, the superseded event must not resume the
+        process a second time."""
+        log = []
+
+        def proc(sim):
+            try:
+                yield sim.timeout(100)
+                log.append("timeout")
+            except Interrupt:
+                log.append("interrupt")
+            yield sim.timeout(500)
+            log.append("after")
+
+        process = sim.process(proc(sim))
+        sim.call_at(10, lambda: process.interrupt())
+        sim.run()
+        assert log == ["interrupt", "after"]
+        assert sim.now == 510
+
+    def test_is_alive(self, sim):
+        def proc(sim):
+            yield sim.timeout(10)
+
+        process = sim.process(proc(sim))
+        assert process.is_alive
+        sim.run()
+        assert not process.is_alive
+
+
+class TestCombinators:
+    def test_all_of_collects_values(self, sim):
+        def proc(sim):
+            values = yield sim.all_of([sim.timeout(10, "a"),
+                                       sim.timeout(30, "b"),
+                                       sim.timeout(20, "c")])
+            return (values, sim.now)
+
+        process = sim.process(proc(sim))
+        sim.run()
+        assert process.value == (["a", "b", "c"], 30)
+
+    def test_all_of_empty_fires_immediately(self, sim):
+        event = sim.all_of([])
+        assert event.triggered
+        assert event.value == []
+
+    def test_any_of_returns_winner(self, sim):
+        def proc(sim):
+            fast = sim.timeout(5, "fast")
+            slow = sim.timeout(50, "slow")
+            winner, value = yield sim.any_of([slow, fast])
+            return (winner is fast, value, sim.now)
+
+        process = sim.process(proc(sim))
+        sim.run()
+        assert process.value == (True, "fast", 5)
+
+    def test_any_of_empty_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.any_of([])
+
+    def test_all_of_failure_propagates(self, sim):
+        def failer(sim):
+            yield sim.timeout(1)
+            raise RuntimeError("nope")
+
+        def proc(sim):
+            try:
+                yield sim.all_of([sim.timeout(100),
+                                  sim.process(failer(sim))])
+            except RuntimeError:
+                return "failed"
+
+        process = sim.process(proc(sim))
+        sim.run()
+        assert process.value == "failed"
+
+
+class TestSimulatorRun:
+    def test_run_until_advances_exactly(self, sim):
+        sim.run(until=1000)
+        assert sim.now == 1000
+
+    def test_run_until_past_rejected(self, sim):
+        sim.run(until=100)
+        with pytest.raises(SimulationError):
+            sim.run(until=50)
+
+    def test_events_beyond_until_stay_queued(self, sim):
+        fired = []
+
+        def proc(sim):
+            yield sim.timeout(200)
+            fired.append(sim.now)
+
+        sim.process(proc(sim))
+        sim.run(until=100)
+        assert fired == []
+        sim.run(until=300)
+        assert fired == [200]
+
+    def test_call_at(self, sim):
+        calls = []
+        sim.call_at(50, lambda: calls.append(sim.now))
+        sim.call_at(25, lambda: calls.append(sim.now))
+        sim.run()
+        assert calls == [25, 50]
+
+    def test_call_at_past_rejected(self, sim):
+        sim.run(until=10)
+        with pytest.raises(SimulationError):
+            sim.call_at(5, lambda: None)
+
+    def test_peek(self, sim):
+        assert sim.peek() is None
+        sim.timeout(40)
+        assert sim.peek() == 40
+
+    def test_yield_non_event_errors_process(self, sim):
+        def proc(sim):
+            yield "not an event"
+
+        process = sim.process(proc(sim))
+        with pytest.raises(SimulationError):
+            sim.run()
+        assert not process.ok
+
+    def test_yield_non_event_can_be_caught(self, sim):
+        def proc(sim):
+            try:
+                yield "not an event"
+            except SimulationError:
+                return "recovered"
+
+        process = sim.process(proc(sim))
+        sim.run()
+        assert process.value == "recovered"

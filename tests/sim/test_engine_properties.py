@@ -1,0 +1,125 @@
+"""Property-based tests of the simulation kernel's core guarantees."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.engine import Simulator
+
+
+class TestTemporalOrdering:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=10 ** 9),
+                    min_size=1, max_size=60))
+    def test_timeouts_fire_in_time_order(self, delays):
+        """Regardless of creation order, callbacks run in time order."""
+        sim = Simulator()
+        fired = []
+        for delay in delays:
+            sim.timeout(delay).add_callback(
+                lambda _e, d=delay: fired.append((sim.now, d)))
+        sim.run()
+        times = [time for time, _d in fired]
+        assert times == sorted(times)
+        assert sorted(d for _t, d in fired) == sorted(delays)
+        assert all(time == delay for time, delay in fired)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=100),
+                    min_size=2, max_size=30))
+    def test_equal_times_preserve_fifo(self, delays):
+        """Events scheduled for the same instant fire in creation order."""
+        sim = Simulator()
+        fired = []
+        for index, delay in enumerate(delays):
+            sim.timeout(delay).add_callback(
+                lambda _e, i=index: fired.append(i))
+        sim.run()
+        by_delay = {}
+        for index in fired:
+            by_delay.setdefault(delays[index], []).append(index)
+        for indices in by_delay.values():
+            assert indices == sorted(indices)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(min_value=1, max_value=10 ** 6),
+                    min_size=1, max_size=25))
+    def test_clock_never_goes_backwards(self, delays):
+        sim = Simulator()
+        observed = []
+
+        def proc(sim, delay):
+            yield sim.timeout(delay)
+            observed.append(sim.now)
+
+        for delay in delays:
+            sim.process(proc(sim, delay))
+        last = -1
+        while sim.peek() is not None:
+            sim.step()
+            assert sim.now >= last
+            last = sim.now
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=1000),
+                    min_size=1, max_size=20),
+           st.integers(min_value=0, max_value=1500))
+    def test_run_until_boundary(self, delays, until):
+        """run(until=T) fires exactly the events with time <= T."""
+        sim = Simulator()
+        fired = []
+        for delay in delays:
+            sim.timeout(delay).add_callback(lambda _e, d=delay:
+                                            fired.append(d))
+        sim.run(until=until)
+        assert sorted(fired) == sorted(d for d in delays if d <= until)
+        assert sim.now == until
+
+
+class TestProcessComposition:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=10 ** 5),
+                    min_size=1, max_size=12))
+    def test_all_of_completes_at_max(self, delays):
+        sim = Simulator()
+
+        def proc(sim):
+            yield sim.all_of([sim.timeout(d) for d in delays])
+            return sim.now
+
+        process = sim.process(proc(sim))
+        sim.run()
+        assert process.value == max(delays)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=10 ** 5),
+                    min_size=1, max_size=12))
+    def test_any_of_completes_at_min(self, delays):
+        sim = Simulator()
+
+        def proc(sim):
+            yield sim.any_of([sim.timeout(d) for d in delays])
+            return sim.now
+
+        process = sim.process(proc(sim))
+        sim.run()
+        assert process.value == min(delays)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.lists(st.integers(min_value=1, max_value=1000),
+                             min_size=1, max_size=6),
+                    min_size=1, max_size=8))
+    def test_sequential_process_sums_delays(self, stages_per_process):
+        """A process yielding timeouts back to back takes exactly their
+        sum; concurrent processes do not disturb each other."""
+        sim = Simulator()
+        processes = []
+
+        def proc(sim, stages):
+            for stage in stages:
+                yield sim.timeout(stage)
+            return sim.now
+
+        for stages in stages_per_process:
+            processes.append((sim.process(proc(sim, stages)), sum(stages)))
+        sim.run()
+        for process, expected in processes:
+            assert process.value == expected

@@ -1,0 +1,49 @@
+"""Tests for time/size unit conversions."""
+
+from hypothesis import given, strategies as st
+
+from repro.sim.units import (
+    GiB,
+    KiB,
+    MiB,
+    gbps_to_bytes_per_ns,
+    ms,
+    ns,
+    seconds,
+    to_ms,
+    to_seconds,
+    to_us,
+    us,
+)
+
+
+def test_fixed_conversions():
+    assert us(1) == 1_000
+    assert ms(1) == 1_000_000
+    assert seconds(1) == 1_000_000_000
+    assert ns(17) == 17
+    assert to_us(1_000) == 1.0
+    assert to_ms(1_000_000) == 1.0
+    assert to_seconds(10 ** 9) == 1.0
+
+
+def test_sizes():
+    assert KiB == 1024
+    assert MiB == 1024 * 1024
+    assert GiB == 1024 ** 3
+
+
+def test_bandwidth():
+    # 56 Gbps is 7 bytes per nanosecond.
+    assert gbps_to_bytes_per_ns(56) == 7.0
+    assert gbps_to_bytes_per_ns(8) == 1.0
+
+
+@given(st.floats(min_value=0, max_value=10 ** 6, allow_nan=False))
+def test_roundtrip_us(value):
+    assert abs(to_us(us(value)) - value) <= 0.001
+
+
+@given(st.integers(min_value=0, max_value=10 ** 12))
+def test_ordering_preserved(value):
+    assert us(value) <= ms(value) <= seconds(value)

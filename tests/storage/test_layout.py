@@ -1,0 +1,47 @@
+"""Tests for the shared region layout."""
+
+import pytest
+
+from repro.storage.layout import RegionLayout
+
+
+def test_areas_are_disjoint_and_ordered():
+    layout = RegionLayout(region_size=1 << 20, num_locks=16, wal_size=4096)
+    assert layout.locks_offset == 0
+    assert layout.wal_offset == 16 * 8
+    assert layout.db_offset == layout.wal_offset + 4096
+    assert layout.db_size == (1 << 20) - layout.db_offset
+
+
+def test_lock_offsets():
+    layout = RegionLayout(region_size=1 << 20, num_locks=4, wal_size=4096)
+    offsets = [layout.lock_offset(i) for i in range(4)]
+    assert offsets == [0, 8, 16, 24]
+    with pytest.raises(IndexError):
+        layout.lock_offset(4)
+    with pytest.raises(IndexError):
+        layout.lock_offset(-1)
+
+
+def test_db_address_bounds():
+    layout = RegionLayout(region_size=1 << 20, num_locks=4, wal_size=4096)
+    assert layout.db_address(0) == layout.db_offset
+    assert layout.db_address(10, 4) == layout.db_offset + 10
+    with pytest.raises(IndexError):
+        layout.db_address(layout.db_size, 1)
+    with pytest.raises(IndexError):
+        layout.db_address(-1)
+
+
+def test_too_small_region_rejected():
+    with pytest.raises(ValueError):
+        RegionLayout(region_size=1024, num_locks=4, wal_size=4096)
+
+
+def test_identical_across_instances():
+    """All nodes must compute identical offsets — the gWRITE same-offset
+    requirement."""
+    a = RegionLayout(region_size=1 << 20, num_locks=64, wal_size=8192)
+    b = RegionLayout(region_size=1 << 20, num_locks=64, wal_size=8192)
+    assert a.db_offset == b.db_offset
+    assert a.lock_offset(5) == b.lock_offset(5)

@@ -1,0 +1,100 @@
+"""Property-based tests of group-lock invariants under random schedules."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.client import StoreConfig, initialize
+from repro.core.group import GroupConfig, HyperLoopGroup
+from repro.host import Cluster
+from repro.sim.units import ms, us
+from repro.storage.locktable import WRITER_FLAG
+
+
+def make_store(seed):
+    cluster = Cluster(seed=seed)
+    client = cluster.add_host("lp-client")
+    replicas = cluster.add_hosts(3, prefix="lp-replica")
+    group = HyperLoopGroup(client, replicas,
+                           GroupConfig(slots=16, region_size=1 << 20))
+    return cluster, initialize(group, StoreConfig(wal_size=64 * 1024,
+                                                  num_locks=4))
+
+
+def run_all(cluster, generators, deadline_ms=30_000):
+    processes = [cluster.sim.process(gen) for gen in generators]
+    done = cluster.sim.all_of(processes)
+    deadline = cluster.sim.now + ms(deadline_ms)
+    while not done.triggered and cluster.sim.peek() is not None \
+            and cluster.sim.peek() <= deadline:
+        cluster.sim.step()
+    assert done.triggered, "lock schedule did not finish"
+    for process in processes:
+        if not process.ok:
+            raise process.value
+
+
+class TestRandomSchedules:
+    @settings(max_examples=10, deadline=None)
+    @given(st.lists(
+        st.tuples(st.integers(min_value=0, max_value=3),     # lock id
+                  st.integers(min_value=0, max_value=200)),  # hold us
+        min_size=1, max_size=8),
+        st.integers(min_value=2, max_value=4))               # contenders
+    def test_writer_exclusion_holds(self, schedule, contenders):
+        """N contenders acquiring random locks for random holds: no two
+        ever hold the same lock, and all words end zero."""
+        cluster, store = make_store(seed=hash((tuple(schedule),
+                                               contenders)) & 0xFFFF)
+        holders = {lock_id: 0 for lock_id in range(4)}
+        violations = []
+
+        def contender():
+            for lock_id, hold_us in schedule:
+                yield from store.wr_lock(lock_id)
+                holders[lock_id] += 1
+                if holders[lock_id] > 1:
+                    violations.append(lock_id)
+                yield store.sim.timeout(us(hold_us))
+                holders[lock_id] -= 1
+                yield from store.wr_unlock(lock_id)
+
+        run_all(cluster, [contender() for _ in range(contenders)])
+        assert not violations
+        for lock_id in range(4):
+            offset = store.layout.lock_offset(lock_id)
+            for hop in range(3):
+                assert store.group.read_replica(hop, offset, 8) == bytes(8)
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(min_value=1, max_value=5),   # readers
+           st.integers(min_value=1, max_value=3))   # writer rounds
+    def test_readers_and_writers_mix(self, readers, writer_rounds):
+        """Readers on one replica plus a group writer: counts stay sane
+        and the final word is zero on every replica."""
+        cluster, store = make_store(seed=readers * 31 + writer_rounds)
+        state = {"readers": 0, "writer": False}
+        violations = []
+
+        def reader():
+            yield from store.rd_lock(1, hop=1)
+            state["readers"] += 1
+            if state["writer"]:
+                violations.append("reader-during-writer")
+            yield store.sim.timeout(us(50))
+            state["readers"] -= 1
+            yield from store.rd_unlock(1, hop=1)
+
+        def writer():
+            for _ in range(writer_rounds):
+                yield from store.wr_lock(1)
+                state["writer"] = True
+                if state["readers"]:
+                    violations.append("writer-during-readers")
+                yield store.sim.timeout(us(30))
+                state["writer"] = False
+                yield from store.wr_unlock(1)
+
+        run_all(cluster, [reader() for _ in range(readers)] + [writer()])
+        assert not violations
+        offset = store.layout.lock_offset(1)
+        for hop in range(3):
+            assert store.group.read_replica(hop, offset, 8) == bytes(8)

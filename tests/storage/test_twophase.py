@@ -1,0 +1,257 @@
+"""Tests for two-phase commit across replicated partitions."""
+
+import pytest
+
+from repro.baseline.naive import NaiveConfig, NaiveGroup
+from repro.core.client import StoreConfig, initialize
+from repro.core.group import GroupConfig, HyperLoopGroup
+from repro.sim.units import ms
+from repro.storage.twophase import (
+    PartitionWrite,
+    TwoPhaseCoordinator,
+    TxnOutcome,
+)
+from repro.storage.wal import LogEntry, RecordKind, WalFullError
+
+
+def make_partitions(cluster, names=("users", "orders"), wal_size=256 * 1024,
+                    group_kind="hyperloop"):
+    client = cluster.add_host(f"2pc-client-{group_kind}")
+    stores = {}
+    for name in names:
+        replicas = cluster.add_hosts(3, prefix=f"2pc-{name}")
+        if group_kind == "hyperloop":
+            group = HyperLoopGroup(client, replicas,
+                                   GroupConfig(slots=32, region_size=4 << 20))
+        else:
+            group = NaiveGroup(client, replicas,
+                               NaiveConfig(slots=32, region_size=4 << 20))
+        stores[name] = initialize(group, StoreConfig(wal_size=wal_size))
+    return stores
+
+
+def run(cluster, generator, deadline_ms=30_000):
+    process = cluster.sim.process(generator)
+    deadline = cluster.sim.now + ms(deadline_ms)
+    while not process.triggered and cluster.sim.peek() is not None \
+            and cluster.sim.peek() <= deadline:
+        cluster.sim.step()
+    assert process.triggered, "2pc workload did not finish"
+    if not process.ok:
+        raise process.value
+    return process.value
+
+
+class TestCommit:
+    def test_commit_applies_on_all_partitions_and_replicas(self, cluster):
+        stores = make_partitions(cluster)
+        coordinator = TwoPhaseCoordinator(stores)
+
+        def proc():
+            outcome = yield from coordinator.transact([
+                PartitionWrite("users", [LogEntry(0, b"alice=100")],
+                               lock_id=1),
+                PartitionWrite("orders", [LogEntry(0, b"o1=alice")],
+                               lock_id=1),
+            ])
+            return outcome
+
+        outcome = run(cluster, proc())
+        assert outcome.committed
+        assert outcome.prepared_partitions == ["orders", "users"]
+        assert stores["users"].db_read_local(0, 9) == b"alice=100"
+        assert stores["orders"].db_read_local(0, 8) == b"o1=alice"
+        # Replicated: every replica of every partition has the data.
+        for store in stores.values():
+            for hop in range(3):
+                raw = store.group.read_replica(
+                    hop, store.layout.db_offset, 8)
+                assert raw != bytes(8)
+
+    def test_single_partition_transaction(self, cluster):
+        stores = make_partitions(cluster, names=("solo",))
+        coordinator = TwoPhaseCoordinator(stores)
+
+        def proc():
+            return (yield from coordinator.transact([
+                PartitionWrite("solo", [LogEntry(8, b"datum")])]))
+
+        assert run(cluster, proc()).committed
+
+    def test_sequential_transactions(self, cluster):
+        stores = make_partitions(cluster)
+        coordinator = TwoPhaseCoordinator(stores)
+
+        def proc():
+            for i in range(5):
+                outcome = yield from coordinator.transact([
+                    PartitionWrite("users",
+                                   [LogEntry(i * 16, f"u{i}".encode())]),
+                    PartitionWrite("orders",
+                                   [LogEntry(i * 16, f"o{i}".encode())]),
+                ])
+                assert outcome.committed
+
+        run(cluster, proc())
+        assert coordinator.committed == 5
+        assert stores["users"].db_read_local(64, 2) == b"u4"
+
+    def test_decision_log_durable(self, cluster):
+        stores = make_partitions(cluster)
+        coordinator = TwoPhaseCoordinator(stores)
+
+        def proc():
+            yield from coordinator.transact([
+                PartitionWrite("users", [LogEntry(0, b"x")])])
+            yield from coordinator.transact([
+                PartitionWrite("orders", [LogEntry(0, b"y")])],
+                force_abort=True)
+
+        run(cluster, proc())
+        decisions = coordinator.read_decision_log()
+        assert decisions == [(1, RecordKind.COMMIT), (2, RecordKind.ABORT)]
+
+
+class TestAbort:
+    def test_forced_abort_leaves_no_trace(self, cluster):
+        stores = make_partitions(cluster)
+        coordinator = TwoPhaseCoordinator(stores)
+
+        def proc():
+            outcome = yield from coordinator.transact([
+                PartitionWrite("users", [LogEntry(32, b"phantom")]),
+                PartitionWrite("orders", [LogEntry(32, b"phantom")]),
+            ], force_abort=True)
+            return outcome
+
+        outcome = run(cluster, proc())
+        assert not outcome.committed
+        for store in stores.values():
+            assert store.db_read_local(32, 7) == bytes(7)
+            # WAL fully truncated: nothing pins the head.
+            assert store.ring.used() == 0
+
+    def test_locks_released_after_abort(self, cluster):
+        stores = make_partitions(cluster)
+        coordinator = TwoPhaseCoordinator(stores)
+
+        def proc():
+            yield from coordinator.transact([
+                PartitionWrite("users", [LogEntry(0, b"z")], lock_id=2)],
+                force_abort=True)
+            # A follow-up transaction on the same lock must not block.
+            outcome = yield from coordinator.transact([
+                PartitionWrite("users", [LogEntry(0, b"ok")], lock_id=2)])
+            return outcome
+
+        assert run(cluster, proc()).committed
+
+    def test_full_wal_votes_no(self, cluster):
+        stores = make_partitions(cluster, wal_size=2048)
+        coordinator = TwoPhaseCoordinator(stores)
+
+        def proc():
+            outcome = yield from coordinator.transact([
+                PartitionWrite("users", [LogEntry(0, b"b" * 4096)]),
+                PartitionWrite("orders", [LogEntry(0, b"small")]),
+            ])
+            return outcome
+
+        outcome = run(cluster, proc())
+        assert not outcome.committed
+        assert stores["orders"].db_read_local(0, 5) == bytes(5)
+
+
+class TestInDoubt:
+    def test_prepare_without_decision_pins_the_log(self, cluster):
+        stores = make_partitions(cluster, names=("solo",))
+        store = stores["solo"]
+
+        def proc():
+            yield from store.append([LogEntry(0, b"pending")],
+                                    kind=RecordKind.PREPARE, txn_id=42)
+            # Execution cannot advance past the in-doubt record...
+            result = yield from store.execute_and_advance()
+            assert result is None
+            assert store.db_read_local(0, 7) == bytes(7)
+            # ...until a decision arrives.
+            store.register_decision(42, RecordKind.COMMIT)
+            result = yield from store.execute_and_advance()
+            assert result is not None
+            assert store.db_read_local(0, 7) == b"pending"
+
+        run(cluster, proc())
+
+    def test_abort_decision_skips_entries(self, cluster):
+        stores = make_partitions(cluster, names=("solo",))
+        store = stores["solo"]
+
+        def proc():
+            yield from store.append([LogEntry(0, b"discard")],
+                                    kind=RecordKind.PREPARE, txn_id=7)
+            store.register_decision(7, RecordKind.ABORT)
+            record = yield from store.execute_and_advance()
+            assert record.txn_id == 7
+            assert store.db_read_local(0, 7) == bytes(7)
+
+        run(cluster, proc())
+
+    def test_invalid_decision_rejected(self, cluster):
+        stores = make_partitions(cluster, names=("solo",))
+        with pytest.raises(ValueError):
+            stores["solo"].register_decision(1, RecordKind.PREPARE)
+
+
+class TestValidation:
+    def test_empty_transaction_rejected(self, cluster):
+        stores = make_partitions(cluster)
+        coordinator = TwoPhaseCoordinator(stores)
+
+        def proc():
+            with pytest.raises(ValueError):
+                yield from coordinator.transact([])
+
+        run(cluster, proc())
+
+    def test_unknown_partition_rejected(self, cluster):
+        stores = make_partitions(cluster)
+        coordinator = TwoPhaseCoordinator(stores)
+
+        def proc():
+            with pytest.raises(KeyError):
+                yield from coordinator.transact([
+                    PartitionWrite("nope", [LogEntry(0, b"x")])])
+
+        run(cluster, proc())
+
+    def test_duplicate_partition_rejected(self, cluster):
+        stores = make_partitions(cluster)
+        coordinator = TwoPhaseCoordinator(stores)
+
+        def proc():
+            with pytest.raises(ValueError):
+                yield from coordinator.transact([
+                    PartitionWrite("users", [LogEntry(0, b"x")]),
+                    PartitionWrite("users", [LogEntry(8, b"y")]),
+                ])
+
+        run(cluster, proc())
+
+    def test_no_partitions_rejected(self):
+        with pytest.raises(ValueError):
+            TwoPhaseCoordinator({})
+
+
+class TestOverNaive:
+    def test_2pc_over_naive_groups(self, cluster):
+        stores = make_partitions(cluster, group_kind="naive")
+        coordinator = TwoPhaseCoordinator(stores)
+
+        def proc():
+            return (yield from coordinator.transact([
+                PartitionWrite("users", [LogEntry(0, b"nv-user")]),
+                PartitionWrite("orders", [LogEntry(0, b"nv-ordr")]),
+            ]))
+
+        assert run(cluster, proc()).committed
+        assert stores["users"].db_read_local(0, 7) == b"nv-user"

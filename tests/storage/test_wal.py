@@ -1,0 +1,194 @@
+"""Tests for the write-ahead log: record codec and ring arithmetic."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.storage.wal import (
+    HEADER_SIZE,
+    POINTER_AREA,
+    LogEntry,
+    LogRecord,
+    WalFullError,
+    WalRing,
+)
+
+
+class TestRecordCodec:
+    def test_roundtrip(self):
+        record = LogRecord(seq=7, entries=(
+            LogEntry(0, b"alpha"), LogEntry(512, b"beta!")))
+        decoded = LogRecord.decode(record.encode())
+        assert decoded == record
+
+    def test_empty_entry_list(self):
+        record = LogRecord(seq=1, entries=())
+        decoded = LogRecord.decode(record.encode())
+        assert decoded.entries == ()
+
+    def test_crc_detects_corruption(self):
+        data = bytearray(LogRecord(seq=1, entries=(
+            LogEntry(0, b"data"),)).encode())
+        data[-1] ^= 0xFF
+        with pytest.raises(ValueError, match="CRC"):
+            LogRecord.decode(bytes(data))
+
+    def test_bad_magic_rejected(self):
+        data = bytearray(LogRecord(seq=1, entries=()).encode())
+        data[0] = 0
+        with pytest.raises(ValueError, match="magic"):
+            LogRecord.decode(bytes(data))
+
+    def test_truncated_rejected(self):
+        data = LogRecord(seq=1, entries=(LogEntry(0, b"xyz"),)).encode()
+        with pytest.raises(ValueError):
+            LogRecord.decode(data[:HEADER_SIZE - 1])
+        with pytest.raises(ValueError):
+            LogRecord.decode(data[:-2])
+
+    def test_peek_size(self):
+        record = LogRecord(seq=3, entries=(LogEntry(8, b"12345"),))
+        encoded = record.encode()
+        assert LogRecord.peek_size(encoded[:HEADER_SIZE]) == len(encoded)
+        assert record.encoded_size == len(encoded)
+
+    @given(st.integers(min_value=0, max_value=2 ** 60),
+           st.lists(st.tuples(st.integers(min_value=0, max_value=2 ** 40),
+                              st.binary(min_size=0, max_size=64)),
+                    max_size=8))
+    def test_roundtrip_property(self, seq, raw_entries):
+        record = LogRecord(seq=seq, entries=tuple(
+            LogEntry(offset, data) for offset, data in raw_entries))
+        assert LogRecord.decode(record.encode()) == record
+
+
+class MemoryBacking:
+    """In-memory read/write callables for ring tests."""
+
+    def __init__(self, size):
+        self.data = bytearray(size)
+
+    def read(self, offset, size):
+        return bytes(self.data[offset:offset + size])
+
+    def write(self, offset, data):
+        self.data[offset:offset + len(data)] = data
+
+
+def make_ring(size=4096):
+    backing = MemoryBacking(size)
+    ring = WalRing(0, size, backing.read, backing.write)
+    return backing, ring
+
+
+def append(ring, backing, record):
+    data = record.encode()
+    offset, new_tail, wrapped = ring.place(len(data))
+    if wrapped:
+        ring.write_wrap_marker(ring.tail)
+    backing.write(offset, data)
+    ring.write_tail(new_tail)
+    return offset
+
+
+class TestRing:
+    def test_initially_empty(self):
+        _backing, ring = make_ring()
+        assert ring.head == 0
+        assert ring.tail == 0
+        assert ring.used() == 0
+        assert ring.scan() == []
+
+    def test_append_and_scan(self):
+        backing, ring = make_ring()
+        first = LogRecord(seq=1, entries=(LogEntry(0, b"one"),))
+        second = LogRecord(seq=2, entries=(LogEntry(8, b"two"),))
+        append(ring, backing, first)
+        append(ring, backing, second)
+        scanned = [record for record, _off in ring.scan()]
+        assert scanned == [first, second]
+
+    def test_head_advance_truncates(self):
+        backing, ring = make_ring()
+        record = LogRecord(seq=1, entries=(LogEntry(0, b"gone"),))
+        append(ring, backing, record)
+        _rec, _off, next_pos = ring.record_at(ring.head)
+        ring.write_head(next_pos)
+        assert ring.scan() == []
+        assert ring.used() == 0
+
+    def test_wrap_around(self):
+        backing, ring = make_ring(size=POINTER_AREA + 256)
+        record = LogRecord(seq=1, entries=(LogEntry(0, b"x" * 40),))
+        size = record.encoded_size
+        seq = 1
+        # Fill, truncate, fill again until the ring wraps at least once.
+        for _round in range(10):
+            record = LogRecord(seq=seq, entries=(LogEntry(0, b"x" * 40),))
+            append(ring, backing, record)
+            seq += 1
+            scanned = ring.scan()
+            assert scanned[-1][0].seq == seq - 1
+            _rec, _off, next_pos = ring.record_at(ring.head)
+            ring.write_head(next_pos)
+        assert ring.used() == 0
+
+    def test_full_ring_raises(self):
+        backing, ring = make_ring(size=POINTER_AREA + 128)
+        record = LogRecord(seq=1, entries=(LogEntry(0, b"y" * 30),))
+        append(ring, backing, record)
+        with pytest.raises(WalFullError):
+            ring.place(record.encoded_size)
+
+    def test_oversized_record_raises(self):
+        _backing, ring = make_ring(size=POINTER_AREA + 64)
+        with pytest.raises(WalFullError):
+            ring.place(65)
+
+    def test_scan_stops_at_torn_record(self):
+        backing, ring = make_ring()
+        good = LogRecord(seq=1, entries=(LogEntry(0, b"ok"),))
+        append(ring, backing, good)
+        bad_offset = append(ring, backing,
+                            LogRecord(seq=2, entries=(LogEntry(0, b"torn"),)))
+        backing.write(bad_offset + HEADER_SIZE + 4, b"\xFF")  # Corrupt body.
+        scanned = [record for record, _off in ring.scan()]
+        assert scanned == [good]
+
+    def test_too_small_ring_rejected(self):
+        backing = MemoryBacking(32)
+        with pytest.raises(ValueError):
+            WalRing(0, 32, backing.read, backing.write)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=60),
+                    min_size=1, max_size=40),
+           st.integers(min_value=0, max_value=3))
+    def test_ring_invariants_property(self, payload_sizes, truncate_every):
+        """Append/truncate interleavings never lose an unprocessed record
+        and scan always returns records in seq order."""
+        backing, ring = make_ring(size=POINTER_AREA + 1024)
+        appended = []
+        processed = []
+        seq = 1
+        for index, size in enumerate(payload_sizes):
+            record = LogRecord(seq=seq, entries=(LogEntry(0, b"z" * size),))
+            try:
+                append(ring, backing, record)
+                appended.append(record)
+                seq += 1
+            except WalFullError:
+                # Must free space by processing the head record.
+                if ring.head == ring.tail:
+                    raise
+                _rec, _off, next_pos = ring.record_at(ring.head)
+                processed.append(_rec)
+                ring.write_head(next_pos)
+            if truncate_every and index % (truncate_every + 1) == 0 \
+                    and ring.head != ring.tail:
+                rec, _off, next_pos = ring.record_at(ring.head)
+                processed.append(rec)
+                ring.write_head(next_pos)
+        live = [record for record, _off in ring.scan()]
+        assert processed + live == appended
+        sequences = [record.seq for record in live]
+        assert sequences == sorted(sequences)

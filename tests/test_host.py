@@ -1,0 +1,93 @@
+"""Tests for Host and Cluster construction and failure injection."""
+
+import pytest
+
+from repro.host import Cluster, Host, HostParams
+from repro.sim.units import ms
+
+
+class TestCluster:
+    def test_add_hosts(self, cluster):
+        hosts = cluster.add_hosts(3, prefix="node")
+        assert [host.name for host in hosts] == ["node0", "node1", "node2"]
+        assert cluster.hosts["node1"] is hosts[1]
+
+    def test_duplicate_name_rejected(self, cluster):
+        cluster.add_host("dup")
+        with pytest.raises(ValueError):
+            cluster.add_host("dup")
+
+    def test_custom_host_params(self, cluster):
+        host = cluster.add_host("beefy", HostParams(cores=32))
+        assert len(host.cpu.cores) == 32
+
+    def test_run_and_now(self, cluster):
+        cluster.run(until=ms(5))
+        assert cluster.now == ms(5)
+
+    def test_shared_fabric(self, cluster):
+        a = cluster.add_host("a")
+        b = cluster.add_host("b")
+        assert a.nic.fabric is b.nic.fabric
+        assert set(cluster.fabric.ports) >= {"a", "b"}
+
+
+class TestHost:
+    def test_spawn_thread_namespaced(self, cluster):
+        host = cluster.add_host("h")
+        thread = host.spawn_thread("worker")
+        assert thread.name == "h.worker"
+
+    def test_power_domain_members(self, cluster):
+        host = cluster.add_host("pd")
+        host.memory.write(0, b"keep")
+        host.memory.persist(0, 4)
+        host.memory.write(10, b"lose")
+        host.fail_power()
+        assert host.memory.read(0, 4) == b"keep"
+        assert host.memory.read(10, 4) == bytes(4)
+
+    def test_crash_sets_flag_and_stops_tenants(self, cluster):
+        host = cluster.add_host("cr")
+        host.add_tenant_load(4, kind="hog")
+        cluster.run(until=ms(5))
+        host.crash()
+        assert host.crashed
+        assert host._tenants == []
+
+    def test_tenant_kinds(self, cluster):
+        host = cluster.add_host("tk")
+        host.add_tenant_load(4, kind="hog")
+        host.add_tenant_load(4, kind="bursty")
+        host.add_tenant_load(4, kind="mixed")
+        with pytest.raises(ValueError):
+            host.add_tenant_load(1, kind="nonsense")
+
+    def test_bursty_tenants_load_the_cpu(self, cluster):
+        host = cluster.add_host("bl")
+        host.add_tenant_load(160, kind="bursty")
+        cluster.run(until=ms(100))
+        utilization = host.cpu.utilization(ms(100))
+        assert 0.5 < utilization <= 1.0
+
+    def test_bursty_load_is_stationary(self, cluster):
+        """Aggregate demand stays below capacity: run-queue length must
+        not grow without bound over time."""
+        host = cluster.add_host("st")
+        host.add_tenant_load(160, kind="bursty")
+        cluster.run(until=ms(300))
+        early = host.cpu.nr_runnable()
+        cluster.run(until=ms(900))
+        late = host.cpu.nr_runnable()
+        assert late < 120  # Far below "every tenant permanently queued".
+        assert late < early + 60
+
+    def test_stop_tenant_load(self, cluster):
+        host = cluster.add_host("stop")
+        host.add_tenant_load(8, kind="hog")
+        cluster.run(until=ms(2))
+        host.stop_tenant_load()
+        busy_before = host.cpu.total_busy_ns()
+        cluster.run(until=ms(50))
+        # CPU went (almost) quiet after tenants stopped.
+        assert host.cpu.total_busy_ns() - busy_before < ms(20)

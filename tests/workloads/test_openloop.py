@@ -1,0 +1,77 @@
+"""Tests for the open-loop load generator."""
+
+import pytest
+
+from repro.core.group import GroupConfig, HyperLoopGroup
+from repro.workloads.openloop import (
+    OpenLoopConfig,
+    OpenLoopResult,
+    load_sweep,
+    open_loop_gwrite,
+)
+
+
+def make_group(cluster, slots=256):
+    client = cluster.add_host("ol-client")
+    replicas = cluster.add_hosts(3, prefix="ol-replica")
+    return HyperLoopGroup(client, replicas,
+                          GroupConfig(slots=slots, region_size=1 << 20))
+
+
+class TestOpenLoop:
+    def test_low_load_matches_offered(self, cluster):
+        group = make_group(cluster)
+        result = open_loop_gwrite(group, OpenLoopConfig(
+            rate_ops_per_sec=50_000, operations=400))
+        assert result.recorder.count == 360  # 400 minus 10% warmup.
+        assert not result.saturated
+        # Achieved tracks offered within Poisson noise.
+        assert abs(result.achieved_ops_per_sec - 50_000) < 15_000
+
+    def test_latency_flat_at_low_load(self, cluster):
+        group = make_group(cluster)
+        result = open_loop_gwrite(group, OpenLoopConfig(
+            rate_ops_per_sec=20_000, operations=300))
+        assert result.recorder.percentile_us(99) < 20
+
+    def test_latency_grows_near_capacity(self, cluster):
+        """Past the knee, queueing inflates latency well above baseline."""
+        group_low = make_group(cluster)
+        low = open_loop_gwrite(group_low, OpenLoopConfig(
+            rate_ops_per_sec=100_000, operations=500))
+        client2 = cluster.add_host("ol2-client")
+        replicas2 = cluster.add_hosts(3, prefix="ol2-replica")
+        group_high = HyperLoopGroup(client2, replicas2,
+                                    GroupConfig(slots=1024,
+                                                region_size=1 << 20))
+        high = open_loop_gwrite(group_high, OpenLoopConfig(
+            rate_ops_per_sec=1_200_000, operations=2_000))
+        assert high.recorder.mean_us() > 2 * low.recorder.mean_us()
+
+    def test_shedding_when_window_exhausted(self, cluster):
+        """A tiny outstanding window sheds arrivals rather than deadlock."""
+        group = make_group(cluster, slots=4)
+        result = open_loop_gwrite(group, OpenLoopConfig(
+            rate_ops_per_sec=2_000_000, operations=400,
+            max_outstanding=4))
+        assert result.shed > 0
+        assert result.saturated
+        # Completed + shed account for every arrival.
+        assert result.recorder.count <= 400 - result.shed
+
+    def test_sweep_rows(self, cluster):
+        calls = {"count": 0}
+
+        def mk():
+            calls["count"] += 1
+            client = cluster.add_host(f"sw{calls['count']}-client")
+            replicas = cluster.add_hosts(3, prefix=f"sw{calls['count']}-r")
+            return HyperLoopGroup(client, replicas,
+                                  GroupConfig(slots=64,
+                                              region_size=1 << 20))
+
+        rows = load_sweep(mk, [30e3, 60e3], operations=200)
+        assert len(rows) == 2
+        assert calls["count"] == 2
+        assert rows[0]["offered_kops"] == 30.0
+        assert all(row["p99_us"] >= row["avg_us"] * 0.5 for row in rows)

@@ -1,0 +1,139 @@
+"""Tests for the YCSB runner and store adapters."""
+
+import pytest
+
+from repro.apps.mongolike import MongoLikeDB
+from repro.apps.rockskv import ReplicatedRocksKV
+from repro.core.client import StoreConfig, initialize
+from repro.core.group import GroupConfig, HyperLoopGroup
+from repro.sim.units import ms
+from repro.workloads.runner import (
+    MongoAdapter,
+    RocksAdapter,
+    RunStats,
+    YCSBRunner,
+)
+from repro.workloads.ycsb import OpType, YCSBConfig, YCSBWorkload
+
+
+def make_store(cluster, prefix):
+    client = cluster.add_host(f"{prefix}-client")
+    replicas = cluster.add_hosts(3, prefix=f"{prefix}-replica")
+    group = HyperLoopGroup(client, replicas,
+                           GroupConfig(slots=32, region_size=16 << 20))
+    return initialize(group, StoreConfig(wal_size=2 << 20))
+
+
+def run(cluster, generator, deadline_ms=120_000):
+    process = cluster.sim.process(generator)
+    deadline = cluster.sim.now + ms(deadline_ms)
+    while not process.triggered and cluster.sim.peek() is not None \
+            and cluster.sim.peek() <= deadline:
+        cluster.sim.step()
+    assert process.triggered, "runner did not finish"
+    if not process.ok:
+        raise process.value
+    return process.value
+
+
+class TestRunStats:
+    def test_records_by_type(self):
+        stats = RunStats()
+        stats.record(OpType.READ, 1000)
+        stats.record(OpType.UPDATE, 3000)
+        stats.record(OpType.INSERT, 5000)
+        assert stats.overall.count == 3
+        assert stats.by_type[OpType.READ].count == 1
+
+    def test_writes_merges_mutations(self):
+        stats = RunStats()
+        stats.record(OpType.READ, 1)
+        stats.record(OpType.UPDATE, 10)
+        stats.record(OpType.INSERT, 20)
+        stats.record(OpType.MODIFY, 30)
+        writes = stats.writes()
+        assert writes.count == 3
+        assert writes.mean() == 20
+
+
+class TestMongoRunner:
+    def test_load_and_run(self, cluster):
+        store = make_store(cluster, "runner-mg")
+        db = MongoLikeDB(store)
+        workload = YCSBWorkload(YCSBConfig(workload="A", record_count=20,
+                                           field_length=64, seed=1))
+        runner = YCSBRunner(workload, MongoAdapter(db))
+
+        def proc():
+            yield from runner.load_phase(cluster.sim)
+            stats = yield from runner.run_phase(cluster.sim, 40, warmup=5)
+            return stats
+
+        stats = run(cluster, proc())
+        assert db.document_count >= 20
+        assert stats.overall.count == 35  # 40 ops minus 5 warmup.
+        assert stats.overall.mean() > 0
+
+    def test_scan_workload(self, cluster):
+        store = make_store(cluster, "runner-sc")
+        db = MongoLikeDB(store)
+        workload = YCSBWorkload(YCSBConfig(workload="E", record_count=15,
+                                           field_length=64, seed=2,
+                                           max_scan_length=5))
+        runner = YCSBRunner(workload, MongoAdapter(db))
+
+        def proc():
+            yield from runner.load_phase(cluster.sim)
+            yield from runner.run_phase(cluster.sim, 20)
+
+        run(cluster, proc())
+        assert db.scans > 0
+
+    def test_load_limit(self, cluster):
+        store = make_store(cluster, "runner-lm")
+        db = MongoLikeDB(store)
+        workload = YCSBWorkload(YCSBConfig(workload="A", record_count=100,
+                                           field_length=64))
+        runner = YCSBRunner(workload, MongoAdapter(db))
+
+        def proc():
+            yield from runner.load_phase(cluster.sim, limit=10)
+
+        run(cluster, proc())
+        assert db.document_count == 10
+
+
+class TestRocksRunner:
+    def test_update_heavy(self, cluster):
+        store = make_store(cluster, "runner-kv")
+        kv = ReplicatedRocksKV(store, start_background=False)
+        workload = YCSBWorkload(YCSBConfig(workload="A", record_count=20,
+                                           field_length=64, seed=3))
+        runner = YCSBRunner(workload, RocksAdapter(kv))
+
+        def proc():
+            yield from runner.load_phase(cluster.sim)
+            stats = yield from runner.run_phase(cluster.sim, 30)
+            return stats
+
+        stats = run(cluster, proc())
+        writes = stats.writes()
+        assert writes.count > 0
+        # Reads are memtable hits: effectively instant in sim time.
+        reads = stats.by_type.get(OpType.READ)
+        if reads is not None:
+            assert reads.mean() < writes.mean()
+
+    def test_scan_unsupported(self, cluster):
+        store = make_store(cluster, "runner-ns")
+        kv = ReplicatedRocksKV(store, start_background=False)
+        workload = YCSBWorkload(YCSBConfig(workload="E", record_count=5,
+                                           field_length=32))
+        runner = YCSBRunner(workload, RocksAdapter(kv))
+
+        def proc():
+            yield from runner.load_phase(cluster.sim)
+            with pytest.raises(ValueError):
+                yield from runner.run_phase(cluster.sim, 50)
+
+        run(cluster, proc())

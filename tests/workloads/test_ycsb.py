@@ -1,0 +1,142 @@
+"""Tests for the YCSB workload generator (Table 3)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.workloads.ycsb import (
+    WORKLOAD_MIXES,
+    OpType,
+    WorkloadMix,
+    YCSBConfig,
+    YCSBWorkload,
+    make_value,
+)
+
+
+class TestTable3:
+    """The mixes must match Table 3 of the paper exactly."""
+
+    def test_workload_a(self):
+        mix = WORKLOAD_MIXES["A"]
+        assert (mix.read, mix.update) == (50, 50)
+
+    def test_workload_b(self):
+        mix = WORKLOAD_MIXES["B"]
+        assert (mix.read, mix.update) == (95, 5)
+
+    def test_workload_d(self):
+        mix = WORKLOAD_MIXES["D"]
+        assert (mix.read, mix.insert) == (95, 5)
+
+    def test_workload_e(self):
+        mix = WORKLOAD_MIXES["E"]
+        assert (mix.insert, mix.scan) == (5, 95)
+
+    def test_workload_f(self):
+        mix = WORKLOAD_MIXES["F"]
+        assert (mix.read, mix.modify) == (50, 50)
+
+
+class TestMix:
+    def test_must_sum_to_100(self):
+        with pytest.raises(ValueError):
+            WorkloadMix(read=50, update=49)
+
+    def test_pick_proportions(self):
+        import random
+        mix = WorkloadMix(read=70, update=30)
+        rng = random.Random(1)
+        picks = Counter(mix.pick(rng) for _ in range(10_000))
+        assert abs(picks[OpType.READ] / 10_000 - 0.7) < 0.03
+        assert abs(picks[OpType.UPDATE] / 10_000 - 0.3) < 0.03
+
+
+class TestWorkload:
+    def test_generated_proportions_match(self):
+        workload = YCSBWorkload(YCSBConfig(workload="A", record_count=100,
+                                           seed=3))
+        ops = Counter(op.op for op in workload.operations(5000))
+        assert abs(ops[OpType.READ] / 5000 - 0.5) < 0.05
+        assert abs(ops[OpType.UPDATE] / 5000 - 0.5) < 0.05
+
+    def test_keys_stay_in_keyspace(self):
+        workload = YCSBWorkload(YCSBConfig(workload="B", record_count=50))
+        for op in workload.operations(2000):
+            assert 0 <= op.key < 50
+
+    def test_inserts_grow_keyspace(self):
+        workload = YCSBWorkload(YCSBConfig(workload="D", record_count=50))
+        inserted = [op.key for op in workload.operations(2000)
+                    if op.op is OpType.INSERT]
+        assert inserted == sorted(inserted)  # New keys are sequential...
+        assert inserted[0] == 50              # ...starting past the preload.
+        # Reads may now hit inserted keys.
+        assert workload._inserted > 50
+
+    def test_workload_d_prefers_recent(self):
+        workload = YCSBWorkload(YCSBConfig(workload="D", record_count=1000,
+                                           seed=5))
+        reads = [op.key for op in workload.operations(3000)
+                 if op.op is OpType.READ]
+        recent = sum(1 for key in reads if key > 900)
+        assert recent / len(reads) > 0.3
+
+    def test_scan_lengths_bounded(self):
+        workload = YCSBWorkload(YCSBConfig(workload="E", record_count=100,
+                                           max_scan_length=25))
+        scans = [op for op in workload.operations(1000)
+                 if op.op is OpType.SCAN]
+        assert scans
+        assert all(1 <= op.scan_length <= 25 for op in scans)
+
+    def test_zipfian_skew(self):
+        workload = YCSBWorkload(YCSBConfig(workload="A", record_count=1000,
+                                           seed=9))
+        keys = Counter(op.key for op in workload.operations(10_000))
+        top_share = sum(count for _key, count in keys.most_common(20)) \
+            / 10_000
+        assert top_share > 0.2  # Top 2% of keys take >20% of accesses.
+
+    def test_deterministic_given_seed(self):
+        make = lambda: [  # noqa: E731
+            (op.op, op.key) for op in YCSBWorkload(
+                YCSBConfig(workload="F", record_count=100,
+                           seed=7)).operations(100)]
+        assert make() == make()
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError):
+            YCSBWorkload(YCSBConfig(workload="Z"))
+
+    def test_load_keys(self):
+        workload = YCSBWorkload(YCSBConfig(record_count=42))
+        assert list(workload.load_keys()) == list(range(42))
+
+    def test_update_carries_value_size(self):
+        workload = YCSBWorkload(YCSBConfig(workload="A", record_count=10,
+                                           field_length=1024))
+        updates = [op for op in workload.operations(100)
+                   if op.op is OpType.UPDATE]
+        assert all(op.value_size == 1024 for op in updates)
+
+
+class TestValues:
+    def test_make_value_deterministic(self):
+        assert make_value(5, 64) == make_value(5, 64)
+        assert make_value(5, 64) != make_value(6, 64)
+
+    def test_make_value_size(self):
+        for size in (1, 32, 1024):
+            assert len(make_value(123, size)) == size
+
+
+class TestWorkloadC:
+    def test_read_only(self):
+        workload = YCSBWorkload(YCSBConfig(workload="C", record_count=50,
+                                           seed=11))
+        ops = list(workload.operations(500))
+        assert all(op.op is OpType.READ for op in ops)
+
+    def test_case_insensitive_letter(self):
+        assert YCSBWorkload(YCSBConfig(workload="a")).letter == "A"
