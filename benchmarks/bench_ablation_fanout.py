@@ -3,19 +3,18 @@
 The paper chose chain replication because "there is at most one active
 write-QP per active partition" and transmission load spreads across the
 nodes.  This bench quantifies the trade-off against the NIC-offloaded
-fan-out variant (:class:`repro.core.fanout.FanoutGroup`):
+fan-out variant (the registry's ``"fanout"`` backend):
 
 * small payloads — fan-out wins on latency (2 network stages vs 4);
 * large payloads at high rate — the chain wins on throughput, because the
   fan-out primary's egress port must serialize one copy per backup.
 """
 
-from repro.core.fanout import FanoutGroup
-from repro.core.group import GroupConfig
 from repro.experiments.common import (
     build_testbed,
     format_table,
     latency_sweep,
+    make_group,
     make_hyperloop,
     scaled,
     throughput_run,
@@ -24,8 +23,7 @@ from repro.sim.units import MiB
 
 
 def make_fanout(testbed, slots=256):
-    return FanoutGroup(testbed.client, testbed.replicas,
-                       GroupConfig(slots=slots, region_size=32 << 20))
+    return make_group(testbed, "fanout", slots=slots, region_size=32 << 20)
 
 
 def test_latency_small_messages(benchmark, once):

@@ -8,23 +8,17 @@ replica using read locks, and a scan.
 Run:  python examples/document_store.py
 """
 
-from repro import (
-    Cluster,
-    GroupConfig,
-    HyperLoopGroup,
-    MongoLikeDB,
-    StoreConfig,
-    initialize,
-)
+from repro import MongoLikeDB, StoreConfig, initialize
+from repro.cluster import ScenarioConfig, build_scenario
 from repro.sim.units import to_us
 
 
 def main():
-    cluster = Cluster(seed=3)
-    client = cluster.add_host("client")
-    replicas = cluster.add_hosts(3, prefix="replica")
-    group = HyperLoopGroup(client, replicas,
-                           GroupConfig(slots=64, region_size=16 << 20))
+    scenario = build_scenario(ScenarioConfig(
+        backend="hyperloop", replicas=3, seed=3,
+        backend_kwargs={"slots": 64, "region_size": 16 << 20}))
+    cluster, replicas = scenario.cluster, scenario.replicas
+    group = scenario.build_group()
     db = MongoLikeDB(initialize(group, StoreConfig(wal_size=2 << 20)))
     session = db.session()
     sim = cluster.sim

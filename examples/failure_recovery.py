@@ -10,26 +10,23 @@ intact.
 Run:  python examples/failure_recovery.py
 """
 
-from repro import (
-    ChainFailure,
-    ChainSupervisor,
-    Cluster,
-    GroupConfig,
-    HyperLoopGroup,
-    RecoveryConfig,
-)
+from repro import ChainFailure, ChainSupervisor, RecoveryConfig, backend
+from repro.cluster import ScenarioConfig, build_scenario
 from repro.sim.units import ms, to_ms
 
 
 def main():
-    cluster = Cluster(seed=13)
-    client = cluster.add_host("client")
-    replicas = cluster.add_hosts(3, prefix="replica")
+    scenario = build_scenario(ScenarioConfig(
+        backend="hyperloop", replicas=3, seed=13,
+        backend_kwargs={"slots": 32, "region_size": 4 << 20}))
+    cluster = scenario.cluster
+    client, replicas = scenario.client, scenario.replicas
     spare = cluster.add_host("spare")
 
     def make_group(client_host, replica_hosts):
-        return HyperLoopGroup(client_host, replica_hosts,
-                              GroupConfig(slots=32, region_size=4 << 20))
+        return backend.create(scenario.config.backend, client_host,
+                              replica_hosts,
+                              **scenario.config.backend_kwargs)
 
     supervisor = ChainSupervisor(client, replicas, make_group,
                                  RecoveryConfig(heartbeat_period_ns=ms(2),

@@ -10,7 +10,7 @@ on replica NICs with no CPU anywhere.
 Run:  python examples/latency_breakdown.py
 """
 
-from repro import Cluster, GroupConfig, HyperLoopGroup
+from repro import Cluster, backend
 from repro.sim.units import to_us
 
 
@@ -19,8 +19,8 @@ def main():
     tracer = cluster.enable_tracing()
     client = cluster.add_host("client")
     replicas = cluster.add_hosts(3, prefix="replica")
-    group = HyperLoopGroup(client, replicas,
-                           GroupConfig(slots=8, region_size=1 << 20))
+    group = backend.create("hyperloop", client, replicas,
+                           slots=8, region_size=1 << 20)
     sim = cluster.sim
 
     def workload():

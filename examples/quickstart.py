@@ -8,16 +8,16 @@ gMEMCPY (remote log execution) and gFLUSH — all without any replica CPU.
 Run:  python examples/quickstart.py
 """
 
-from repro import Cluster, GroupConfig, HyperLoopGroup
+from repro.cluster import ScenarioConfig, build_scenario
 from repro.sim.units import ms, to_us
 
 
 def main():
-    cluster = Cluster(seed=7)
-    client = cluster.add_host("client")
-    replicas = cluster.add_hosts(3, prefix="replica")
-    group = HyperLoopGroup(client, replicas,
-                           GroupConfig(slots=64, region_size=4 << 20))
+    scenario = build_scenario(ScenarioConfig(
+        backend="hyperloop", replicas=3, seed=7,
+        backend_kwargs={"slots": 64, "region_size": 4 << 20}))
+    cluster, replicas = scenario.cluster, scenario.replicas
+    group = scenario.build_group()
 
     def workload(sim):
         # --- gWRITE: replicate bytes to every replica, durably -----------

@@ -12,26 +12,23 @@ Run:  python examples/replicated_cache.py
 
 from repro import (
     CacheConfig,
-    Cluster,
-    GroupConfig,
-    HyperLoopGroup,
     LogEntry,
     ReplicatedCache,
     StoreConfig,
     initialize,
 )
+from repro.cluster import ScenarioConfig, build_scenario
 from repro.sim.units import ms, to_us
 
 
 def main():
-    cluster = Cluster(seed=23)
-    client = cluster.add_host("client")
-    replicas = cluster.add_hosts(3, prefix="replica")
-    cache_group = HyperLoopGroup(client, replicas,
-                                 GroupConfig(slots=64, region_size=8 << 20))
+    scenario = build_scenario(ScenarioConfig(
+        backend="hyperloop", replicas=3, seed=23,
+        backend_kwargs={"slots": 64, "region_size": 8 << 20}))
+    cluster, replicas = scenario.cluster, scenario.replicas
+    cache_group = scenario.build_group()
     cache = ReplicatedCache(cache_group, CacheConfig())
-    acid_group = HyperLoopGroup(client, replicas,
-                                GroupConfig(slots=64, region_size=8 << 20))
+    acid_group = scenario.build_group()
     acid_store = initialize(acid_group, StoreConfig(wal_size=1 << 20))
     sim = cluster.sim
 

@@ -10,18 +10,13 @@ Run:  python examples/replicated_kv.py
 """
 
 from repro import (
-    Cluster,
-    GroupConfig,
-    HostParams,
-    HyperLoopGroup,
-    NaiveConfig,
-    NaiveGroup,
     ReplicatedRocksKV,
     StoreConfig,
     YCSBConfig,
     YCSBWorkload,
     initialize,
 )
+from repro.cluster import ScenarioConfig, build_scenario
 from repro.workloads import RocksAdapter, YCSBRunner
 
 TENANTS = 160  # 10:1 over 16 cores.
@@ -30,18 +25,15 @@ RECORDS = 100
 
 
 def run_system(system: str) -> dict:
-    cluster = Cluster(seed=11)
-    client = cluster.add_host("client")
-    replicas = cluster.add_hosts(3, prefix="replica")
-    for replica in replicas:
-        replica.add_tenant_load(TENANTS)
-    if system == "hyperloop":
-        group = HyperLoopGroup(client, replicas,
-                               GroupConfig(slots=128, region_size=32 << 20))
-    else:
-        group = NaiveGroup(client, replicas,
-                           NaiveConfig(slots=128, region_size=32 << 20,
-                                       mode="event"))
+    kwargs = {"slots": 128, "region_size": 32 << 20}
+    if system == "naive":
+        kwargs["mode"] = "event"
+    scenario = build_scenario(ScenarioConfig(
+        backend=system, replicas=3, seed=11,
+        replica_tenants=TENANTS, tenant_kind="bursty",
+        backend_kwargs=kwargs))
+    cluster = scenario.cluster
+    group = scenario.build_group()
     store = initialize(group, StoreConfig(wal_size=4 << 20))
     kv = ReplicatedRocksKV(store)
     workload = YCSBWorkload(YCSBConfig(workload="A", record_count=RECORDS,

@@ -13,12 +13,11 @@ Run:  python examples/two_phase_commit.py
 
 from repro import (
     Cluster,
-    GroupConfig,
-    HyperLoopGroup,
     LogEntry,
     PartitionWrite,
     StoreConfig,
     TwoPhaseCoordinator,
+    backend,
     initialize,
 )
 
@@ -37,8 +36,8 @@ def main():
     stores = {}
     for partition in ("checking", "savings"):
         replicas = cluster.add_hosts(3, prefix=f"{partition}-replica")
-        group = HyperLoopGroup(client, replicas,
-                               GroupConfig(slots=32, region_size=8 << 20))
+        group = backend.create("hyperloop", client, replicas,
+                               slots=32, region_size=8 << 20)
         stores[partition] = initialize(group, StoreConfig(wal_size=1 << 20))
     coordinator = TwoPhaseCoordinator(stores)
     sim = cluster.sim

@@ -7,23 +7,30 @@ EXPERIMENTS.md for paper-vs-measured results.
 
 Quickstart::
 
-    from repro import Cluster, HyperLoopGroup, GroupConfig
+    from repro.cluster import ScenarioConfig, build_scenario
 
-    cluster = Cluster(seed=1)
-    client = cluster.add_host("client")
-    replicas = cluster.add_hosts(3, prefix="replica")
-    group = HyperLoopGroup(client, replicas, GroupConfig(slots=64))
+    scenario = build_scenario(ScenarioConfig(
+        backend="hyperloop", replicas=3, seed=1,
+        backend_kwargs={"slots": 64}))
+    group = scenario.build_group()
 
     def workload(sim):
         group.write_local(0, b"hello")
         result = yield group.gwrite(0, 5, durable=True)
         print(f"replicated in {result.latency_ns / 1000:.1f} us")
 
-    cluster.sim.process(workload(cluster.sim))
-    cluster.run()
+    scenario.cluster.sim.process(workload(scenario.cluster.sim))
+    scenario.cluster.run()
+
+Backends resolve by name through :mod:`repro.backend`'s registry
+(``repro.backend.names()`` lists them); the concrete group classes remain
+importable for advanced use.
 """
 
+from . import backend
 from .host import Cluster, Host, HostParams
+from .backend import ReplicationBackend
+from .cluster import Scenario, ScenarioConfig, build_scenario
 from .core.fanout import FanoutGroup
 from .core.multiclient import SharedChain, SharedChainClient
 from .core.group import GroupConfig, HyperLoopGroup, OpResult
@@ -41,9 +48,14 @@ from .workloads.ycsb import YCSBConfig, YCSBWorkload
 __version__ = "1.0.0"
 
 __all__ = [
+    "backend",
     "Cluster",
     "Host",
     "HostParams",
+    "ReplicationBackend",
+    "Scenario",
+    "ScenarioConfig",
+    "build_scenario",
     "FanoutGroup",
     "SharedChain",
     "SharedChainClient",

@@ -45,7 +45,11 @@ class CacheConfig:
 
 
 class ReplicatedCache:
-    """A replication-group-backed cache with Redis-flavoured operations."""
+    """A replication-group-backed cache with Redis-flavoured operations.
+
+    ``group`` is any :class:`~repro.backend.api.ReplicationBackend`
+    implementation.
+    """
 
     def __init__(self, group, config: Optional[CacheConfig] = None,
                  name: str = "cache", start_janitor: bool = False):

@@ -1,0 +1,30 @@
+"""Replication backends: the pluggable layer under every consumer.
+
+* :class:`ReplicationBackend` — the protocol (``api.py``);
+* :class:`GroupBase` — shared client-side machinery (``base.py``);
+* the registry — :func:`register` / :func:`get` / :func:`create` /
+  :func:`names` (``registry.py``).
+
+Registered in-tree backends: ``hyperloop`` (NIC-offloaded chain, the
+paper's contribution), ``naive`` (CPU-forwarded baseline) and ``fanout``
+(NIC-offloaded primary/backup star, the §7 extension).
+"""
+
+from .api import OpResult, ReplicationBackend
+from .base import GroupBase
+from .ops import OpKind, OpSpec
+from .registry import BackendSpec, create, get, names, register, specs
+
+__all__ = [
+    "OpKind",
+    "OpSpec",
+    "OpResult",
+    "ReplicationBackend",
+    "GroupBase",
+    "BackendSpec",
+    "create",
+    "get",
+    "names",
+    "register",
+    "specs",
+]

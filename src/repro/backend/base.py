@@ -1,0 +1,226 @@
+"""Shared client-side machinery for replication backends.
+
+Every backend in this tree — the NIC-offloaded chain
+(:class:`~repro.core.group.HyperLoopGroup`), the CPU-forwarded baseline
+(:class:`~repro.baseline.naive.NaiveGroup`) and the NIC-offloaded fan-out
+(:class:`~repro.core.fanout.FanoutGroup`) — shares the same *client-side*
+contract: a bounded submission pipeline (``slots`` ops in flight), a
+slot-indexed ACK table, local region accessors, and abort/teardown hooks.
+Only the wire topology and per-node engines differ.
+
+:class:`GroupBase` holds that shared half, so a backend implementation is
+reduced to: per-node engine setup, a ``_submitter`` process that turns an
+:class:`~repro.core.metadata.OpSpec` into posted work requests, and an
+ACK dispatcher that calls :meth:`_pop_acked` /
+:meth:`_release_window_waiters`.  Subclasses must provide the attributes
+listed under :attr:`GroupBase` and may override :meth:`_region_limit`
+(e.g. to reserve scratch space at the region tail).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..host import Host
+from ..sim.engine import Event
+from .api import OpResult
+from .ops import OpKind, OpSpec
+
+__all__ = ["GroupBase"]
+
+
+class GroupBase:
+    """Client-side half of a replication backend.
+
+    Subclasses set (typically in ``__init__``): ``config`` (with ``slots``
+    and ``region_size``), ``name``, ``client_host``, ``sim``,
+    ``group_size``, ``replicas`` (node engines with ``.host`` and
+    ``.region``), ``region`` (the client's own copy of the replicated
+    region) and ``read_path`` (a
+    :class:`~repro.core.readpath.ClientReadPath`), then call
+    :meth:`_init_op_state` before starting their client processes.
+    """
+
+    # ------------------------------------------------------------------
+    # Shared state
+    # ------------------------------------------------------------------
+    def _init_op_state(self) -> None:
+        self._next_slot = 0
+        self._acked = 0
+        self._ack_events: Dict[int, Event] = {}
+        self._window_waiters: List[Event] = []
+        self._submit_queue: List = []
+        self._submit_kick: Optional[Event] = None
+
+    # ------------------------------------------------------------------
+    # Public API (Table 1)
+    # ------------------------------------------------------------------
+    def gwrite(self, offset: int, size: int, durable: bool = False) -> Event:
+        """Replicate ``region[offset:offset+size]`` to every replica.
+
+        The caller must already have written the payload into the client's
+        own region.  Returns an event whose value is an :class:`OpResult`.
+        """
+        self._check_range(offset, size)
+        return self.submit(OpSpec(OpKind.GWRITE, offset=offset, size=size,
+                                  durable=durable))
+
+    def gcas(self, offset: int, old_value: int, new_value: int,
+             execute_map: Optional[Sequence[bool]] = None,
+             durable: bool = False) -> Event:
+        """Group compare-and-swap on an 8-byte word at ``offset``."""
+        if execute_map is not None:
+            execute_map = list(execute_map)
+            if len(execute_map) != self.group_size:
+                raise ValueError("execute map size mismatch")
+        self._check_range(offset, 8)
+        return self.submit(OpSpec(OpKind.GCAS, offset=offset,
+                                  old_value=old_value, new_value=new_value,
+                                  execute_map=execute_map, durable=durable))
+
+    def gmemcpy(self, src_offset: int, dst_offset: int, size: int,
+                durable: bool = False) -> Event:
+        """Copy ``size`` bytes from ``src_offset`` to ``dst_offset`` on all
+        nodes (including the client's own region, done in software here)."""
+        self._check_range(src_offset, size)
+        self._check_range(dst_offset, size)
+        return self.submit(OpSpec(OpKind.GMEMCPY, src_offset=src_offset,
+                                  dst_offset=dst_offset, size=size,
+                                  durable=durable))
+
+    def gflush(self) -> Event:
+        """Flush every replica's NIC cache to NVM."""
+        return self.submit(OpSpec(OpKind.GFLUSH, durable=True))
+
+    def submit(self, op: OpSpec) -> Event:
+        """Queue an operation; the event fires with its :class:`OpResult`."""
+        if getattr(self, "_closed", False):
+            raise RuntimeError(f"{self.name} is closed")
+        done = self.sim.event()
+        # Latency is measured from submission, so client-side queueing and
+        # metadata construction are included — as a caller would see it.
+        done.issue_time = self.sim.now  # type: ignore[attr-defined]
+        self._submit_queue.append((op, done))
+        if self._submit_kick is not None and not self._submit_kick.triggered:
+            self._submit_kick.succeed()
+        return done
+
+    # ------------------------------------------------------------------
+    # Region access
+    # ------------------------------------------------------------------
+    def write_local(self, offset: int, data: bytes) -> None:
+        """Software store into the client's own copy of the region."""
+        self._check_range(offset, len(data))
+        self.client_host.memory.write(self.region.address + offset, data)
+
+    def read_local(self, offset: int, size: int) -> bytes:
+        self._check_range(offset, size)
+        return self.client_host.memory.read(self.region.address + offset, size)
+
+    def read_replica(self, hop: int, offset: int, size: int) -> bytes:
+        """Direct read of a replica's region (test/verification helper)."""
+        replica = self.replicas[hop]
+        return replica.host.memory.read(replica.region.address + offset, size)
+
+    def remote_read(self, hop: int, offset: int, size: int) -> Event:
+        """One-sided READ of ``region[offset:offset+size]`` on replica ``hop``."""
+        self._check_range(offset, size)
+        return self.read_path.read(hop, offset, size)
+
+    def _region_limit(self) -> int:
+        """Bytes of the region addressable by callers (override to reserve
+        scratch space at the tail)."""
+        return self.config.region_size
+
+    def _check_range(self, offset: int, size: int) -> None:
+        limit = self._region_limit()
+        if offset < 0 or size < 0 or offset + size > limit:
+            raise ValueError(
+                f"[{offset}, {offset + size}) outside region of "
+                f"{limit} bytes")
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def member_hosts(self) -> List[Host]:
+        """The replica hosts, in chain/fan-out order."""
+        return [replica.host for replica in self.replicas]
+
+    # ------------------------------------------------------------------
+    # Flow control
+    # ------------------------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        return self._next_slot - self._acked
+
+    # ------------------------------------------------------------------
+    # Recovery hooks
+    # ------------------------------------------------------------------
+    def abort_in_flight(self, reason: Exception) -> int:
+        """Fail every unacknowledged operation (chain failure detected).
+
+        Returns the number of operations aborted.  Queued-but-unsubmitted
+        operations are failed too.
+        """
+        aborted = 0
+        for event in list(self._ack_events.values()):
+            if not event.triggered:
+                event.fail(reason)
+                aborted += 1
+        self._ack_events.clear()
+        for _op, done in self._submit_queue:
+            if not done.triggered:
+                done.fail(reason)
+                aborted += 1
+        self._submit_queue.clear()
+        self._acked = self._next_slot
+        return aborted
+
+    def _begin_close(self) -> bool:
+        """Idempotence guard + in-flight abort; True if teardown should run."""
+        if getattr(self, "_closed", False):
+            return False
+        self._closed = True
+        self.abort_in_flight(RuntimeError(f"{self.name} closed"))
+        return True
+
+    # ------------------------------------------------------------------
+    # Submitter/dispatcher building blocks
+    # ------------------------------------------------------------------
+    def _dequeue(self):
+        """Generator step for submitter processes: wait for a queued op and
+        a free pipeline slot, then claim the slot.  Returns
+        ``(op, done, slot)``."""
+        sim = self.sim
+        while not self._submit_queue:
+            self._submit_kick = sim.event()
+            yield self._submit_kick
+        op, done = self._submit_queue.pop(0)
+        # Flow control: never exceed the pipeline depth.
+        while self.in_flight >= self.config.slots:
+            waiter = sim.event()
+            self._window_waiters.append(waiter)
+            yield waiter
+        slot = self._next_slot
+        self._next_slot += 1
+        self._ack_events[slot] = done
+        return op, done, slot
+
+    def _pop_acked(self, slot: int) -> Optional[Event]:
+        """Account one ACKed slot; returns its completion event (if any)."""
+        done = self._ack_events.pop(slot, None)
+        self._acked += 1
+        return done
+
+    def _release_window_waiters(self) -> None:
+        if self._window_waiters:
+            waiters, self._window_waiters = self._window_waiters, []
+            for waiter in waiters:
+                waiter.succeed()
+
+    def _finish(self, done: Event, slot: int, result_map: bytes) -> None:
+        """Complete ``done`` with an :class:`OpResult` stamped now."""
+        issue = getattr(done, "issue_time", self.sim.now)
+        done.succeed(OpResult(slot=slot,
+                              latency_ns=self.sim.now - issue,
+                              result_map=result_map))

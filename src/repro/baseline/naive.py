@@ -28,15 +28,15 @@ from __future__ import annotations
 import itertools
 import struct
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Optional, Sequence
 
-from ..core.metadata import OpKind, OpSpec
-from ..core.group import OpResult
+from ..backend.base import GroupBase
+from ..backend.ops import OpKind, OpSpec
+from ..backend.registry import register
 from ..core.readpath import ClientReadPath
 from ..host import Host
 from ..rdma.verbs import Access
 from ..rdma.wqe import Opcode, Sge, WorkRequest
-from ..sim.engine import Event
 
 __all__ = ["NaiveConfig", "NaiveGroup", "HEADER_SIZE"]
 
@@ -243,7 +243,9 @@ class _NaiveReplica:
             signaled=False))
 
 
-class NaiveGroup:
+@register("naive", config_cls=NaiveConfig,
+          description="CPU-forwarded chain replication (Naïve-RDMA baseline)")
+class NaiveGroup(GroupBase):
     """Drop-in alternative to :class:`HyperLoopGroup` using CPU forwarding."""
 
     _ids = itertools.count()
@@ -261,19 +263,9 @@ class NaiveGroup:
                          for hop, host in enumerate(replica_hosts)]
         self._build_client_side()
         self._wire_chain()
-        self._next_slot = 0
-        self._acked = 0
-        self._ack_events: Dict[int, Event] = {}
-        self._window_waiters: List[Event] = []
-        self._submit_queue: List = []
-        self._submit_kick: Optional[Event] = None
+        self._init_op_state()
         self._start_client_processes()
         self.read_path = ClientReadPath(client_host, self.replicas, self.name)
-
-    def remote_read(self, hop: int, offset: int, size: int) -> Event:
-        """One-sided READ of ``region[offset:offset+size]`` on replica ``hop``."""
-        self._check_range(offset, size)
-        return self.read_path.read(hop, offset, size)
 
     # ------------------------------------------------------------------
     # Construction
@@ -324,69 +316,10 @@ class NaiveGroup:
         return self.ack_buf.address + (slot % self.config.slots) \
             * self.ack_stride
 
-    # ------------------------------------------------------------------
-    # Public API — mirrors HyperLoopGroup
-    # ------------------------------------------------------------------
-    def gwrite(self, offset: int, size: int, durable: bool = False) -> Event:
-        self._check_range(offset, size)
-        return self.submit(OpSpec(OpKind.GWRITE, offset=offset, size=size,
-                                  durable=durable))
-
-    def gcas(self, offset: int, old_value: int, new_value: int,
-             execute_map: Optional[Sequence[bool]] = None,
-             durable: bool = False) -> Event:
-        self._check_range(offset, 8)
-        return self.submit(OpSpec(OpKind.GCAS, offset=offset,
-                                  old_value=old_value, new_value=new_value,
-                                  execute_map=execute_map, durable=durable))
-
-    def gmemcpy(self, src_offset: int, dst_offset: int, size: int,
-                durable: bool = False) -> Event:
-        self._check_range(src_offset, size)
-        self._check_range(dst_offset, size)
-        return self.submit(OpSpec(OpKind.GMEMCPY, src_offset=src_offset,
-                                  dst_offset=dst_offset, size=size,
-                                  durable=durable))
-
-    def gflush(self) -> Event:
-        return self.submit(OpSpec(OpKind.GFLUSH, durable=True))
-
-    def submit(self, op: OpSpec) -> Event:
-        done = self.sim.event()
-        done.issue_time = self.sim.now  # type: ignore[attr-defined]
-        self._submit_queue.append((op, done))
-        if self._submit_kick is not None and not self._submit_kick.triggered:
-            self._submit_kick.succeed()
-        return done
-
-    def write_local(self, offset: int, data: bytes) -> None:
-        self._check_range(offset, len(data))
-        self.client_host.memory.write(self.region.address + offset, data)
-
-    def read_local(self, offset: int, size: int) -> bytes:
-        self._check_range(offset, size)
-        return self.client_host.memory.read(self.region.address + offset, size)
-
-    def read_replica(self, hop: int, offset: int, size: int) -> bytes:
-        replica = self.replicas[hop]
-        return replica.host.memory.read(replica.region.address + offset, size)
-
-    def _check_range(self, offset: int, size: int) -> None:
-        if offset < 0 or size < 0 or offset + size > self.config.region_size:
-            raise ValueError(
-                f"[{offset}, {offset + size}) outside region of "
-                f"{self.config.region_size} bytes")
-
-    @property
-    def in_flight(self) -> int:
-        return self._next_slot - self._acked
-
     def close(self) -> None:
         """Tear the group down and return every carved resource."""
-        if getattr(self, "_closed", False):
+        if not self._begin_close():
             return
-        self._closed = True
-        self.abort_in_flight(RuntimeError(f"{self.name} closed"))
         for replica in self.replicas:
             nic, memory = replica.host.nic, replica.host.memory
             nic.destroy_qp(replica.qp_up)
@@ -402,41 +335,14 @@ class NaiveGroup:
             memory.free(allocation)
         self.read_path.close()
 
-    def abort_in_flight(self, reason: Exception) -> int:
-        """Fail every unacknowledged operation (chain failure detected)."""
-        aborted = 0
-        for event in list(self._ack_events.values()):
-            if not event.triggered:
-                event.fail(reason)
-                aborted += 1
-        self._ack_events.clear()
-        for _op, done in self._submit_queue:
-            if not done.triggered:
-                done.fail(reason)
-                aborted += 1
-        self._submit_queue.clear()
-        self._acked = self._next_slot
-        return aborted
-
     # ------------------------------------------------------------------
     # Client processes
     # ------------------------------------------------------------------
     def _submitter(self):
-        sim, config = self.sim, self.config
+        config = self.config
         head = self.replicas[0]
         while True:
-            if not self._submit_queue:
-                self._submit_kick = sim.event()
-                yield self._submit_kick
-                continue
-            op, done = self._submit_queue.pop(0)
-            while self.in_flight >= config.slots:
-                waiter = sim.event()
-                self._window_waiters.append(waiter)
-                yield waiter
-            slot = self._next_slot
-            self._next_slot += 1
-            self._ack_events[slot] = done
+            op, done, slot = yield from self._dequeue()
             yield self.submit_thread.run(config.build_ns)
             msg_addr = self.msg_buf.address \
                 + (slot % config.slots) * self.msg_stride
@@ -480,18 +386,14 @@ class NaiveGroup:
                 if not wc.has_imm:
                     continue
                 slot = wc.imm
-                done = self._ack_events.pop(slot, None)
-                self._acked += 1
+                # Ordering matters for determinism: re-arm the RECV before
+                # releasing window waiters (the re-post can schedule an
+                # RNR-pending delivery).
+                done = self._pop_acked(slot)
                 self.qp_ack.post_recv(WorkRequest(Opcode.RECV, [], wr_id=0))
-                if self._window_waiters:
-                    waiters, self._window_waiters = self._window_waiters, []
-                    for waiter in waiters:
-                        waiter.succeed()
+                self._release_window_waiters()
                 if done is None or done.triggered:
                     continue
                 result_map = self.client_host.memory.read(
                     self.ack_addr(slot), self.ack_stride)
-                issue = getattr(done, "issue_time", sim.now)
-                done.succeed(OpResult(slot=slot,
-                                      latency_ns=sim.now - issue,
-                                      result_map=result_map))
+                self._finish(done, slot, result_map)

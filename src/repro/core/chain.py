@@ -1,0 +1,153 @@
+"""Chain-replica control plane: memory carve-outs, QPs, slot pre-posting.
+
+This is the *setup* half of the HyperLoop chain (§4.1/§4.2) — everything
+a replica's CPU does once, off the critical path, so that the data path
+can run entirely on the NICs afterwards.  The data-path half (the
+client-side primitive API) lives in :mod:`repro.core.group`.
+
+Every replica owns three queue pairs:
+
+* ``qp_up``    — connected to the previous node (client for replica 0);
+* ``qp_local`` — loopback, where the per-op *local* operation (NOP / CAS /
+  local-copy WRITE) executes;
+* ``qp_down``  — connected to the next node (the client's ACK QP for the
+  tail).
+
+For every pipeline slot ``k`` the replica's CPU pre-posts — once, off the
+critical path — the chain of work requests described in §4.1/§4.2:
+
+* ``qp_up``: a RECV whose scatter list points **at the four pre-posted WQE
+  descriptors below plus the slot's staging buffer**, so the incoming
+  metadata SEND patches the descriptors (including their ownership bits) by
+  pure DMA;
+* ``qp_local``: a consume-mode ``WAIT(up_recv_cq)`` then an unowned
+  placeholder that the patch turns into the local op;
+* ``qp_down``: a consume-mode ``WAIT(local_send_cq)`` then three unowned
+  placeholders that become forward-data (WRITE), forward-flush (0-byte
+  READ) and forward-metadata (SEND, or WRITE_WITH_IMM ACK at the tail).
+
+After setup the replica CPU does nothing at all: the modified driver marks
+the rings *cyclic*, so the NIC's ownership write-back re-arms each slot for
+reuse and the pre-posted pattern serves unboundedly many operations.
+"""
+
+from __future__ import annotations
+
+from ..host import Host
+from ..rdma.verbs import Access
+from ..rdma.wqe import WQE_SIZE, Opcode, Sge, WorkRequest
+from .metadata import NodeLayout, max_staging_len, staging_len
+
+__all__ = ["ReplicaEngine"]
+
+
+class ReplicaEngine:
+    """Per-replica state: memory carve-outs, QPs, and slot pre-posting."""
+
+    def __init__(self, host: Host, group_name: str, hop: int,
+                 group_size: int, config):
+        self.host = host
+        self.hop = hop
+        self.group_size = group_size
+        self.config = config
+        self.name = f"{group_name}.r{hop}"
+        memory, nic = host.memory, host.nic
+        self.region = memory.allocate(config.region_size, f"{self.name}.region")
+        stride = max_staging_len(group_size)
+        self.staging = memory.allocate(stride * config.slots,
+                                       f"{self.name}.staging")
+        self.staging_stride = stride
+        # The replicated region is remotely writable/readable and atomic-
+        # capable (group locks live inside it).
+        self.region_mr = nic.register_mr(
+            self.region.address, self.region.size,
+            Access.LOCAL_WRITE | Access.REMOTE_WRITE | Access.REMOTE_READ
+            | Access.REMOTE_ATOMIC,
+            name=f"{self.name}.region")
+        slots = config.slots
+        self.up_recv_cq = nic.create_cq(name=f"{self.name}.upcq")
+        self.local_cq = nic.create_cq(name=f"{self.name}.localcq")
+        self.down_cq = nic.create_cq(name=f"{self.name}.downcq")
+        # Cyclic reuse requires each ring to hold *exactly* one pass of
+        # the pre-posted slot pattern, so absolute slot k always maps back
+        # to the same descriptor addresses.
+        self.qp_up = nic.create_qp(self.down_cq, self.up_recv_cq,
+                                   sq_slots=8, rq_slots=slots,
+                                   name=f"{self.name}.up")
+        self.qp_local = nic.create_qp(self.local_cq, self.local_cq,
+                                      sq_slots=2 * slots, rq_slots=8,
+                                      name=f"{self.name}.local")
+        self.qp_down = nic.create_qp(self.down_cq, self.down_cq,
+                                     sq_slots=4 * slots, rq_slots=8,
+                                     name=f"{self.name}.down")
+        self.qp_local.connect(self.qp_local)
+        # Mirror the paper: the WQE rings are themselves registered memory
+        # (remote manipulation is bounds-checked like any RDMA access).
+        self.local_ring_mr = nic.ring_mr(self.qp_local, "sq")
+        self.down_ring_mr = nic.ring_mr(self.qp_down, "sq")
+        # Modified-driver cyclic rings: the slot pattern is pre-posted once
+        # and re-armed by NIC ownership write-back, so the replica CPU does
+        # no recurring work at all (§3.1's "very few cycles that initialize
+        # the HyperLoop groups").
+        self.qp_up.rq.cyclic = True
+        self.qp_local.sq.cyclic = True
+        self.qp_down.sq.cyclic = True
+        self.posted_slots = 0
+
+    def close(self) -> None:
+        """Destroy QPs, deregister MRs, and return the carved memory."""
+        nic, memory = self.host.nic, self.host.memory
+        for qp in (self.qp_up, self.qp_local, self.qp_down):
+            nic.destroy_qp(qp)
+        for mr in (self.region_mr, self.local_ring_mr, self.down_ring_mr):
+            nic.deregister_mr(mr)
+        memory.free(self.region)
+        memory.free(self.staging)
+
+    def layout(self) -> NodeLayout:
+        return NodeLayout(
+            name=self.name,
+            region_addr=self.region.address,
+            region_rkey=self.region_mr.rkey,
+            staging_addr=self.staging.address,
+            staging_stride=self.staging_stride,
+            slots=self.config.slots)
+
+    # ------------------------------------------------------------------
+    # Slot pre-posting (control plane)
+    # ------------------------------------------------------------------
+    def post_slot(self, slot: int) -> None:
+        """Pre-post the full WQE chain for pipeline slot ``slot``.
+
+        WAITs use consume-mode (``wait_count=0``) so the cyclic rings can
+        re-serve the same descriptors forever without count patching.
+        """
+        placeholder = WorkRequest(Opcode.NOP, signaled=False)
+        # Local queue: WAIT on the upstream RECV CQ, then the local op.
+        self.qp_local.post_send(WorkRequest(
+            Opcode.WAIT, wait_cq=self.up_recv_cq.cq_id, wait_count=0,
+            signaled=False))
+        local_idx = self.qp_local.post_send(placeholder, owned=False)
+        # Down queue: WAIT on the local op's CQE, then the three forwards.
+        self.qp_down.post_send(WorkRequest(
+            Opcode.WAIT, wait_cq=self.local_cq.cq_id, wait_count=0,
+            signaled=False))
+        fd_idx = self.qp_down.post_send(placeholder, owned=False)
+        ff_idx = self.qp_down.post_send(placeholder, owned=False)
+        fm_idx = self.qp_down.post_send(placeholder, owned=False)
+        # Upstream RECV: scatter the inbound metadata onto the four
+        # descriptors above, remainder into the staging buffer.
+        sg = [
+            Sge(self.qp_local.sq.slot_address(local_idx), WQE_SIZE),
+            Sge(self.qp_down.sq.slot_address(fd_idx), WQE_SIZE),
+            Sge(self.qp_down.sq.slot_address(ff_idx), WQE_SIZE),
+            Sge(self.qp_down.sq.slot_address(fm_idx), WQE_SIZE),
+            Sge(self.layout().staging_slot(slot),
+                staging_len(self.group_size, self.hop)),
+        ]
+        self.qp_up.post_recv(WorkRequest(Opcode.RECV, sg, wr_id=slot))
+        self.posted_slots += 1
+
+    def prepost(self, count: int) -> None:
+        for slot in range(self.posted_slots, self.posted_slots + count):
+            self.post_slot(slot)

@@ -18,9 +18,9 @@ exactly that:
 
 No replica CPU runs on the path, including the primary's.
 
-Scatter-gather arithmetic bounds the fan-out width: patching the primary
-needs ``1 + 2×backups`` scatter segments, so with ``MAX_SGE = 6`` a group
-supports up to 2 backups (replication factor 3 — the common deployment).
+The per-node engines (QPs, cyclic pre-posted slot patterns, the MAX_SGE
+fan-out-width bound) live in :mod:`repro.core.fanout_nodes`; this module
+holds the client-side handle.
 
 Trade-off vs the chain (the paper's §7 load-balancing point, quantified in
 ``benchmarks/bench_ablation_fanout.py``): fan-out has fewer sequential
@@ -31,178 +31,45 @@ payload, while the chain spreads transmission across all nodes.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
+from ..backend.base import GroupBase
+from ..backend.registry import register
 from ..host import Host
 from ..rdma.verbs import Access
 from ..rdma.wqe import MAX_SGE, WQE_SIZE, Opcode, Sge, WorkRequest, encode_wqe
-from ..sim.engine import Event
-from .group import GroupConfig, OpResult
+from .fanout_nodes import (
+    _BACKUP_MSG_SIZE,
+    _FanoutBackup,
+    _FanoutPrimary,
+    _PRIMARY_BLOCK_WQES,
+)
+from .group import GroupConfig
 from .metadata import OpKind, OpSpec
 from .readpath import ClientReadPath
 
 __all__ = ["FanoutGroup"]
 
-#: Descriptors patched per backup on the primary (forward WRITE + flush
-#: READ + SEND).
-_PRIMARY_BLOCK_WQES = 3
-#: Descriptors patched on each backup (local op + client ACK).
-_BACKUP_BLOCK_WQES = 2
-_BACKUP_MSG_SIZE = _BACKUP_BLOCK_WQES * WQE_SIZE
+_MAX_REPLICAS = 1 + (MAX_SGE - 2) // 2
 
 
-class _FanoutPrimary:
-    """The primary: local-op QP plus one fan-out QP per backup."""
-
-    def __init__(self, host: Host, group: "FanoutGroup"):
-        self.host = host
-        self.group = group
-        config = group.config
-        memory, nic = host.memory, host.nic
-        self.name = f"{group.name}.primary"
-        self.region = memory.allocate(config.region_size, f"{self.name}.region")
-        self.region_mr = nic.register_mr(
-            self.region.address, self.region.size,
-            Access.LOCAL_WRITE | Access.REMOTE_WRITE | Access.REMOTE_READ
-            | Access.REMOTE_ATOMIC, name=f"{self.name}.region")
-        backups = group.backup_count
-        # Staging for each backup's outgoing metadata message.
-        self.staging = memory.allocate(
-            _BACKUP_MSG_SIZE * backups * config.slots, f"{self.name}.staging")
-        self.up_cq = nic.create_cq(name=f"{self.name}.upcq")
-        self.local_cq = nic.create_cq(name=f"{self.name}.localcq")
-        self.out_cq = nic.create_cq(name=f"{self.name}.outcq")
-        self.qp_up = nic.create_qp(self.out_cq, self.up_cq, sq_slots=8,
-                                   rq_slots=config.slots,
-                                   name=f"{self.name}.up")
-        self.qp_local = nic.create_qp(self.local_cq, self.local_cq,
-                                      sq_slots=2 * config.slots, rq_slots=8,
-                                      name=f"{self.name}.local")
-        self.qp_local.connect(self.qp_local)
-        self.qp_ack = nic.create_qp(self.out_cq, self.out_cq,
-                                    sq_slots=2 * config.slots, rq_slots=8,
-                                    name=f"{self.name}.ack")
-        self.qp_backups = [
-            nic.create_qp(self.out_cq, self.out_cq,
-                          sq_slots=4 * config.slots, rq_slots=8,
-                          name=f"{self.name}.out{i}")
-            for i in range(backups)]
-        self.qp_up.rq.cyclic = True
-        self.qp_local.sq.cyclic = True
-        self.qp_ack.sq.cyclic = True
-        for qp in self.qp_backups:
-            qp.sq.cyclic = True
-
-    def staging_slot(self, slot: int, backup: int) -> int:
-        config = self.group.config
-        per_slot = _BACKUP_MSG_SIZE * self.group.backup_count
-        return (self.staging.address
-                + (slot % config.slots) * per_slot
-                + backup * _BACKUP_MSG_SIZE)
-
-    def post_slot(self, slot: int) -> None:
-        """Pre-post one op's WQE chain (consume-mode WAITs, cyclic rings)."""
-        placeholder = WorkRequest(Opcode.NOP, signaled=False)
-        # Local op: gated on the metadata RECV.
-        self.qp_local.post_send(WorkRequest(
-            Opcode.WAIT, wait_cq=self.up_cq.cq_id, wait_count=0,
-            signaled=False))
-        local_idx = self.qp_local.post_send(placeholder, owned=False)
-        # Primary ACK to client: gated on the local op's completion.
-        self.qp_ack.post_send(WorkRequest(
-            Opcode.WAIT, wait_cq=self.local_cq.cq_id, wait_count=0,
-            signaled=False))
-        ack_idx = self.qp_ack.post_send(placeholder, owned=False)
-        # Per-backup fan-out: data WRITE + metadata SEND, gated on the
-        # local op so gCAS/gMEMCPY results/ordering hold.
-        sg = [Sge(self.qp_local.sq.slot_address(local_idx), WQE_SIZE),
-              Sge(self.qp_ack.sq.slot_address(ack_idx), WQE_SIZE)]
-        for backup, qp in enumerate(self.qp_backups):
-            qp.post_send(WorkRequest(
-                Opcode.WAIT, wait_cq=self.local_cq.cq_id, wait_count=0,
-                signaled=False))
-            write_idx = qp.post_send(placeholder, owned=False)
-            flush_idx = qp.post_send(placeholder, owned=False)
-            send_idx = qp.post_send(placeholder, owned=False)
-            if send_idx != write_idx + 2 or flush_idx != write_idx + 1:
-                raise RuntimeError("fan-out block not contiguous")
-            sg.append(Sge(qp.sq.slot_address(write_idx),
-                          _PRIMARY_BLOCK_WQES * WQE_SIZE))
-            sg.append(Sge(self.staging_slot(slot, backup), _BACKUP_MSG_SIZE))
-        if len(sg) > MAX_SGE:
-            raise RuntimeError("too many backups for the scatter list")
-        self.qp_up.post_recv(WorkRequest(Opcode.RECV, sg, wr_id=slot))
-
-    def prepost(self, count: int) -> None:
-        for slot in range(count):
-            self.post_slot(slot)
-
-
-class _FanoutBackup:
-    """A backup: receives data+metadata from the primary, ACKs the client."""
-
-    def __init__(self, host: Host, group: "FanoutGroup", index: int):
-        self.host = host
-        self.group = group
-        self.index = index
-        config = group.config
-        memory, nic = host.memory, host.nic
-        self.name = f"{group.name}.backup{index}"
-        self.region = memory.allocate(config.region_size, f"{self.name}.region")
-        self.region_mr = nic.register_mr(
-            self.region.address, self.region.size,
-            Access.LOCAL_WRITE | Access.REMOTE_WRITE | Access.REMOTE_READ
-            | Access.REMOTE_ATOMIC, name=f"{self.name}.region")
-        self.up_cq = nic.create_cq(name=f"{self.name}.upcq")
-        self.local_cq = nic.create_cq(name=f"{self.name}.localcq")
-        self.qp_up = nic.create_qp(self.local_cq, self.up_cq, sq_slots=8,
-                                   rq_slots=config.slots,
-                                   name=f"{self.name}.up")
-        self.qp_local = nic.create_qp(self.local_cq, self.local_cq,
-                                      sq_slots=2 * config.slots, rq_slots=8,
-                                      name=f"{self.name}.local")
-        self.qp_local.connect(self.qp_local)
-        self.qp_ack = nic.create_qp(self.local_cq, self.local_cq,
-                                    sq_slots=2 * config.slots, rq_slots=8,
-                                    name=f"{self.name}.ack")
-        self.qp_up.rq.cyclic = True
-        self.qp_local.sq.cyclic = True
-        self.qp_ack.sq.cyclic = True
-
-    def post_slot(self, slot: int) -> None:
-        placeholder = WorkRequest(Opcode.NOP, signaled=False)
-        self.qp_local.post_send(WorkRequest(
-            Opcode.WAIT, wait_cq=self.up_cq.cq_id, wait_count=0,
-            signaled=False))
-        local_idx = self.qp_local.post_send(placeholder, owned=False)
-        self.qp_ack.post_send(WorkRequest(
-            Opcode.WAIT, wait_cq=self.local_cq.cq_id, wait_count=0,
-            signaled=False))
-        ack_idx = self.qp_ack.post_send(placeholder, owned=False)
-        self.qp_up.post_recv(WorkRequest(Opcode.RECV, [
-            Sge(self.qp_local.sq.slot_address(local_idx), WQE_SIZE),
-            Sge(self.qp_ack.sq.slot_address(ack_idx), WQE_SIZE),
-        ], wr_id=slot))
-
-    def prepost(self, count: int) -> None:
-        for slot in range(count):
-            self.post_slot(slot)
-
-
-class FanoutGroup:
+@register("fanout", config_cls=GroupConfig,
+          description="NIC-offloaded primary/backup fan-out (§7 extension)",
+          min_replicas=2, max_replicas=_MAX_REPLICAS)
+class FanoutGroup(GroupBase):
     """FaRM-style fan-out replication with the coordination NIC-offloaded.
 
     Fully API-compatible with :class:`HyperLoopGroup` — gWRITE/gCAS (with
     execute maps)/gMEMCPY/gFLUSH, remote reads, abort — so the entire §5
     storage stack runs over fan-out unchanged.  Limited to 2 backups by
-    the scatter-gather budget — see the module docstring.
+    the scatter-gather budget — see :mod:`repro.core.fanout_nodes`.
     """
 
     _ids = itertools.count()
 
     def __init__(self, client_host: Host, replica_hosts: Sequence[Host],
                  config: Optional[GroupConfig] = None, name: str = ""):
-        if not 2 <= len(replica_hosts) <= 1 + (MAX_SGE - 2) // 2:
+        if not 2 <= len(replica_hosts) <= _MAX_REPLICAS:
             raise ValueError(
                 "fan-out groups support 2..3 replicas (primary + <=2 "
                 "backups) with the current MAX_SGE")
@@ -220,13 +87,8 @@ class FanoutGroup:
         self.primary.prepost(self.config.slots)
         for backup in self.backups:
             backup.prepost(self.config.slots)
-        self._next_slot = 0
-        self._acked = 0
+        self._init_op_state()
         self._ack_counts: Dict[int, int] = {}
-        self._ack_events: Dict[int, Event] = {}
-        self._window_waiters: List[Event] = []
-        self._submit_queue: List = []
-        self._submit_kick: Optional[Event] = None
         self.sim.process(self._submitter(), name=f"{self.name}.submitter")
         self.sim.process(self._ack_dispatcher(), name=f"{self.name}.ackdisp")
         self.read_path = ClientReadPath(client_host, self.replicas,
@@ -237,21 +99,10 @@ class FanoutGroup:
         """All member nodes, primary first (chain-API parity)."""
         return [self.primary] + list(self.backups)
 
-    def remote_read(self, hop: int, offset: int, size: int) -> Event:
-        """One-sided READ of a member's region (primary is hop 0)."""
-        self._check_range(offset, size)
-        return self.read_path.read(hop, offset, size)
-
-    def gflush(self) -> Event:
-        """Flush every member's NIC cache to NVM (primary, then backups)."""
-        return self.submit(OpSpec(OpKind.GFLUSH, durable=True))
-
     def close(self) -> None:
         """Tear the group down and return every carved resource."""
-        if getattr(self, "_closed", False):
+        if not self._begin_close():
             return
-        self._closed = True
-        self.abort_in_flight(RuntimeError(f"{self.name} closed"))
         primary = self.primary
         nic, memory = primary.host.nic, primary.host.memory
         for qp in ([primary.qp_up, primary.qp_local, primary.qp_ack]
@@ -277,19 +128,8 @@ class FanoutGroup:
 
     def abort_in_flight(self, reason: Exception) -> int:
         """Fail every unacknowledged operation (failure detected)."""
-        aborted = 0
-        for event in list(self._ack_events.values()):
-            if not event.triggered:
-                event.fail(reason)
-                aborted += 1
-        self._ack_events.clear()
+        aborted = super().abort_in_flight(reason)
         self._ack_counts.clear()
-        for _op, done in self._submit_queue:
-            if not done.triggered:
-                done.fail(reason)
-                aborted += 1
-        self._submit_queue.clear()
-        self._acked = self._next_slot
         return aborted
 
     # ------------------------------------------------------------------
@@ -379,7 +219,7 @@ class FanoutGroup:
     def _build_metadata(self, op: OpSpec, slot: int) -> bytes:
         primary = self.primary
         # Per-node CAS result scratch: the region's reserved last 8 bytes
-        # (the public offset range excludes this tail, see _check_range).
+        # (the public offset range excludes this tail, see _region_limit).
         primary_result = primary.region.address + primary.region.size - 8
         execute = op.execute_map or [True] * self.group_size
         parts = [self._local_op_image(op, primary.region.address,
@@ -417,82 +257,23 @@ class FanoutGroup:
         assert len(message) == self.md_stride
         return message
 
-    # ------------------------------------------------------------------
-    # Public API
-    # ------------------------------------------------------------------
-    def gwrite(self, offset: int, size: int, durable: bool = False) -> Event:
-        self._check_range(offset, size)
-        return self.submit(OpSpec(OpKind.GWRITE, offset=offset, size=size,
-                                  durable=durable))
-
-    def gcas(self, offset: int, old_value: int, new_value: int,
-             execute_map=None, durable: bool = False) -> Event:
-        if execute_map is not None and len(execute_map) != self.group_size:
-            raise ValueError("execute map size mismatch")
-        self._check_range(offset, 8)
-        return self.submit(OpSpec(OpKind.GCAS, offset=offset,
-                                  old_value=old_value, new_value=new_value,
-                                  execute_map=list(execute_map)
-                                  if execute_map is not None else None,
-                                  durable=durable))
-
-    def gmemcpy(self, src_offset: int, dst_offset: int, size: int,
-                durable: bool = False) -> Event:
-        self._check_range(src_offset, size)
-        self._check_range(dst_offset, size)
-        return self.submit(OpSpec(OpKind.GMEMCPY, src_offset=src_offset,
-                                  dst_offset=dst_offset, size=size,
-                                  durable=durable))
-
-    def submit(self, op: OpSpec) -> Event:
-        done = self.sim.event()
-        done.issue_time = self.sim.now  # type: ignore[attr-defined]
-        self._submit_queue.append((op, done))
-        if self._submit_kick is not None and not self._submit_kick.triggered:
-            self._submit_kick.succeed()
-        return done
-
-    def write_local(self, offset: int, data: bytes) -> None:
-        self._check_range(offset, len(data))
-        self.client_host.memory.write(self.region.address + offset, data)
-
-    def read_local(self, offset: int, size: int) -> bytes:
-        self._check_range(offset, size)
-        return self.client_host.memory.read(self.region.address + offset,
-                                            size)
-
     def read_replica(self, hop: int, offset: int, size: int) -> bytes:
         node = self.primary if hop == 0 else self.backups[hop - 1]
         return node.host.memory.read(node.region.address + offset, size)
 
-    def _check_range(self, offset: int, size: int) -> None:
-        if offset < 0 or size < 0 \
-                or offset + size > self.config.region_size - 64:
-            raise ValueError("outside the replicated region")
-
-    @property
-    def in_flight(self) -> int:
-        return self._next_slot - self._acked
+    def _region_limit(self) -> int:
+        # The last 64 bytes of each region are reserved for per-node CAS
+        # result scratch (see _build_metadata).
+        return self.config.region_size - 64
 
     # ------------------------------------------------------------------
     # Client processes
     # ------------------------------------------------------------------
     def _submitter(self):
-        sim, config = self.sim, self.config
+        config = self.config
         primary = self.primary
         while True:
-            if not self._submit_queue:
-                self._submit_kick = sim.event()
-                yield self._submit_kick
-                continue
-            op, done = self._submit_queue.pop(0)
-            while self.in_flight >= config.slots:
-                waiter = sim.event()
-                self._window_waiters.append(waiter)
-                yield waiter
-            slot = self._next_slot
-            self._next_slot += 1
-            self._ack_events[slot] = done
+            op, done, slot = yield from self._dequeue()
             self._ack_counts[slot] = 0
             build_ns = (config.meta_build_base_ns
                         + config.meta_build_per_hop_ns * self.group_size)
@@ -541,19 +322,12 @@ class FanoutGroup:
                 if self._ack_counts[slot] < self.group_size:
                     continue
                 del self._ack_counts[slot]
-                done = self._ack_events.pop(slot, None)
-                self._acked += 1
-                if self._window_waiters:
-                    waiters, self._window_waiters = self._window_waiters, []
-                    for waiter in waiters:
-                        waiter.succeed()
+                done = self._pop_acked(slot)
+                self._release_window_waiters()
                 if done is None or done.triggered:
                     continue
                 base = self.ack_buf.address \
                     + (slot % config.slots) * self.ack_stride
                 result_map = self.client_host.memory.read(base,
                                                           self.ack_stride)
-                issue = getattr(done, "issue_time", sim.now)
-                done.succeed(OpResult(slot=slot,
-                                      latency_ns=sim.now - issue,
-                                      result_map=result_map))
+                self._finish(done, slot, result_map)

@@ -1,0 +1,165 @@
+"""Node engines for NIC-offloaded fan-out replication (§7 extension).
+
+The *setup* half of the fan-out topology: per-node memory carve-outs, QPs
+and the pre-posted cyclic WQE patterns.  The client-side handle that
+patches these descriptors per operation is
+:class:`~repro.core.fanout.FanoutGroup`.
+
+Scatter-gather arithmetic bounds the fan-out width: patching the primary
+needs ``1 + 2×backups`` scatter segments, so with ``MAX_SGE = 6`` a group
+supports up to 2 backups (replication factor 3 — the common deployment).
+"""
+
+from __future__ import annotations
+
+from ..host import Host
+from ..rdma.verbs import Access
+from ..rdma.wqe import MAX_SGE, WQE_SIZE, Opcode, Sge, WorkRequest
+
+__all__ = ["_FanoutPrimary", "_FanoutBackup",
+           "_PRIMARY_BLOCK_WQES", "_BACKUP_BLOCK_WQES", "_BACKUP_MSG_SIZE"]
+
+#: Descriptors patched per backup on the primary (forward WRITE + flush
+#: READ + SEND).
+_PRIMARY_BLOCK_WQES = 3
+#: Descriptors patched on each backup (local op + client ACK).
+_BACKUP_BLOCK_WQES = 2
+_BACKUP_MSG_SIZE = _BACKUP_BLOCK_WQES * WQE_SIZE
+
+
+class _FanoutPrimary:
+    """The primary: local-op QP plus one fan-out QP per backup."""
+
+    def __init__(self, host: Host, group):
+        self.host = host
+        self.group = group
+        config = group.config
+        memory, nic = host.memory, host.nic
+        self.name = f"{group.name}.primary"
+        self.region = memory.allocate(config.region_size, f"{self.name}.region")
+        self.region_mr = nic.register_mr(
+            self.region.address, self.region.size,
+            Access.LOCAL_WRITE | Access.REMOTE_WRITE | Access.REMOTE_READ
+            | Access.REMOTE_ATOMIC, name=f"{self.name}.region")
+        backups = group.backup_count
+        # Staging for each backup's outgoing metadata message.
+        self.staging = memory.allocate(
+            _BACKUP_MSG_SIZE * backups * config.slots, f"{self.name}.staging")
+        self.up_cq = nic.create_cq(name=f"{self.name}.upcq")
+        self.local_cq = nic.create_cq(name=f"{self.name}.localcq")
+        self.out_cq = nic.create_cq(name=f"{self.name}.outcq")
+        self.qp_up = nic.create_qp(self.out_cq, self.up_cq, sq_slots=8,
+                                   rq_slots=config.slots,
+                                   name=f"{self.name}.up")
+        self.qp_local = nic.create_qp(self.local_cq, self.local_cq,
+                                      sq_slots=2 * config.slots, rq_slots=8,
+                                      name=f"{self.name}.local")
+        self.qp_local.connect(self.qp_local)
+        self.qp_ack = nic.create_qp(self.out_cq, self.out_cq,
+                                    sq_slots=2 * config.slots, rq_slots=8,
+                                    name=f"{self.name}.ack")
+        self.qp_backups = [
+            nic.create_qp(self.out_cq, self.out_cq,
+                          sq_slots=4 * config.slots, rq_slots=8,
+                          name=f"{self.name}.out{i}")
+            for i in range(backups)]
+        self.qp_up.rq.cyclic = True
+        self.qp_local.sq.cyclic = True
+        self.qp_ack.sq.cyclic = True
+        for qp in self.qp_backups:
+            qp.sq.cyclic = True
+
+    def staging_slot(self, slot: int, backup: int) -> int:
+        config = self.group.config
+        per_slot = _BACKUP_MSG_SIZE * self.group.backup_count
+        return (self.staging.address
+                + (slot % config.slots) * per_slot
+                + backup * _BACKUP_MSG_SIZE)
+
+    def post_slot(self, slot: int) -> None:
+        """Pre-post one op's WQE chain (consume-mode WAITs, cyclic rings)."""
+        placeholder = WorkRequest(Opcode.NOP, signaled=False)
+        # Local op: gated on the metadata RECV.
+        self.qp_local.post_send(WorkRequest(
+            Opcode.WAIT, wait_cq=self.up_cq.cq_id, wait_count=0,
+            signaled=False))
+        local_idx = self.qp_local.post_send(placeholder, owned=False)
+        # Primary ACK to client: gated on the local op's completion.
+        self.qp_ack.post_send(WorkRequest(
+            Opcode.WAIT, wait_cq=self.local_cq.cq_id, wait_count=0,
+            signaled=False))
+        ack_idx = self.qp_ack.post_send(placeholder, owned=False)
+        # Per-backup fan-out: data WRITE + metadata SEND, gated on the
+        # local op so gCAS/gMEMCPY results/ordering hold.
+        sg = [Sge(self.qp_local.sq.slot_address(local_idx), WQE_SIZE),
+              Sge(self.qp_ack.sq.slot_address(ack_idx), WQE_SIZE)]
+        for backup, qp in enumerate(self.qp_backups):
+            qp.post_send(WorkRequest(
+                Opcode.WAIT, wait_cq=self.local_cq.cq_id, wait_count=0,
+                signaled=False))
+            write_idx = qp.post_send(placeholder, owned=False)
+            flush_idx = qp.post_send(placeholder, owned=False)
+            send_idx = qp.post_send(placeholder, owned=False)
+            if send_idx != write_idx + 2 or flush_idx != write_idx + 1:
+                raise RuntimeError("fan-out block not contiguous")
+            sg.append(Sge(qp.sq.slot_address(write_idx),
+                          _PRIMARY_BLOCK_WQES * WQE_SIZE))
+            sg.append(Sge(self.staging_slot(slot, backup), _BACKUP_MSG_SIZE))
+        if len(sg) > MAX_SGE:
+            raise RuntimeError("too many backups for the scatter list")
+        self.qp_up.post_recv(WorkRequest(Opcode.RECV, sg, wr_id=slot))
+
+    def prepost(self, count: int) -> None:
+        for slot in range(count):
+            self.post_slot(slot)
+
+
+class _FanoutBackup:
+    """A backup: receives data+metadata from the primary, ACKs the client."""
+
+    def __init__(self, host: Host, group, index: int):
+        self.host = host
+        self.group = group
+        self.index = index
+        config = group.config
+        memory, nic = host.memory, host.nic
+        self.name = f"{group.name}.backup{index}"
+        self.region = memory.allocate(config.region_size, f"{self.name}.region")
+        self.region_mr = nic.register_mr(
+            self.region.address, self.region.size,
+            Access.LOCAL_WRITE | Access.REMOTE_WRITE | Access.REMOTE_READ
+            | Access.REMOTE_ATOMIC, name=f"{self.name}.region")
+        self.up_cq = nic.create_cq(name=f"{self.name}.upcq")
+        self.local_cq = nic.create_cq(name=f"{self.name}.localcq")
+        self.qp_up = nic.create_qp(self.local_cq, self.up_cq, sq_slots=8,
+                                   rq_slots=config.slots,
+                                   name=f"{self.name}.up")
+        self.qp_local = nic.create_qp(self.local_cq, self.local_cq,
+                                      sq_slots=2 * config.slots, rq_slots=8,
+                                      name=f"{self.name}.local")
+        self.qp_local.connect(self.qp_local)
+        self.qp_ack = nic.create_qp(self.local_cq, self.local_cq,
+                                    sq_slots=2 * config.slots, rq_slots=8,
+                                    name=f"{self.name}.ack")
+        self.qp_up.rq.cyclic = True
+        self.qp_local.sq.cyclic = True
+        self.qp_ack.sq.cyclic = True
+
+    def post_slot(self, slot: int) -> None:
+        placeholder = WorkRequest(Opcode.NOP, signaled=False)
+        self.qp_local.post_send(WorkRequest(
+            Opcode.WAIT, wait_cq=self.up_cq.cq_id, wait_count=0,
+            signaled=False))
+        local_idx = self.qp_local.post_send(placeholder, owned=False)
+        self.qp_ack.post_send(WorkRequest(
+            Opcode.WAIT, wait_cq=self.local_cq.cq_id, wait_count=0,
+            signaled=False))
+        ack_idx = self.qp_ack.post_send(placeholder, owned=False)
+        self.qp_up.post_recv(WorkRequest(Opcode.RECV, [
+            Sge(self.qp_local.sq.slot_address(local_idx), WQE_SIZE),
+            Sge(self.qp_ack.sq.slot_address(ack_idx), WQE_SIZE),
+        ], wr_id=slot))
+
+    def prepost(self, count: int) -> None:
+        for slot in range(count):
+            self.post_slot(slot)

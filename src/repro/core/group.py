@@ -1,57 +1,42 @@
-"""HyperLoop group construction and the client-side primitive API.
+"""HyperLoop group construction and the NIC-offloaded data path.
 
 A HyperLoop group (Figure 3) is a chain::
 
     client ──▶ replica 0 ──▶ replica 1 ──▶ … ──▶ replica g-1 ──▶ client (ACK)
 
-Every replica owns three queue pairs:
+The replica-side half of the chain — memory carve-outs, the three QPs per
+replica, and the pre-posted cyclic WQE pattern — lives in
+:class:`~repro.core.chain.ReplicaEngine`.  This module holds the
+client-side handle: :class:`HyperLoopGroup` builds the chain once, then
+turns each submitted :class:`~repro.backend.ops.OpSpec` into one metadata
+SEND (plus payload WRITE / flush READ) so the replicas' NICs execute the
+whole operation without touching their CPUs.
 
-* ``qp_up``    — connected to the previous node (client for replica 0);
-* ``qp_local`` — loopback, where the per-op *local* operation (NOP / CAS /
-  local-copy WRITE) executes;
-* ``qp_down``  — connected to the next node (the client's ACK QP for the
-  tail).
-
-For every pipeline slot ``k`` the replica's CPU pre-posts — once, off the
-critical path — the chain of work requests described in §4.1/§4.2:
-
-* ``qp_up``: a RECV whose scatter list points **at the four pre-posted WQE
-  descriptors below plus the slot's staging buffer**, so the incoming
-  metadata SEND patches the descriptors (including their ownership bits) by
-  pure DMA;
-* ``qp_local``: a consume-mode ``WAIT(up_recv_cq)`` then an unowned
-  placeholder that the patch turns into the local op;
-* ``qp_down``: a consume-mode ``WAIT(local_send_cq)`` then three unowned
-  placeholders
-  that become forward-data (WRITE), forward-flush (0-byte READ) and
-  forward-metadata (SEND, or WRITE_WITH_IMM ACK at the tail).
-
-After setup the replica CPU does nothing at all: the modified driver marks
-the rings *cyclic*, so the NIC's ownership write-back re-arms each slot for
-reuse and the pre-posted pattern serves unboundedly many operations.
+The shared client-side machinery (submission pipeline, ACK table, region
+accessors, abort/close) comes from :class:`~repro.backend.base.GroupBase`;
+this class contributes only what is chain-specific.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Optional, Sequence
 
+from ..backend.api import OpResult
+from ..backend.base import GroupBase
+from ..backend.registry import register
 from ..host import Host
 from ..rdma.verbs import Access
-from ..rdma.wqe import WQE_SIZE, Opcode, Sge, WorkRequest
-from ..sim.engine import Event
+from ..rdma.wqe import Opcode, Sge, WorkRequest
+from .chain import ReplicaEngine
 from .readpath import ClientReadPath
 from .metadata import (
     ClientLayout,
-    NodeLayout,
     OpKind,
-    OpSpec,
     build_metadata,
-    max_staging_len,
     meta_len,
     result_map_len,
-    staging_len,
 )
 
 __all__ = ["GroupConfig", "ReplicaEngine", "HyperLoopGroup", "OpResult"]
@@ -71,134 +56,9 @@ class GroupConfig:
     event_wakeup_service_ns: int = 1000  # Event-mode post-wakeup handling.
 
 
-@dataclass
-class OpResult:
-    """Completion record for one group operation."""
-
-    slot: int
-    latency_ns: int
-    result_map: bytes
-
-    def cas_results(self) -> List[int]:
-        """Per-replica original values from a gCAS (zero where skipped)."""
-        return [int.from_bytes(self.result_map[i:i + 8], "little")
-                for i in range(0, len(self.result_map), 8)]
-
-
-class ReplicaEngine:
-    """Per-replica state: memory carve-outs, QPs, and slot pre-posting."""
-
-    def __init__(self, host: Host, group_name: str, hop: int,
-                 group_size: int, config: GroupConfig):
-        self.host = host
-        self.hop = hop
-        self.group_size = group_size
-        self.config = config
-        self.name = f"{group_name}.r{hop}"
-        memory, nic = host.memory, host.nic
-        self.region = memory.allocate(config.region_size, f"{self.name}.region")
-        stride = max_staging_len(group_size)
-        self.staging = memory.allocate(stride * config.slots,
-                                       f"{self.name}.staging")
-        self.staging_stride = stride
-        # The replicated region is remotely writable/readable and atomic-
-        # capable (group locks live inside it).
-        self.region_mr = nic.register_mr(
-            self.region.address, self.region.size,
-            Access.LOCAL_WRITE | Access.REMOTE_WRITE | Access.REMOTE_READ
-            | Access.REMOTE_ATOMIC,
-            name=f"{self.name}.region")
-        slots = config.slots
-        self.up_recv_cq = nic.create_cq(name=f"{self.name}.upcq")
-        self.local_cq = nic.create_cq(name=f"{self.name}.localcq")
-        self.down_cq = nic.create_cq(name=f"{self.name}.downcq")
-        # Cyclic reuse requires each ring to hold *exactly* one pass of
-        # the pre-posted slot pattern, so absolute slot k always maps back
-        # to the same descriptor addresses.
-        self.qp_up = nic.create_qp(self.down_cq, self.up_recv_cq,
-                                   sq_slots=8, rq_slots=slots,
-                                   name=f"{self.name}.up")
-        self.qp_local = nic.create_qp(self.local_cq, self.local_cq,
-                                      sq_slots=2 * slots, rq_slots=8,
-                                      name=f"{self.name}.local")
-        self.qp_down = nic.create_qp(self.down_cq, self.down_cq,
-                                     sq_slots=4 * slots, rq_slots=8,
-                                     name=f"{self.name}.down")
-        self.qp_local.connect(self.qp_local)
-        # Mirror the paper: the WQE rings are themselves registered memory
-        # (remote manipulation is bounds-checked like any RDMA access).
-        self.local_ring_mr = nic.ring_mr(self.qp_local, "sq")
-        self.down_ring_mr = nic.ring_mr(self.qp_down, "sq")
-        # Modified-driver cyclic rings: the slot pattern is pre-posted once
-        # and re-armed by NIC ownership write-back, so the replica CPU does
-        # no recurring work at all (§3.1's "very few cycles that initialize
-        # the HyperLoop groups").
-        self.qp_up.rq.cyclic = True
-        self.qp_local.sq.cyclic = True
-        self.qp_down.sq.cyclic = True
-        self.posted_slots = 0
-
-    def close(self) -> None:
-        """Destroy QPs, deregister MRs, and return the carved memory."""
-        nic, memory = self.host.nic, self.host.memory
-        for qp in (self.qp_up, self.qp_local, self.qp_down):
-            nic.destroy_qp(qp)
-        for mr in (self.region_mr, self.local_ring_mr, self.down_ring_mr):
-            nic.deregister_mr(mr)
-        memory.free(self.region)
-        memory.free(self.staging)
-
-    def layout(self) -> NodeLayout:
-        return NodeLayout(
-            name=self.name,
-            region_addr=self.region.address,
-            region_rkey=self.region_mr.rkey,
-            staging_addr=self.staging.address,
-            staging_stride=self.staging_stride,
-            slots=self.config.slots)
-
-    # ------------------------------------------------------------------
-    # Slot pre-posting (control plane)
-    # ------------------------------------------------------------------
-    def post_slot(self, slot: int) -> None:
-        """Pre-post the full WQE chain for pipeline slot ``slot``.
-
-        WAITs use consume-mode (``wait_count=0``) so the cyclic rings can
-        re-serve the same descriptors forever without count patching.
-        """
-        placeholder = WorkRequest(Opcode.NOP, signaled=False)
-        # Local queue: WAIT on the upstream RECV CQ, then the local op.
-        self.qp_local.post_send(WorkRequest(
-            Opcode.WAIT, wait_cq=self.up_recv_cq.cq_id, wait_count=0,
-            signaled=False))
-        local_idx = self.qp_local.post_send(placeholder, owned=False)
-        # Down queue: WAIT on the local op's CQE, then the three forwards.
-        self.qp_down.post_send(WorkRequest(
-            Opcode.WAIT, wait_cq=self.local_cq.cq_id, wait_count=0,
-            signaled=False))
-        fd_idx = self.qp_down.post_send(placeholder, owned=False)
-        ff_idx = self.qp_down.post_send(placeholder, owned=False)
-        fm_idx = self.qp_down.post_send(placeholder, owned=False)
-        # Upstream RECV: scatter the inbound metadata onto the four
-        # descriptors above, remainder into the staging buffer.
-        sg = [
-            Sge(self.qp_local.sq.slot_address(local_idx), WQE_SIZE),
-            Sge(self.qp_down.sq.slot_address(fd_idx), WQE_SIZE),
-            Sge(self.qp_down.sq.slot_address(ff_idx), WQE_SIZE),
-            Sge(self.qp_down.sq.slot_address(fm_idx), WQE_SIZE),
-            Sge(self.layout().staging_slot(slot),
-                staging_len(self.group_size, self.hop)),
-        ]
-        self.qp_up.post_recv(WorkRequest(Opcode.RECV, sg, wr_id=slot))
-        self.posted_slots += 1
-
-    def prepost(self, count: int) -> None:
-        for slot in range(self.posted_slots, self.posted_slots + count):
-            self.post_slot(slot)
-
-
-
-class HyperLoopGroup:
+@register("hyperloop", config_cls=GroupConfig,
+          description="NIC-offloaded chain replication (the paper's design)")
+class HyperLoopGroup(GroupBase):
     """Client-side handle: build the chain once, then issue group ops.
 
     This is the "HyperLoop network primitive library" of Figure 3 — storage
@@ -226,19 +86,9 @@ class HyperLoopGroup:
         for replica in self.replicas:
             replica.prepost(self.config.slots)
         self._post_ack_recvs(self.config.slots)
-        self._next_slot = 0
-        self._acked = 0
-        self._ack_events: Dict[int, Event] = {}
-        self._window_waiters: List[Event] = []
-        self._submit_queue: List = []
-        self._submit_kick: Optional[Event] = None
+        self._init_op_state()
         self._start_client_processes()
         self.read_path = ClientReadPath(client_host, self.replicas, self.name)
-
-    def remote_read(self, hop: int, offset: int, size: int) -> Event:
-        """One-sided READ of ``region[offset:offset+size]`` on replica ``hop``."""
-        self._check_range(offset, size)
-        return self.read_path.read(hop, offset, size)
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -292,78 +142,6 @@ class HyperLoopGroup:
         self.sim.process(self._submitter(), name=f"{self.name}.submitter")
         self.sim.process(self._ack_dispatcher(), name=f"{self.name}.ackdisp")
 
-    # ------------------------------------------------------------------
-    # Public API (Table 1)
-    # ------------------------------------------------------------------
-    def gwrite(self, offset: int, size: int, durable: bool = False) -> Event:
-        """Replicate ``region[offset:offset+size]`` to every replica.
-
-        The caller must already have written the payload into the client's
-        own region.  Returns an event whose value is an :class:`OpResult`.
-        """
-        self._check_range(offset, size)
-        return self.submit(OpSpec(OpKind.GWRITE, offset=offset, size=size,
-                                  durable=durable))
-
-    def gcas(self, offset: int, old_value: int, new_value: int,
-             execute_map: Optional[Sequence[bool]] = None,
-             durable: bool = False) -> Event:
-        """Group compare-and-swap on an 8-byte word at ``offset``."""
-        self._check_range(offset, 8)
-        return self.submit(OpSpec(OpKind.GCAS, offset=offset,
-                                  old_value=old_value, new_value=new_value,
-                                  execute_map=execute_map, durable=durable))
-
-    def gmemcpy(self, src_offset: int, dst_offset: int, size: int,
-                durable: bool = False) -> Event:
-        """Copy ``size`` bytes from ``src_offset`` to ``dst_offset`` on all
-        nodes (including the client's own region, done in software here)."""
-        self._check_range(src_offset, size)
-        self._check_range(dst_offset, size)
-        return self.submit(OpSpec(OpKind.GMEMCPY, src_offset=src_offset,
-                                  dst_offset=dst_offset, size=size,
-                                  durable=durable))
-
-    def gflush(self) -> Event:
-        """Flush every replica's NIC cache to NVM, in chain order."""
-        return self.submit(OpSpec(OpKind.GFLUSH, durable=True))
-
-    def submit(self, op: OpSpec) -> Event:
-        """Queue an operation; the event fires with its :class:`OpResult`."""
-        done = self.sim.event()
-        # Latency is measured from submission, so client-side queueing and
-        # metadata construction are included — as a caller would see it.
-        done.issue_time = self.sim.now  # type: ignore[attr-defined]
-        self._submit_queue.append((op, done, self.sim.now))
-        if self._submit_kick is not None and not self._submit_kick.triggered:
-            self._submit_kick.succeed()
-        return done
-
-    # Convenience accessors for applications sharing the region layout.
-    def write_local(self, offset: int, data: bytes) -> None:
-        """Software store into the client's own copy of the region."""
-        self._check_range(offset, len(data))
-        self.client_host.memory.write(self.region.address + offset, data)
-
-    def read_local(self, offset: int, size: int) -> bytes:
-        self._check_range(offset, size)
-        return self.client_host.memory.read(self.region.address + offset, size)
-
-    def read_replica(self, hop: int, offset: int, size: int) -> bytes:
-        """Direct read of a replica's region (test/verification helper)."""
-        replica = self.replicas[hop]
-        return replica.host.memory.read(replica.region.address + offset, size)
-
-    def _check_range(self, offset: int, size: int) -> None:
-        if offset < 0 or size < 0 or offset + size > self.config.region_size:
-            raise ValueError(
-                f"[{offset}, {offset + size}) outside region of "
-                f"{self.config.region_size} bytes")
-
-    @property
-    def in_flight(self) -> int:
-        return self._next_slot - self._acked
-
     def close(self) -> None:
         """Tear the whole group down and return every carved resource.
 
@@ -371,10 +149,8 @@ class HyperLoopGroup:
         buffers are zeroed and reusable (recovery rebuilds call this on
         the superseded group after copying its state out).
         """
-        if getattr(self, "_closed", False):
+        if not self._begin_close():
             return
-        self._closed = True
-        self.abort_in_flight(RuntimeError(f"{self.name} closed"))
         for replica in self.replicas:
             replica.close()
         nic, memory = self.client_host.nic, self.client_host.memory
@@ -384,27 +160,6 @@ class HyperLoopGroup:
         for allocation in (self.region, self.md_buf, self.ack_buf):
             memory.free(allocation)
         self.read_path.close()
-
-    def abort_in_flight(self, reason: Exception) -> int:
-        """Fail every unacknowledged operation (chain failure detected).
-
-        Returns the number of operations aborted.  Queued-but-unsubmitted
-        operations are failed too.
-        """
-        aborted = 0
-        for event in list(self._ack_events.values()):
-            if not event.triggered:
-                event.fail(reason)
-                aborted += 1
-        self._ack_events.clear()
-        for op_tuple in self._submit_queue:
-            done = op_tuple[1]
-            if not done.triggered:
-                done.fail(reason)
-                aborted += 1
-        self._submit_queue.clear()
-        self._acked = self._next_slot
-        return aborted
 
     # ------------------------------------------------------------------
     # Client processes
@@ -417,19 +172,7 @@ class HyperLoopGroup:
         """
         sim, config = self.sim, self.config
         while True:
-            if not self._submit_queue:
-                self._submit_kick = sim.event()
-                yield self._submit_kick
-                continue
-            op, done, enqueued_at = self._submit_queue.pop(0)
-            # Flow control: never exceed the pipeline depth.
-            while self.in_flight >= config.slots:
-                waiter = sim.event()
-                self._window_waiters.append(waiter)
-                yield waiter
-            slot = self._next_slot
-            self._next_slot += 1
-            self._ack_events[slot] = done
+            op, done, slot = yield from self._dequeue()
             tracer = self.client_host.cluster.tracer
             if tracer is not None:
                 tracer.emit(sim.now, f"{self.name}.client", "op.submit",
@@ -486,23 +229,16 @@ class HyperLoopGroup:
                 if not wc.has_imm:
                     continue
                 slot = wc.imm
-                done = self._ack_events.pop(slot, None)
-                self._acked += 1
-                if self._window_waiters:
-                    waiters, self._window_waiters = self._window_waiters, []
-                    for waiter in waiters:
-                        waiter.succeed()
+                done = self._pop_acked(slot)
+                self._release_window_waiters()
                 if done is None or done.triggered:
                     continue
                 ack_addr = (self.ack_buf.address
                             + (slot % config.slots) * self.ack_stride)
                 result_map = self.client_host.memory.read(
                     ack_addr, self.ack_stride)
-                issue = getattr(done, "issue_time", sim.now)
                 tracer = self.client_host.cluster.tracer
                 if tracer is not None:
                     tracer.emit(sim.now, f"{self.name}.client", "op.acked",
                                 op_slot=slot)
-                done.succeed(OpResult(slot=slot,
-                                      latency_ns=sim.now - issue,
-                                      result_map=result_map))
+                self._finish(done, slot, result_map)

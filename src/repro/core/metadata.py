@@ -28,9 +28,9 @@ is identical, the metadata is just less compact (see DESIGN.md).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from enum import Enum
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
+from ..backend.ops import OpKind, OpSpec
 from ..rdma.wqe import Opcode, Sge, WorkRequest, encode_wqe
 
 __all__ = [
@@ -51,37 +51,6 @@ from ..rdma.wqe import WQE_SIZE
 
 ENTRY_WQES = 4
 ENTRY_SIZE = ENTRY_WQES * WQE_SIZE
-
-
-class OpKind(Enum):
-    GWRITE = "gwrite"
-    GCAS = "gcas"
-    GMEMCPY = "gmemcpy"
-    GFLUSH = "gflush"
-
-
-@dataclass
-class OpSpec:
-    """One group operation, as specified by the caller (Table 1)."""
-
-    kind: OpKind
-    offset: int = 0            # gWRITE/gCAS target offset in the region.
-    size: int = 0              # gWRITE/gMEMCPY payload size.
-    src_offset: int = 0        # gMEMCPY source.
-    dst_offset: int = 0        # gMEMCPY destination.
-    old_value: int = 0         # gCAS compare.
-    new_value: int = 0         # gCAS swap.
-    execute_map: Optional[Sequence[bool]] = None  # gCAS selective execution.
-    durable: bool = False      # Interleave gFLUSH down the chain.
-
-    def validate(self, group_size: int) -> None:
-        if self.kind is OpKind.GCAS and self.execute_map is not None \
-                and len(self.execute_map) != group_size:
-            raise ValueError(
-                f"execute map has {len(self.execute_map)} entries for "
-                f"group of {group_size}")
-        if self.size < 0 or self.offset < 0:
-            raise ValueError("offset/size must be non-negative")
 
 
 @dataclass

@@ -2,11 +2,19 @@
 
 Usage::
 
-    python -m repro.experiments               # list experiments
+    python -m repro.experiments               # list experiments & backends
     python -m repro.experiments fig8          # run one
     python -m repro.experiments table2 fig9   # run several
     python -m repro.experiments all           # run everything
+    python -m repro.experiments fig8 --backend fanout   # swap the
+                                              # NIC-offloaded arm
     REPRO_FULL=1 python -m repro.experiments all   # paper-sized counts
+    REPRO_QUICK=1 python -m repro.experiments fig8 # CI-smoke counts
+
+``--backend NAME`` resolves through the replication-backend registry
+(:mod:`repro.backend`), so any registered backend — including out-of-tree
+ones — can stand in for HyperLoop in the offloaded arm.  Experiments whose
+point is the baseline itself (fig2) ignore the flag.
 """
 
 from __future__ import annotations
@@ -14,31 +22,70 @@ from __future__ import annotations
 import sys
 import time
 
+from .. import backend as backend_registry
 from . import availability, calibration, fig2, fig8, fig9, fig10, fig11, fig12, table2
 
 EXPERIMENTS = {
-    "fig2": ("Figure 2 — multi-tenancy root cause (MongoDB)", fig2.main),
+    "fig2": ("Figure 2 — multi-tenancy root cause (MongoDB)",
+             lambda backend: fig2.main()),
     "fig8": ("Figure 8 — gWRITE/gMEMCPY latency vs size",
-             lambda: (fig8.main("gwrite"), fig8.main("gmemcpy"))),
-    "table2": ("Table 2 — gCAS latency", table2.main),
-    "fig9": ("Figure 9 — throughput & backup CPU", fig9.main),
-    "fig10": ("Figure 10 — tail latency vs group size", fig10.main),
-    "fig11": ("Figure 11 — replicated RocksDB", fig11.main),
-    "fig12": ("Figure 12 — MongoDB across YCSB workloads", fig12.main),
+             lambda backend: (fig8.main("gwrite", backend=backend),
+                              fig8.main("gmemcpy", backend=backend))),
+    "table2": ("Table 2 — gCAS latency",
+               lambda backend: table2.main(backend=backend)),
+    "fig9": ("Figure 9 — throughput & backup CPU",
+             lambda backend: fig9.main(backend=backend)),
+    "fig10": ("Figure 10 — tail latency vs group size",
+              lambda backend: fig10.main(backend=backend)),
+    "fig11": ("Figure 11 — replicated RocksDB",
+              lambda backend: fig11.main(backend=backend)),
+    "fig12": ("Figure 12 — MongoDB across YCSB workloads",
+              lambda backend: fig12.main(backend=backend)),
     "calibration": ("Calibration — simulator parameter anchors",
-                    calibration.main),
+                    lambda backend: calibration.main(backend=backend)),
     "availability": ("Availability — throughput through crash & repair",
-                     availability.main),
+                     lambda backend: availability.main(backend=backend)),
 }
+
+DEFAULT_BACKEND = "hyperloop"
+
+
+def _usage() -> None:
+    print(__doc__)
+    print("available experiments:")
+    for name, (description, _fn) in EXPERIMENTS.items():
+        print(f"  {name:<12} {description}")
+    print("\nregistered backends (for --backend):")
+    for spec in backend_registry.specs():
+        upper = spec.max_replicas if spec.max_replicas is not None else "-"
+        print(f"  {spec.name:<12} {spec.description} "
+              f"[replicas {spec.min_replicas}..{upper}]")
 
 
 def main(argv) -> int:
-    names = [name.lower() for name in argv]
+    backend = DEFAULT_BACKEND
+    names = []
+    args = list(argv)
+    while args:
+        arg = args.pop(0)
+        if arg == "--backend":
+            if not args:
+                print("--backend requires a name", file=sys.stderr)
+                return 2
+            backend = args.pop(0)
+        elif arg.startswith("--backend="):
+            backend = arg.split("=", 1)[1]
+        elif arg in ("-h", "--help"):
+            _usage()
+            return 0
+        else:
+            names.append(arg.lower())
+    if backend not in backend_registry.names():
+        print(f"unknown backend {backend!r}; registered: "
+              f"{', '.join(backend_registry.names())}", file=sys.stderr)
+        return 2
     if not names:
-        print(__doc__)
-        print("available experiments:")
-        for name, (description, _fn) in EXPERIMENTS.items():
-            print(f"  {name:<8} {description}")
+        _usage()
         return 0
     if names == ["all"]:
         names = list(EXPERIMENTS)
@@ -51,7 +98,7 @@ def main(argv) -> int:
         description, fn = EXPERIMENTS[name]
         print(f"\n=== {description} ===")
         started = time.time()
-        fn()
+        fn(backend)
         print(f"[{name} done in {time.time() - started:.1f}s wall]")
     return 0
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from ..core.group import GroupConfig, HyperLoopGroup
+from .. import backend as backend_registry
 from ..core.recovery import ChainFailure, ChainSupervisor, RecoveryConfig
 from ..host import Cluster
 from ..sim.units import ms, to_ms
@@ -26,7 +26,8 @@ __all__ = ["run", "main"]
 
 
 def run(bucket_ms: int = 10, buckets: int = 60, crash_bucket: int = 15,
-        ops_per_bucket_target: int = 200, seed: int = 90) -> Dict:
+        ops_per_bucket_target: int = 200, seed: int = 90,
+        backend: str = "hyperloop") -> Dict:
     """Returns the timeline plus outage statistics."""
     cluster = Cluster(seed=seed)
     client = cluster.add_host("av-client")
@@ -34,8 +35,8 @@ def run(bucket_ms: int = 10, buckets: int = 60, crash_bucket: int = 15,
     spare = cluster.add_host("av-spare")
 
     def factory(client_host, replica_hosts):
-        return HyperLoopGroup(client_host, replica_hosts,
-                              GroupConfig(slots=64, region_size=4 << 20))
+        return backend_registry.create(backend, client_host, replica_hosts,
+                                       slots=64, region_size=4 << 20)
 
     supervisor = ChainSupervisor(
         client, replicas, factory,
@@ -108,8 +109,8 @@ def run(bucket_ms: int = 10, buckets: int = 60, crash_bucket: int = 15,
     }
 
 
-def main() -> Dict:
-    result = run()
+def main(backend: str = "hyperloop") -> Dict:
+    result = run(backend=backend)
     rows = [{"bucket": index,
              "t_ms": index * result["bucket_ms"],
              "ops": count,

@@ -26,7 +26,7 @@ from .common import (
     build_testbed,
     format_table,
     latency_sweep,
-    make_hyperloop,
+    make_group,
     throughput_run,
 )
 
@@ -71,13 +71,14 @@ def point_to_point_write_rtt(samples: int = 200,
             "p99_us": recorder.percentile_us(99)}
 
 
-def chain_latency_by_group(sizes=(1, 3, 5, 7),
-                           count: int = 200) -> List[Dict]:
+def chain_latency_by_group(sizes=(1, 3, 5, 7), count: int = 200,
+                           backend: str = "hyperloop") -> List[Dict]:
     """Unloaded gWRITE latency per group size (the paper's ~10 µs anchor)."""
     rows = []
     for group_size in sizes:
         testbed = build_testbed(group_size, seed=102 + group_size)
-        group = make_hyperloop(testbed, slots=64)
+        group = make_group(testbed, backend, slots=64,
+                           region_size=32 << 20)
         recorder = latency_sweep(group, "gwrite", 512, count)
         rows.append({"metric": "chain gWRITE 512B", "group": group_size,
                      "avg_us": recorder.mean_us(),
@@ -85,10 +86,11 @@ def chain_latency_by_group(sizes=(1, 3, 5, 7),
     return rows
 
 
-def message_rate_ceiling() -> Dict[str, float]:
+def message_rate_ceiling(backend: str = "hyperloop") -> Dict[str, float]:
     """Pipelined small-message chain throughput (NIC message-rate bound)."""
     testbed = build_testbed(3, seed=103)
-    group = make_hyperloop(testbed, slots=512)
+    group = make_group(testbed, backend, slots=512,
+                       region_size=32 << 20)
     result = throughput_run(group, 1024, 16 * MiB, window=256)
     return {"metric": "chain gWRITE 1KB ceiling",
             "kops_per_sec": result["kops_per_sec"],
@@ -124,14 +126,14 @@ def wakeup_quantiles(tenant_counts=(0, 64, 160),
     return rows
 
 
-def main() -> None:
+def main(backend: str = "hyperloop") -> None:
     print(format_table([point_to_point_write_rtt()],
                        title="Calibration — point-to-point verbs"))
     print()
-    print(format_table(chain_latency_by_group(),
+    print(format_table(chain_latency_by_group(backend=backend),
                        title="Calibration — unloaded chain latency"))
     print()
-    print(format_table([message_rate_ceiling()],
+    print(format_table([message_rate_ceiling(backend=backend)],
                        title="Calibration — message-rate ceiling"))
     print()
     print(format_table(wakeup_quantiles(),

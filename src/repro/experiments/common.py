@@ -7,40 +7,51 @@ the paper's evaluation (§6) and follows the same conventions:
   the same rows/series the paper plots;
 * a module-level ``main()`` prints the rows as a formatted table (the
   benchmark harness and the examples call these);
-* op counts default to simulation-friendly sizes and scale up via the
-  ``REPRO_FULL=1`` environment variable for paper-sized runs.
+* op counts default to simulation-friendly sizes and scale via two
+  environment variables: ``REPRO_FULL=1`` for paper-sized runs and
+  ``REPRO_QUICK=1`` for CI smoke runs.
 
-The testbed builder mirrors §6: hosts with two 8-core Xeons and a 56 Gbps
-NIC; multi-tenant pressure is injected as CPU-bound tenant threads at the
-paper's 10:1 process-to-core ratio.
+Testbed construction is delegated to :mod:`repro.cluster` — the
+helpers here are thin wrappers that keep the historical experiment-facing
+names (``build_testbed``/``make_hyperloop``/``make_naive``) while routing
+every group construction through the backend registry, so experiments
+never import a group class directly.
 """
 
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from ..baseline.naive import NaiveConfig, NaiveGroup
-from ..core.group import GroupConfig, HyperLoopGroup
-from ..host import Cluster, Host, HostParams
+from ..backend.api import ReplicationBackend
+from ..cluster import (
+    DEFAULT_TENANTS_PER_CORE,
+    Scenario,
+    ScenarioConfig,
+    build_scenario,
+)
+from ..host import Cluster
 from ..sim.stats import LatencyRecorder
 from ..sim.units import seconds
 
 __all__ = [
     "full_run",
+    "quick_run",
     "scaled",
+    "Testbed",
     "build_testbed",
+    "make_group",
     "make_hyperloop",
     "make_naive",
+    "run_until",
     "latency_sweep",
     "throughput_run",
     "format_table",
     "DEFAULT_TENANTS_PER_CORE",
 ]
 
-#: §6.2 co-locates processes at a 10:1 ratio to cores.
-DEFAULT_TENANTS_PER_CORE = 10
+#: Historical name — experiments call the built scenario a "testbed".
+Testbed = Scenario
 
 
 def full_run() -> bool:
@@ -48,16 +59,19 @@ def full_run() -> bool:
     return os.environ.get("REPRO_FULL", "") == "1"
 
 
+def quick_run() -> bool:
+    """True when REPRO_QUICK=1 requests CI-smoke-sized op counts."""
+    return os.environ.get("REPRO_QUICK", "") == "1"
+
+
 def scaled(quick: int, full: int) -> int:
-    """Pick an op count: ``quick`` normally, ``full`` under REPRO_FULL=1."""
-    return full if full_run() else quick
-
-
-@dataclass
-class Testbed:
-    cluster: Cluster
-    client: Host
-    replicas: List[Host]
+    """Pick an op count: ``quick`` normally, ``full`` under REPRO_FULL=1,
+    a fraction of ``quick`` under REPRO_QUICK=1 (CI smoke runs)."""
+    if full_run():
+        return full
+    if quick_run():
+        return max(20, quick // 20)
+    return quick
 
 
 def build_testbed(replica_count: int = 3, seed: int = 0, cores: int = 16,
@@ -70,28 +84,30 @@ def build_testbed(replica_count: int = 3, seed: int = 0, cores: int = 16,
     database instances in §6.2); ``tenant_kind`` picks the load profile
     (see :meth:`Host.add_tenant_load`).
     """
-    cluster = Cluster(seed=seed, host_params=HostParams(cores=cores))
-    client = cluster.add_host("client")
-    replicas = cluster.add_hosts(replica_count, prefix="replica")
-    if client_tenants:
-        client.add_tenant_load(client_tenants, kind=tenant_kind)
-    for replica in replicas:
-        if replica_tenants:
-            replica.add_tenant_load(replica_tenants, kind=tenant_kind)
-    return Testbed(cluster, client, replicas)
+    return build_scenario(ScenarioConfig(
+        replicas=replica_count, seed=seed, cores=cores,
+        replica_tenants=replica_tenants, client_tenants=client_tenants,
+        tenant_kind=tenant_kind))
+
+
+def make_group(testbed: Testbed, backend: str, name: str = "",
+               **kwargs) -> ReplicationBackend:
+    """Build ``backend`` (a registry name) over the testbed's hosts."""
+    from .. import backend as backend_registry
+    return backend_registry.create(backend, testbed.client, testbed.replicas,
+                                   group_name=name, **kwargs)
 
 
 def make_hyperloop(testbed: Testbed, slots: int = 1024,
-                   region_size: int = 32 << 20) -> HyperLoopGroup:
-    return HyperLoopGroup(testbed.client, testbed.replicas,
-                          GroupConfig(slots=slots, region_size=region_size))
+                   region_size: int = 32 << 20, **kwargs):
+    return make_group(testbed, "hyperloop", slots=slots,
+                      region_size=region_size, **kwargs)
 
 
 def make_naive(testbed: Testbed, mode: str = "event", slots: int = 256,
-               region_size: int = 32 << 20) -> NaiveGroup:
-    return NaiveGroup(testbed.client, testbed.replicas,
-                      NaiveConfig(slots=slots, region_size=region_size,
-                                  mode=mode))
+               region_size: int = 32 << 20, **kwargs):
+    return make_group(testbed, "naive", slots=slots,
+                      region_size=region_size, mode=mode, **kwargs)
 
 
 def run_until(cluster: Cluster, done_event, deadline_ns: int) -> None:

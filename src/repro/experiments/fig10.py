@@ -18,7 +18,7 @@ from .common import (
     build_testbed,
     format_table,
     latency_sweep,
-    make_hyperloop,
+    make_group,
     make_naive,
     scaled,
 )
@@ -30,21 +30,22 @@ MESSAGE_SIZES = [128, 512, 2048, 8192]
 
 
 def run(group_sizes=None, sizes=None, count: int = None,
-        seed: int = 10) -> List[Dict]:
+        seed: int = 10, backend: str = "hyperloop") -> List[Dict]:
     group_sizes = group_sizes or GROUP_SIZES
     sizes = sizes or MESSAGE_SIZES
     count = count or scaled(1200, 10_000)
     tenants = DEFAULT_TENANTS_PER_CORE * 16
     rows: List[Dict] = []
-    for system in ("naive", "hyperloop"):
+    for system in ("naive", backend):
         for group_size in group_sizes:
             for size in sizes:
                 testbed = build_testbed(group_size, seed=seed,
                                         replica_tenants=tenants)
-                if system == "hyperloop":
-                    group = make_hyperloop(testbed)
-                else:
+                if system == "naive":
                     group = make_naive(testbed, mode="event")
+                else:
+                    group = make_group(testbed, backend, slots=1024,
+                                       region_size=32 << 20)
                 recorder = latency_sweep(group, "gwrite", size, count)
                 rows.append({
                     "system": system,
@@ -70,13 +71,13 @@ def tail_growth(rows: List[Dict], system: str) -> float:
     return worst
 
 
-def main() -> List[Dict]:
-    rows = run()
+def main(backend: str = "hyperloop") -> List[Dict]:
+    rows = run(backend=backend)
     print(format_table(rows, title="Figure 10 — p99 gWRITE latency vs "
                                    "group size"))
     print(f"p99 growth 3→7 replicas: naive {tail_growth(rows, 'naive'):.2f}x "
-          f"(paper: up to 2.97x), hyperloop "
-          f"{tail_growth(rows, 'hyperloop'):.2f}x (paper: ~flat)")
+          f"(paper: up to 2.97x), {backend} "
+          f"{tail_growth(rows, backend):.2f}x (paper: ~flat)")
     return rows
 
 

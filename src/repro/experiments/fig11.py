@@ -17,15 +17,15 @@ from __future__ import annotations
 from typing import Dict, List
 
 from ..apps.rockskv import ReplicatedRocksKV, RocksConfig
-from ..baseline.naive import NaiveConfig, NaiveGroup
 from ..core.client import StoreConfig, initialize
-from ..core.group import GroupConfig, HyperLoopGroup
 from ..sim.units import seconds
 from ..workloads import RocksAdapter, YCSBConfig, YCSBRunner, YCSBWorkload
 from .common import (
     DEFAULT_TENANTS_PER_CORE,
     build_testbed,
     format_table,
+    make_group,
+    make_naive,
     run_until,
     scaled,
 )
@@ -38,29 +38,28 @@ REGION = 96 << 20
 WAL = 8 << 20
 
 
-def _build_group(system: str, testbed):
+def _build_group(system: str, testbed, backend: str):
     # The client host is co-located too, so ACK detection must be
     # event-driven there (a dedicated client polling core would itself be
     # starved by the tenants) — for every system alike.
-    if system == "hyperloop":
-        return HyperLoopGroup(testbed.client, testbed.replicas,
-                              GroupConfig(slots=128, region_size=REGION,
-                                          client_mode="event"))
+    if not system.startswith("naive-"):
+        return make_group(testbed, backend, slots=128, region_size=REGION,
+                          client_mode="event")
     mode = system.split("-")[1]
     # Polling baselines burn a polling thread per backup, which competes
     # with the co-located tenants — the effect Figure 11 isolates.
-    return NaiveGroup(testbed.client, testbed.replicas,
-                      NaiveConfig(slots=128, region_size=REGION, mode=mode,
-                                  client_mode="event"))
+    return make_naive(testbed, mode=mode, slots=128, region_size=REGION,
+                      client_mode="event")
 
 
 def run(op_count: int = None, record_count: int = None,
-        seed: int = 12) -> List[Dict]:
+        seed: int = 12, backend: str = "hyperloop") -> List[Dict]:
     op_count = op_count or scaled(800, 100_000)
     record_count = record_count or scaled(300, 100_000)
     tenants = DEFAULT_TENANTS_PER_CORE * 16
+    systems = ["naive-event", "naive-polling", backend]
     rows: List[Dict] = []
-    for system in SYSTEMS:
+    for system in systems:
         # §6.2's co-location: the background tasks are other database
         # instances — they wake constantly *and* poll, so the replica
         # sockets carry the mixed tenant profile (half bursty wakers,
@@ -69,7 +68,7 @@ def run(op_count: int = None, record_count: int = None,
         testbed = build_testbed(3, seed=seed, replica_tenants=tenants,
                                 tenant_kind="mixed")
         testbed.client.add_tenant_load(32, kind="bursty")
-        group = _build_group(system, testbed)
+        group = _build_group(system, testbed, backend)
         store = initialize(group, StoreConfig(wal_size=WAL))
         kv = ReplicatedRocksKV(store, RocksConfig())
         workload = YCSBWorkload(YCSBConfig(
@@ -98,12 +97,12 @@ def run(op_count: int = None, record_count: int = None,
     return rows
 
 
-def main() -> List[Dict]:
-    rows = run()
+def main(backend: str = "hyperloop") -> List[Dict]:
+    rows = run(backend=backend)
     print(format_table(rows, title="Figure 11 — replicated RocksDB update "
                                    "latency (YCSB-A, 10:1 co-location)"))
     by_system = {row["system"]: row for row in rows}
-    hyper = by_system["hyperloop"]["p99_us"]
+    hyper = by_system[backend]["p99_us"]
     print(f"p99 vs hyperloop: naive-event "
           f"{by_system['naive-event']['p99_us'] / hyper:.1f}x (paper 5.7x), "
           f"naive-polling "

@@ -16,8 +16,6 @@ from __future__ import annotations
 from typing import Dict, List
 
 from ..apps.mongolike import MongoConfig, MongoLikeDB
-from ..baseline.naive import NaiveConfig, NaiveGroup
-from ..core.group import GroupConfig, HyperLoopGroup
 from ..core.client import StoreConfig, initialize
 from ..sim.units import seconds, us
 from ..workloads import MongoAdapter, YCSBConfig, YCSBRunner, YCSBWorkload
@@ -25,6 +23,8 @@ from .common import (
     DEFAULT_TENANTS_PER_CORE,
     build_testbed,
     format_table,
+    make_group,
+    make_naive,
     run_until,
     scaled,
 )
@@ -37,27 +37,26 @@ WAL = 8 << 20
 MONGO_HANDLER_NS = us(60)
 
 
-def _build(system: str, testbed):
-    if system == "hyperloop":
-        return HyperLoopGroup(testbed.client, testbed.replicas,
-                              GroupConfig(slots=256, region_size=REGION))
-    return NaiveGroup(testbed.client, testbed.replicas, NaiveConfig(
-        slots=256, region_size=REGION, mode="polling",
-        handler_parse_ns=MONGO_HANDLER_NS))
+def _build(system: str, testbed, backend: str):
+    if system == "native":
+        return make_naive(testbed, mode="polling", slots=256,
+                          region_size=REGION,
+                          handler_parse_ns=MONGO_HANDLER_NS)
+    return make_group(testbed, backend, slots=256, region_size=REGION)
 
 
 def run(workloads=None, op_count: int = None, record_count: int = None,
-        seed: int = 13) -> List[Dict]:
+        seed: int = 13, backend: str = "hyperloop") -> List[Dict]:
     workloads = workloads or WORKLOADS
     op_count = op_count or scaled(500, 100_000)
     record_count = record_count or scaled(150, 100_000)
     tenants = DEFAULT_TENANTS_PER_CORE * 16
     rows: List[Dict] = []
-    for system in ("native", "hyperloop"):
+    for system in ("native", backend):
         for letter in workloads:
             testbed = build_testbed(3, seed=seed, replica_tenants=tenants,
                                     client_tenants=tenants)
-            group = _build(system, testbed)
+            group = _build(system, testbed, backend)
             store = initialize(group, StoreConfig(wal_size=WAL))
             db = MongoLikeDB(store, MongoConfig())
             workload = YCSBWorkload(YCSBConfig(
@@ -95,7 +94,7 @@ def tail_gap_reduction(rows: List[Dict]) -> Dict[str, float]:
     for letter in {row["workload"] for row in rows}:
         native = next(r for r in rows if r["system"] == "native"
                       and r["workload"] == letter)
-        hyper = next(r for r in rows if r["system"] == "hyperloop"
+        hyper = next(r for r in rows if r["system"] != "native"
                      and r["workload"] == letter)
         native_gap = native["p99_ms"] - native["avg_ms"]
         hyper_gap = hyper["p99_ms"] - hyper["avg_ms"]
@@ -104,15 +103,15 @@ def tail_gap_reduction(rows: List[Dict]) -> Dict[str, float]:
     return out
 
 
-def main() -> List[Dict]:
-    rows = run()
+def main(backend: str = "hyperloop") -> List[Dict]:
+    rows = run(backend=backend)
     print(format_table(rows, title="Figure 12 — MongoDB latency, native vs "
                                    "HyperLoop replication (YCSB)"))
     reductions = []
     for letter in WORKLOADS:
         native = next(r for r in rows if r["system"] == "native"
                       and r["workload"] == letter)
-        hyper = next(r for r in rows if r["system"] == "hyperloop"
+        hyper = next(r for r in rows if r["system"] != "native"
                      and r["workload"] == letter)
         reductions.append(1.0 - hyper["avg_ms"] / native["avg_ms"])
     gaps = tail_gap_reduction(rows)

@@ -19,8 +19,8 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from .. import backend as backend_registry
 from ..apps.mongolike import MongoConfig, MongoLikeDB
-from ..baseline.naive import NaiveConfig, NaiveGroup
 from ..core.client import StoreConfig, initialize
 from ..host import Cluster, HostParams
 from ..sim.units import seconds, us
@@ -61,10 +61,10 @@ def _build_deployment(replica_sets: int, server_cores: int, seed: int,
     for index in range(replica_sets):
         client = clients[index % 3]
         chain = [servers[(index + offset) % 3] for offset in range(3)]
-        group = NaiveGroup(client, chain, NaiveConfig(
+        group = backend_registry.create(
+            "naive", client, chain, group_name=f"set{index}",
             slots=64, region_size=REGION, mode="event",
-            handler_parse_ns=MONGO_HANDLER_NS,
-            client_mode="event"), name=f"set{index}")
+            handler_parse_ns=MONGO_HANDLER_NS, client_mode="event")
         store = initialize(group, StoreConfig(wal_size=WAL))
         db = MongoLikeDB(store, MongoConfig(parse_ns=MONGO_PARSE_NS),
                          name=f"mongo{index}")

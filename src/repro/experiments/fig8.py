@@ -19,7 +19,7 @@ from .common import (
     build_testbed,
     format_table,
     latency_sweep,
-    make_hyperloop,
+    make_group,
     make_naive,
     scaled,
 )
@@ -30,19 +30,24 @@ MESSAGE_SIZES = [128, 256, 512, 1024, 2048, 4096, 8192]
 
 
 def run(op: str = "gwrite", sizes=None, count: int = None,
-        seed: int = 8) -> List[Dict]:
-    """One row per (system, size): avg / p95 / p99 latency in µs."""
+        seed: int = 8, backend: str = "hyperloop") -> List[Dict]:
+    """One row per (system, size): avg / p95 / p99 latency in µs.
+
+    ``backend`` picks the NIC-offloaded arm (any registry name); the
+    Naïve-RDMA baseline arm is fixed.
+    """
     sizes = sizes or MESSAGE_SIZES
     count = count or scaled(1500, 10_000)
     tenants = DEFAULT_TENANTS_PER_CORE * 16
     rows: List[Dict] = []
-    for system in ("naive", "hyperloop"):
+    for system in ("naive", backend):
         for size in sizes:
             testbed = build_testbed(3, seed=seed, replica_tenants=tenants)
-            if system == "hyperloop":
-                group = make_hyperloop(testbed)
-            else:
+            if system == "naive":
                 group = make_naive(testbed, mode="event")
+            else:
+                group = make_group(testbed, backend, slots=1024,
+                                   region_size=32 << 20)
             recorder = latency_sweep(group, op, size, count)
             summary = recorder.summary_us()
             rows.append({
@@ -56,12 +61,14 @@ def run(op: str = "gwrite", sizes=None, count: int = None,
 
 
 def speedups(rows: List[Dict]) -> Dict[int, Dict[str, float]]:
-    """Naïve/HyperLoop latency ratios per size (the paper's ×-factors)."""
+    """Baseline/offloaded latency ratios per size (the paper's ×-factors)."""
     by_key = {(row["system"], row["size"]): row for row in rows}
+    treatment = next(row["system"] for row in rows
+                     if row["system"] != "naive")
     out: Dict[int, Dict[str, float]] = {}
     for size in {row["size"] for row in rows}:
         naive = by_key[("naive", size)]
-        hyper = by_key[("hyperloop", size)]
+        hyper = by_key[(treatment, size)]
         out[size] = {
             "avg_x": naive["avg_us"] / hyper["avg_us"],
             "p99_x": naive["p99_us"] / hyper["p99_us"],
@@ -69,8 +76,8 @@ def speedups(rows: List[Dict]) -> Dict[int, Dict[str, float]]:
     return out
 
 
-def main(op: str = "gwrite") -> List[Dict]:
-    rows = run(op=op)
+def main(op: str = "gwrite", backend: str = "hyperloop") -> List[Dict]:
+    rows = run(op=op, backend=backend)
     print(format_table(rows, title=f"Figure 8 — {op} latency vs message size "
                                    "(group size 3, 10:1 tenant load)"))
     ratios = speedups(rows)

@@ -18,7 +18,7 @@ from ..sim.units import MiB
 from .common import (
     build_testbed,
     format_table,
-    make_hyperloop,
+    make_group,
     make_naive,
     scaled,
     throughput_run,
@@ -46,17 +46,19 @@ def _replica_cpu_fraction(testbed, group, elapsed_ns: int,
     return min(1.0, busy / max(1, elapsed_ns))
 
 
-def run(sizes=None, total_bytes: int = None, seed: int = 9) -> List[Dict]:
+def run(sizes=None, total_bytes: int = None, seed: int = 9,
+        backend: str = "hyperloop") -> List[Dict]:
     sizes = sizes or MESSAGE_SIZES
     total_bytes = total_bytes or scaled(48 * MiB, 1024 * MiB)
     rows: List[Dict] = []
-    for system in ("naive-polling", "hyperloop"):
+    for system in ("naive-polling", backend):
         for size in sizes:
             testbed = build_testbed(3, seed=seed)
-            if system == "hyperloop":
-                group = make_hyperloop(testbed, slots=512)
-            else:
+            if system == "naive-polling":
                 group = make_naive(testbed, mode="polling", slots=512)
+            else:
+                group = make_group(testbed, backend, slots=512,
+                                   region_size=32 << 20)
             result = throughput_run(group, size, total_bytes, window=256)
             cpu = _replica_cpu_fraction(testbed, group,
                                         result["elapsed_ns"], system)
@@ -70,16 +72,16 @@ def run(sizes=None, total_bytes: int = None, seed: int = 9) -> List[Dict]:
     return rows
 
 
-def main() -> List[Dict]:
-    rows = run()
+def main(backend: str = "hyperloop") -> List[Dict]:
+    rows = run(backend=backend)
     print(format_table(
         rows, title="Figure 9 — gWRITE throughput & backup critical-path CPU"))
     naive_cpu = max(r["backup_cpu_pct"] for r in rows
                     if r["system"] == "naive-polling")
     hyper_cpu = max(r["backup_cpu_pct"] for r in rows
-                    if r["system"] == "hyperloop")
+                    if r["system"] != "naive-polling")
     print(f"backup CPU: naive-polling up to {naive_cpu:.0f}% of a core "
-          f"(paper: ~100%), hyperloop up to {hyper_cpu:.1f}% (paper: ~0%)")
+          f"(paper: ~100%), {backend} up to {hyper_cpu:.1f}% (paper: ~0%)")
     return rows
 
 

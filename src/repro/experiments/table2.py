@@ -19,7 +19,7 @@ from .common import (
     build_testbed,
     format_table,
     latency_sweep,
-    make_hyperloop,
+    make_group,
     make_naive,
     scaled,
 )
@@ -32,29 +32,32 @@ PAPER = {
 }
 
 
-def run(count: int = None, seed: int = 11) -> List[Dict]:
+def run(count: int = None, seed: int = 11,
+        backend: str = "hyperloop") -> List[Dict]:
     count = count or scaled(1500, 10_000)
     tenants = DEFAULT_TENANTS_PER_CORE * 16
     rows: List[Dict] = []
-    for system in ("naive", "hyperloop"):
+    for system in ("naive", backend):
         testbed = build_testbed(3, seed=seed, replica_tenants=tenants)
-        group = make_hyperloop(testbed) if system == "hyperloop" \
-            else make_naive(testbed, mode="event")
+        group = make_naive(testbed, mode="event") if system == "naive" \
+            else make_group(testbed, backend, slots=1024,
+                            region_size=32 << 20)
         recorder = latency_sweep(group, "gcas", 8, count)
         summary = recorder.summary_us()
+        paper = PAPER.get(system, PAPER["hyperloop"])
         rows.append({
             "system": system,
             "avg_us": summary["avg_us"],
             "p95_us": summary["p95_us"],
             "p99_us": summary["p99_us"],
-            "paper_avg_us": PAPER[system]["avg_us"],
-            "paper_p99_us": PAPER[system]["p99_us"],
+            "paper_avg_us": paper["avg_us"],
+            "paper_p99_us": paper["p99_us"],
         })
     return rows
 
 
-def main() -> List[Dict]:
-    rows = run()
+def main(backend: str = "hyperloop") -> List[Dict]:
+    rows = run(backend=backend)
     print(format_table(rows, title="Table 2 — gCAS latency (group size 3)"))
     naive, hyper = rows[0], rows[1]
     print(f"avg reduction {naive['avg_us'] / hyper['avg_us']:,.0f}x "

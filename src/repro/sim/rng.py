@@ -41,6 +41,19 @@ def fnv_hash64(value: int) -> int:
     return hashval
 
 
+def _name_hash64(name: str) -> int:
+    """FNV-1a over the name's UTF-8 bytes.
+
+    Built-in ``hash()`` is salted per interpreter process (PYTHONHASHSEED),
+    which would make "deterministic" streams differ between runs.
+    """
+    hashval = FNV_OFFSET_BASIS_64
+    for octet in name.encode("utf-8"):
+        hashval = hashval ^ octet
+        hashval = (hashval * FNV_PRIME_64) & _MASK64
+    return hashval
+
+
 class RandomStreams:
     """A family of independent named :class:`random.Random` streams."""
 
@@ -52,13 +65,13 @@ class RandomStreams:
         """The stream for ``name``, created deterministically on first use."""
         if name not in self._streams:
             # Derive a per-stream seed from the experiment seed and the name.
-            derived = fnv_hash64(self.seed ^ (hash(name) & _MASK64))
+            derived = fnv_hash64(self.seed ^ _name_hash64(name))
             self._streams[name] = random.Random(derived)
         return self._streams[name]
 
     def spawn(self, name: str) -> "RandomStreams":
         """A child family, for components that create their own substreams."""
-        derived = fnv_hash64(self.seed ^ (hash(name) & _MASK64))
+        derived = fnv_hash64(self.seed ^ _name_hash64(name))
         return RandomStreams(derived)
 
 
