@@ -1,0 +1,181 @@
+"""Microbenchmarks for the discrete-event simulation kernel.
+
+Every figure in the reproduction is bottlenecked by
+:mod:`repro.sim.engine` — each simulated WQE costs event objects, heap
+pushes and callback dispatch — so kernel throughput (events/sec) is the
+single number that bounds how fast any experiment can run.
+
+Four workloads exercise the kernel's distinct hot paths:
+
+``timeout_chain``
+    One process doing back-to-back ``yield sim.timeout(1)`` — the
+    single-consumer Timeout round-trip.
+``delay_chain``
+    The same wait expressed as a bare ``yield 1`` — the allocation-free
+    delay fast path the NIC/CPU models actually use on their hot paths
+    (one heap tuple per wait, no Event or Timeout object).
+``event_pingpong``
+    Two processes handing a fresh :class:`Event` back and forth via
+    ``succeed()`` — the trigger/callback dispatch path (completion
+    signalling, ACK delivery).
+``process_spawn``
+    Spawning many short-lived processes — bootstrap and join cost
+    (per-op driver processes, tenant threads).
+``fanin_allof``
+    Repeated ``AllOf`` joins over a small fan-in — the combinator path
+    (waiting for a chain of replica ACKs).
+
+Each workload reports **events/sec**, where an "event" is one scheduled
+occurrence popped off the kernel heap (the workloads are written so the
+count is known in closed form).  The definition is stable across kernel
+versions, which is what makes the number comparable in
+``BENCH_kernel.json`` — see ``scripts/perf_report.py`` for the recorded
+perf trajectory and the CI regression gate.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_kernel.py
+
+or under pytest-benchmark like the figure benches::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_kernel.py
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Tuple
+
+from repro.sim.engine import Simulator
+
+__all__ = ["WORKLOADS", "run_workload", "main"]
+
+
+def timeout_chain(n: int) -> Tuple[Simulator, int]:
+    """One process, ``n`` sequential 1 ns timeouts.  ~n events."""
+    sim = Simulator()
+
+    def proc(sim):
+        for _ in range(n):
+            yield sim.timeout(1)
+
+    sim.process(proc(sim))
+    return sim, n
+
+
+def delay_chain(n: int) -> Tuple[Simulator, int]:
+    """One process, ``n`` sequential bare-delay waits.  ~n events."""
+    sim = Simulator()
+
+    def proc(sim):
+        for _ in range(n):
+            yield 1  # bare-delay fast path
+
+    sim.process(proc(sim))
+    return sim, n
+
+
+def event_pingpong(n: int) -> Tuple[Simulator, int]:
+    """Two processes exchanging ``n`` fresh events.  ~2n events."""
+    sim = Simulator()
+    box = {"ping": sim.event(), "pong": None}
+
+    def left(sim):
+        for _ in range(n):
+            box["pong"] = sim.event()
+            box["ping"].succeed()
+            yield box["pong"]
+
+    def right(sim):
+        for _ in range(n):
+            yield box["ping"]
+            box["ping"] = sim.event()
+            box["pong"].succeed()
+
+    sim.process(left(sim))
+    sim.process(right(sim))
+    return sim, 2 * n
+
+
+def process_spawn(n: int) -> Tuple[Simulator, int]:
+    """``n`` short-lived child processes joined by a parent.  ~3n events."""
+    sim = Simulator()
+
+    def child(sim):
+        yield sim.timeout(1)
+
+    def parent(sim):
+        for _ in range(n):
+            yield sim.process(child(sim))
+
+    sim.process(parent(sim))
+    return sim, 3 * n
+
+
+def fanin_allof(n: int, width: int = 4) -> Tuple[Simulator, int]:
+    """``n`` AllOf joins over ``width`` timeouts each.  ~n*(width+1) events."""
+    sim = Simulator()
+
+    def proc(sim):
+        for _ in range(n):
+            yield sim.all_of([sim.timeout(i + 1) for i in range(width)])
+
+    sim.process(proc(sim))
+    return sim, n * (width + 1)
+
+
+WORKLOADS: Dict[str, Callable[[int], Tuple[Simulator, int]]] = {
+    "timeout_chain": timeout_chain,
+    "delay_chain": delay_chain,
+    "event_pingpong": event_pingpong,
+    "process_spawn": process_spawn,
+    "fanin_allof": fanin_allof,
+}
+
+
+def run_workload(name: str, n: int, repeats: int = 3) -> Dict[str, float]:
+    """Best-of-``repeats`` run of one workload; returns events/sec stats."""
+    build = WORKLOADS[name]
+    best = float("inf")
+    for _ in range(repeats):
+        sim, events = build(n)
+        started = time.perf_counter()
+        sim.run()
+        elapsed = time.perf_counter() - started
+        best = min(best, elapsed)
+    return {
+        "n": n,
+        "events": events,
+        "elapsed_s": best,
+        "events_per_sec": events / best if best > 0 else float("inf"),
+    }
+
+
+def main(n: int = 100_000, repeats: int = 3) -> Dict[str, Dict[str, float]]:
+    results = {}
+    for name in WORKLOADS:
+        results[name] = run_workload(name, n, repeats=repeats)
+        r = results[name]
+        print(f"{name:<16} {r['events']:>9,} events  "
+              f"{r['elapsed_s'] * 1e3:8.1f} ms  "
+              f"{r['events_per_sec'] / 1e6:6.2f} M events/s")
+    return results
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark integration (same harness as the figure benches).
+# ----------------------------------------------------------------------
+def test_kernel_timeout_chain(benchmark):
+    sim, _ = timeout_chain(50_000)
+    benchmark.pedantic(sim.run, rounds=1, iterations=1)
+    assert sim.now == 50_000
+
+
+def test_kernel_event_pingpong(benchmark):
+    sim, _ = event_pingpong(25_000)
+    benchmark.pedantic(sim.run, rounds=1, iterations=1)
+    assert not sim._heap
+
+
+if __name__ == "__main__":
+    main()

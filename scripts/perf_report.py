@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Measure kernel and experiment performance; track it in BENCH_kernel.json.
+
+The reproduction's wall-clock budget is dominated by the pure-Python
+discrete-event kernel, so this script records two things:
+
+* **events/sec** on the kernel microbenchmarks in
+  ``benchmarks/bench_kernel.py`` (the number that bounds every figure);
+* **wall-clock** for a fixed fig8-shaped workload (group size 3, gWRITE
+  latency sweep) — the end-to-end cost a contributor actually feels.
+
+Usage::
+
+    PYTHONPATH=src python scripts/perf_report.py                 # measure, print
+    PYTHONPATH=src python scripts/perf_report.py --quick         # CI-sized
+    PYTHONPATH=src python scripts/perf_report.py --out BENCH_kernel.json \
+        --label "PR N description" --append                      # record
+    PYTHONPATH=src python scripts/perf_report.py --quick \
+        --baseline BENCH_kernel.json                             # regression gate
+
+With ``--baseline`` the run exits non-zero if any kernel workload's
+events/sec regresses more than ``--threshold`` (default 30%) against the
+*last* entry recorded in the baseline file — this is the CI perf-smoke
+gate.  Events/sec is size-independent enough that a ``--quick`` run can
+be compared against a full-sized recorded baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+SCHEMA = 1
+DEFAULT_THRESHOLD = 0.30
+
+
+def measure(quick: bool) -> dict:
+    import bench_kernel
+    from repro.experiments import fig8
+
+    n = 20_000 if quick else 100_000
+    kernel = {}
+    for name in bench_kernel.WORKLOADS:
+        kernel[name] = bench_kernel.run_workload(name, n, repeats=3)
+        r = kernel[name]
+        print(f"kernel/{name:<16} {r['events_per_sec'] / 1e6:6.2f} M events/s"
+              f"  ({r['elapsed_s'] * 1e3:,.1f} ms)")
+
+    # Fixed fig8-shaped workload: both arms, small sizes, fixed op count —
+    # deliberately NOT scaled() so the wall-clock trend is comparable
+    # across machines with different REPRO_* environments.
+    sizes = [128] if quick else [128, 1024]
+    count = 120 if quick else 400
+    started = time.perf_counter()
+    rows = fig8.run(op="gwrite", sizes=sizes, count=count, jobs=1)
+    wall = time.perf_counter() - started
+    figures = {
+        "fig8_shaped": {
+            "sizes": sizes,
+            "count": count,
+            "rows": len(rows),
+            "wall_s": wall,
+        },
+    }
+    print(f"figure/fig8_shaped      {wall:6.2f} s wall "
+          f"({len(rows)} rows, {count} ops x {len(sizes)} sizes x 2 arms)")
+    return {"kernel": kernel, "figures": figures}
+
+
+def make_entry(label: str, quick: bool, results: dict) -> dict:
+    return {
+        "label": label,
+        "quick": quick,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        **results,
+    }
+
+
+def check_regression(entry: dict, baseline_path: Path,
+                     threshold: float) -> int:
+    data = json.loads(baseline_path.read_text())
+    if not data.get("entries"):
+        print(f"baseline {baseline_path} has no entries; skipping gate")
+        return 0
+    base = data["entries"][-1]
+    print(f"\nregression gate vs {baseline_path} "
+          f"(entry: {base['label']!r}, threshold {threshold:.0%}):")
+    failed = False
+    for name, base_r in base.get("kernel", {}).items():
+        cur_r = entry["kernel"].get(name)
+        if cur_r is None:
+            continue
+        ratio = cur_r["events_per_sec"] / base_r["events_per_sec"]
+        status = "ok" if ratio >= 1.0 - threshold else "REGRESSION"
+        if status != "ok":
+            failed = True
+        print(f"  {name:<16} {base_r['events_per_sec'] / 1e6:6.2f} -> "
+              f"{cur_r['events_per_sec'] / 1e6:6.2f} M events/s "
+              f"({ratio:5.2f}x)  {status}")
+    return 1 if failed else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized run (smaller n, one message size)")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="write results JSON here")
+    parser.add_argument("--label", default="unlabelled run",
+                        help="entry label recorded in the JSON")
+    parser.add_argument("--append", action="store_true",
+                        help="append to --out instead of overwriting")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="compare against this JSON; exit 1 on regression")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="allowed fractional events/sec regression "
+                             "(default 0.30)")
+    args = parser.parse_args(argv)
+
+    quick = args.quick or os.environ.get("REPRO_QUICK", "") == "1"
+    entry = make_entry(args.label, quick, measure(quick))
+
+    if args.out:
+        if args.append and args.out.exists():
+            data = json.loads(args.out.read_text())
+        else:
+            data = {"schema": SCHEMA, "entries": []}
+        data["entries"].append(entry)
+        args.out.write_text(json.dumps(data, indent=2) + "\n")
+        print(f"\nwrote {args.out} ({len(data['entries'])} entries)")
+
+    if args.baseline:
+        return check_regression(entry, args.baseline, args.threshold)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,7 +19,8 @@ listed under :attr:`GroupBase` and may override :meth:`_region_limit`
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence
 
 from ..host import Host
 from ..sim.engine import Event
@@ -48,8 +49,12 @@ class GroupBase:
         self._next_slot = 0
         self._acked = 0
         self._ack_events: Dict[int, Event] = {}
+        # Submission time per claimed slot — the simulation kernel's Event
+        # is __slots__-lean, so latency bookkeeping lives here, not on the
+        # event object.
+        self._issue_ns: Dict[int, int] = {}
         self._window_waiters: List[Event] = []
-        self._submit_queue: List = []
+        self._submit_queue: Deque = deque()
         self._submit_kick: Optional[Event] = None
 
     # ------------------------------------------------------------------
@@ -99,8 +104,7 @@ class GroupBase:
         done = self.sim.event()
         # Latency is measured from submission, so client-side queueing and
         # metadata construction are included — as a caller would see it.
-        done.issue_time = self.sim.now  # type: ignore[attr-defined]
-        self._submit_queue.append((op, done))
+        self._submit_queue.append((op, done, self.sim.now))
         if self._submit_kick is not None and not self._submit_kick.triggered:
             self._submit_kick.succeed()
         return done
@@ -168,7 +172,8 @@ class GroupBase:
                 event.fail(reason)
                 aborted += 1
         self._ack_events.clear()
-        for _op, done in self._submit_queue:
+        self._issue_ns.clear()
+        for _op, done, _issue in self._submit_queue:
             if not done.triggered:
                 done.fail(reason)
                 aborted += 1
@@ -195,7 +200,7 @@ class GroupBase:
         while not self._submit_queue:
             self._submit_kick = sim.event()
             yield self._submit_kick
-        op, done = self._submit_queue.pop(0)
+        op, done, issue = self._submit_queue.popleft()
         # Flow control: never exceed the pipeline depth.
         while self.in_flight >= self.config.slots:
             waiter = sim.event()
@@ -204,6 +209,7 @@ class GroupBase:
         slot = self._next_slot
         self._next_slot += 1
         self._ack_events[slot] = done
+        self._issue_ns[slot] = issue
         return op, done, slot
 
     def _pop_acked(self, slot: int) -> Optional[Event]:
@@ -220,7 +226,7 @@ class GroupBase:
 
     def _finish(self, done: Event, slot: int, result_map: bytes) -> None:
         """Complete ``done`` with an :class:`OpResult` stamped now."""
-        issue = getattr(done, "issue_time", self.sim.now)
+        issue = self._issue_ns.pop(slot, self.sim.now)
         done.succeed(OpResult(slot=slot,
                               latency_ns=self.sim.now - issue,
                               result_map=result_map))

@@ -154,11 +154,11 @@ class _NaiveReplica:
             if self.poller is not None:
                 # Poll mode: detection happens when the poller owns a core.
                 yield self.poller.when_running()
-                yield sim.timeout(config.poll_overhead_ns)
+                yield config.poll_overhead_ns  # bare-delay fast path
                 work_items = self.up_cq.poll(64)
                 service = self._service_cost(work_items)
                 if service:
-                    yield sim.timeout(service)
+                    yield service  # bare-delay fast path
                 self._apply_all(work_items)
             else:
                 # Event mode: the handler must be scheduled before anything
@@ -379,7 +379,7 @@ class NaiveGroup(GroupBase):
             yield channel.wait()
             if self.client_poller is not None:
                 yield self.client_poller.when_running()
-                yield sim.timeout(config.poll_overhead_ns)
+                yield config.poll_overhead_ns  # bare-delay fast path
             else:
                 yield self.ack_thread.run(config.ack_dispatch_ns)
             for wc in self.ack_cq.poll(64):

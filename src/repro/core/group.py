@@ -221,7 +221,7 @@ class HyperLoopGroup(GroupBase):
                 # Poll mode: the completion is observed while the dedicated
                 # poller owns a core; only the CQ-read cost is paid.
                 yield self.poller.when_running()
-                yield sim.timeout(config.poll_overhead_ns)
+                yield config.poll_overhead_ns  # bare-delay fast path
             else:
                 # Event mode: the dispatcher thread must get scheduled.
                 yield self.ack_thread.run(config.event_wakeup_service_ns)

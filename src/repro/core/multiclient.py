@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import itertools
 import struct
+from collections import deque
 from typing import Dict, List, Optional, Sequence
 
 from ..host import Host
@@ -267,8 +268,11 @@ class SharedChainClient:
         self._next_op = 0
         self._acked = 0
         self._events: Dict[int, Event] = {}
+        # Submission time per op id — latency bookkeeping lives here, not
+        # on the (__slots__-lean) kernel Event.
+        self._issue_ns: Dict[int, int] = {}
         self._window_waiters: List[Event] = []
-        self._queue: List = []
+        self._queue: deque = deque()
         self._kick: Optional[Event] = None
         self.sim.process(self._submitter(), name=f"{self.name}.submitter")
 
@@ -311,8 +315,7 @@ class SharedChainClient:
 
     def _submit(self, op: OpSpec) -> Event:
         done = self.sim.event()
-        done.issue_time = self.sim.now  # type: ignore[attr-defined]
-        self._queue.append((op, done))
+        self._queue.append((op, done, self.sim.now))
         if self._kick is not None and not self._kick.triggered:
             self._kick.succeed()
         return done
@@ -368,7 +371,7 @@ class SharedChainClient:
                 self._kick = sim.event()
                 yield self._kick
                 continue
-            op, done = self._queue.pop(0)
+            op, done, issue = self._queue.popleft()
             while self.in_flight >= self.quota:
                 waiter = sim.event()
                 self._window_waiters.append(waiter)
@@ -376,6 +379,7 @@ class SharedChainClient:
             op_id = self._next_op
             self._next_op += 1
             self._events[op_id] = done
+            self._issue_ns[op_id] = issue
             build_ns = (config.meta_build_base_ns
                         + config.meta_build_per_hop_ns
                         * self.chain.group_size)
@@ -414,7 +418,7 @@ class SharedChainClient:
             for waiter in waiters:
                 waiter.succeed()
         if done is not None and not done.triggered:
-            issue = getattr(done, "issue_time", self.sim.now)
+            issue = self._issue_ns.pop(op_id, self.sim.now)
             done.succeed(OpResult(slot=op_id,
                                   latency_ns=self.sim.now - issue,
                                   result_map=b""))

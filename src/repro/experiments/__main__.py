@@ -8,6 +8,7 @@ Usage::
     python -m repro.experiments all           # run everything
     python -m repro.experiments fig8 --backend fanout   # swap the
                                               # NIC-offloaded arm
+    python -m repro.experiments fig8 --jobs 4 # sweep points in parallel
     REPRO_FULL=1 python -m repro.experiments all   # paper-sized counts
     REPRO_QUICK=1 python -m repro.experiments fig8 # CI-smoke counts
 
@@ -15,6 +16,10 @@ Usage::
 (:mod:`repro.backend`), so any registered backend — including out-of-tree
 ones — can stand in for HyperLoop in the offloaded arm.  Experiments whose
 point is the baseline itself (fig2) ignore the flag.
+
+``--jobs N`` (or ``REPRO_JOBS=N``) fans independent sweep points out over
+worker processes (fig8/fig9/fig10/fig12); every point owns its simulator
+and seed, so rows are identical to a serial run.
 """
 
 from __future__ import annotations
@@ -23,28 +28,30 @@ import sys
 import time
 
 from .. import backend as backend_registry
-from . import availability, calibration, fig2, fig8, fig9, fig10, fig11, fig12, table2
+from . import (availability, calibration, fig2, fig8, fig9, fig10, fig11,
+               fig12, parallel, table2)
 
 EXPERIMENTS = {
     "fig2": ("Figure 2 — multi-tenancy root cause (MongoDB)",
-             lambda backend: fig2.main()),
+             lambda backend, jobs: fig2.main()),
     "fig8": ("Figure 8 — gWRITE/gMEMCPY latency vs size",
-             lambda backend: (fig8.main("gwrite", backend=backend),
-                              fig8.main("gmemcpy", backend=backend))),
+             lambda backend, jobs: (
+                 fig8.main("gwrite", backend=backend, jobs=jobs),
+                 fig8.main("gmemcpy", backend=backend, jobs=jobs))),
     "table2": ("Table 2 — gCAS latency",
-               lambda backend: table2.main(backend=backend)),
+               lambda backend, jobs: table2.main(backend=backend)),
     "fig9": ("Figure 9 — throughput & backup CPU",
-             lambda backend: fig9.main(backend=backend)),
+             lambda backend, jobs: fig9.main(backend=backend, jobs=jobs)),
     "fig10": ("Figure 10 — tail latency vs group size",
-              lambda backend: fig10.main(backend=backend)),
+              lambda backend, jobs: fig10.main(backend=backend, jobs=jobs)),
     "fig11": ("Figure 11 — replicated RocksDB",
-              lambda backend: fig11.main(backend=backend)),
+              lambda backend, jobs: fig11.main(backend=backend)),
     "fig12": ("Figure 12 — MongoDB across YCSB workloads",
-              lambda backend: fig12.main(backend=backend)),
+              lambda backend, jobs: fig12.main(backend=backend, jobs=jobs)),
     "calibration": ("Calibration — simulator parameter anchors",
-                    lambda backend: calibration.main(backend=backend)),
+                    lambda backend, jobs: calibration.main(backend=backend)),
     "availability": ("Availability — throughput through crash & repair",
-                     lambda backend: availability.main(backend=backend)),
+                     lambda backend, jobs: availability.main(backend=backend)),
 }
 
 DEFAULT_BACKEND = "hyperloop"
@@ -64,6 +71,7 @@ def _usage() -> None:
 
 def main(argv) -> int:
     backend = DEFAULT_BACKEND
+    jobs = parallel.default_jobs()
     names = []
     args = list(argv)
     while args:
@@ -75,11 +83,23 @@ def main(argv) -> int:
             backend = args.pop(0)
         elif arg.startswith("--backend="):
             backend = arg.split("=", 1)[1]
+        elif arg == "--jobs":
+            if not args:
+                print("--jobs requires a count", file=sys.stderr)
+                return 2
+            jobs = args.pop(0)
+        elif arg.startswith("--jobs="):
+            jobs = arg.split("=", 1)[1]
         elif arg in ("-h", "--help"):
             _usage()
             return 0
         else:
             names.append(arg.lower())
+    try:
+        jobs = max(1, int(jobs))
+    except (TypeError, ValueError):
+        print(f"--jobs expects an integer, got {jobs!r}", file=sys.stderr)
+        return 2
     if backend not in backend_registry.names():
         print(f"unknown backend {backend!r}; registered: "
               f"{', '.join(backend_registry.names())}", file=sys.stderr)
@@ -98,7 +118,7 @@ def main(argv) -> int:
         description, fn = EXPERIMENTS[name]
         print(f"\n=== {description} ===")
         started = time.time()
-        fn(backend)
+        fn(backend, jobs)
         print(f"[{name} done in {time.time() - started:.1f}s wall]")
     return 0
 

@@ -21,6 +21,7 @@ never import a group class directly.
 from __future__ import annotations
 
 import os
+from collections import deque
 from typing import Dict, List, Optional, Sequence
 
 from ..backend.api import ReplicationBackend
@@ -116,14 +117,14 @@ def run_until(cluster: Cluster, done_event, deadline_ns: int) -> None:
     Unlike ``run(until=...)`` this stops as soon as the event fires, so
     background load (tenants, pollers) does not keep the clock spinning
     after the measured work completes.
+
+    This is the innermost driver loop of every experiment, so it delegates
+    to :meth:`Simulator.run_until`, whose dispatch loop is inlined in the
+    kernel (no per-event ``peek()``/``step()`` attribute lookups and method
+    calls out here).
     """
     sim = cluster.sim
-    deadline = sim.now + deadline_ns
-    while not done_event.triggered:
-        next_time = sim.peek()
-        if next_time is None or next_time > deadline:
-            break
-        sim.step()
+    sim.run_until(done_event, deadline=sim.now + deadline_ns)
 
 
 def latency_sweep(group, op: str, size: int, count: int,
@@ -180,11 +181,13 @@ def throughput_run(group, size: int, total_bytes: int,
 
     def driver(sim):
         group.write_local(0, b"\xCD" * size)
-        outstanding = []
+        # deque: the pipelined window retires from the head every
+        # iteration — list.pop(0) would be O(window) in the hot loop.
+        outstanding = deque()
         for _ in range(count):
             outstanding.append(group.gwrite(0, size))
             if len(outstanding) >= window:
-                yield outstanding.pop(0)
+                yield outstanding.popleft()
                 state["done"] += 1
         for event in outstanding:
             yield event

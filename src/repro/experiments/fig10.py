@@ -22,6 +22,7 @@ from .common import (
     make_naive,
     scaled,
 )
+from .parallel import sweep
 
 __all__ = ["GROUP_SIZES", "MESSAGE_SIZES", "run", "main"]
 
@@ -29,32 +30,38 @@ GROUP_SIZES = [3, 5, 7]
 MESSAGE_SIZES = [128, 512, 2048, 8192]
 
 
+def _point_worker(point) -> Dict:
+    """One (system, group_size, size) point on a fresh testbed."""
+    system, group_size, size, count, seed, backend = point
+    tenants = DEFAULT_TENANTS_PER_CORE * 16
+    testbed = build_testbed(group_size, seed=seed,
+                            replica_tenants=tenants)
+    if system == "naive":
+        group = make_naive(testbed, mode="event")
+    else:
+        group = make_group(testbed, backend, slots=1024,
+                           region_size=32 << 20)
+    recorder = latency_sweep(group, "gwrite", size, count)
+    return {
+        "system": system,
+        "group_size": group_size,
+        "size": size,
+        "avg_us": recorder.mean_us(),
+        "p99_us": recorder.percentile_us(99),
+    }
+
+
 def run(group_sizes=None, sizes=None, count: int = None,
-        seed: int = 10, backend: str = "hyperloop") -> List[Dict]:
+        seed: int = 10, backend: str = "hyperloop",
+        jobs: int = 1) -> List[Dict]:
     group_sizes = group_sizes or GROUP_SIZES
     sizes = sizes or MESSAGE_SIZES
     count = count or scaled(1200, 10_000)
-    tenants = DEFAULT_TENANTS_PER_CORE * 16
-    rows: List[Dict] = []
-    for system in ("naive", backend):
-        for group_size in group_sizes:
-            for size in sizes:
-                testbed = build_testbed(group_size, seed=seed,
-                                        replica_tenants=tenants)
-                if system == "naive":
-                    group = make_naive(testbed, mode="event")
-                else:
-                    group = make_group(testbed, backend, slots=1024,
-                                       region_size=32 << 20)
-                recorder = latency_sweep(group, "gwrite", size, count)
-                rows.append({
-                    "system": system,
-                    "group_size": group_size,
-                    "size": size,
-                    "avg_us": recorder.mean_us(),
-                    "p99_us": recorder.percentile_us(99),
-                })
-    return rows
+    points = [(system, group_size, size, count, seed, backend)
+              for system in ("naive", backend)
+              for group_size in group_sizes
+              for size in sizes]
+    return sweep(points, _point_worker, jobs=jobs)
 
 
 def tail_growth(rows: List[Dict], system: str) -> float:
@@ -71,8 +78,8 @@ def tail_growth(rows: List[Dict], system: str) -> float:
     return worst
 
 
-def main(backend: str = "hyperloop") -> List[Dict]:
-    rows = run(backend=backend)
+def main(backend: str = "hyperloop", jobs: int = 1) -> List[Dict]:
+    rows = run(backend=backend, jobs=jobs)
     print(format_table(rows, title="Figure 10 — p99 gWRITE latency vs "
                                    "group size"))
     print(f"p99 growth 3→7 replicas: naive {tail_growth(rows, 'naive'):.2f}x "

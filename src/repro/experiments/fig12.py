@@ -28,6 +28,7 @@ from .common import (
     run_until,
     scaled,
 )
+from .parallel import sweep
 
 __all__ = ["WORKLOADS", "run", "main", "tail_gap_reduction"]
 
@@ -45,47 +46,52 @@ def _build(system: str, testbed, backend: str):
     return make_group(testbed, backend, slots=256, region_size=REGION)
 
 
+def _point_worker(point) -> Dict:
+    """One (system, workload) point: fresh testbed, load + run phases."""
+    system, letter, op_count, record_count, seed, backend = point
+    tenants = DEFAULT_TENANTS_PER_CORE * 16
+    testbed = build_testbed(3, seed=seed, replica_tenants=tenants,
+                            client_tenants=tenants)
+    group = _build(system, testbed, backend)
+    store = initialize(group, StoreConfig(wal_size=WAL))
+    db = MongoLikeDB(store, MongoConfig())
+    workload = YCSBWorkload(YCSBConfig(
+        workload=letter, record_count=record_count,
+        field_length=1024, seed=seed,
+        max_scan_length=scaled(20, 100)))
+    runner = YCSBRunner(workload, MongoAdapter(db))
+    sim = testbed.cluster.sim
+
+    def driver(sim=sim, runner=runner):
+        yield from runner.load_phase(sim)
+        yield from runner.run_phase(sim, op_count,
+                                    warmup=op_count // 10)
+
+    process = sim.process(driver(), name=f"fig12.{system}.{letter}")
+    run_until(testbed.cluster, process, seconds(7200))
+    if not process.triggered:
+        raise RuntimeError(
+            f"fig12 {system}/{letter}: run did not complete")
+    overall = runner.stats.overall
+    return {
+        "system": system,
+        "workload": letter,
+        "ops": overall.count,
+        "avg_ms": overall.mean_us() / 1000,
+        "p95_ms": overall.percentile_us(95) / 1000,
+        "p99_ms": overall.percentile_us(99) / 1000,
+    }
+
+
 def run(workloads=None, op_count: int = None, record_count: int = None,
-        seed: int = 13, backend: str = "hyperloop") -> List[Dict]:
+        seed: int = 13, backend: str = "hyperloop",
+        jobs: int = 1) -> List[Dict]:
     workloads = workloads or WORKLOADS
     op_count = op_count or scaled(500, 100_000)
     record_count = record_count or scaled(150, 100_000)
-    tenants = DEFAULT_TENANTS_PER_CORE * 16
-    rows: List[Dict] = []
-    for system in ("native", backend):
-        for letter in workloads:
-            testbed = build_testbed(3, seed=seed, replica_tenants=tenants,
-                                    client_tenants=tenants)
-            group = _build(system, testbed, backend)
-            store = initialize(group, StoreConfig(wal_size=WAL))
-            db = MongoLikeDB(store, MongoConfig())
-            workload = YCSBWorkload(YCSBConfig(
-                workload=letter, record_count=record_count,
-                field_length=1024, seed=seed,
-                max_scan_length=scaled(20, 100)))
-            runner = YCSBRunner(workload, MongoAdapter(db))
-            sim = testbed.cluster.sim
-
-            def driver(sim=sim, runner=runner):
-                yield from runner.load_phase(sim)
-                yield from runner.run_phase(sim, op_count,
-                                            warmup=op_count // 10)
-
-            process = sim.process(driver(), name=f"fig12.{system}.{letter}")
-            run_until(testbed.cluster, process, seconds(7200))
-            if not process.triggered:
-                raise RuntimeError(
-                    f"fig12 {system}/{letter}: run did not complete")
-            overall = runner.stats.overall
-            rows.append({
-                "system": system,
-                "workload": letter,
-                "ops": overall.count,
-                "avg_ms": overall.mean_us() / 1000,
-                "p95_ms": overall.percentile_us(95) / 1000,
-                "p99_ms": overall.percentile_us(99) / 1000,
-            })
-    return rows
+    points = [(system, letter, op_count, record_count, seed, backend)
+              for system in ("native", backend) for letter in workloads]
+    return sweep(points, _point_worker, jobs=jobs)
 
 
 def tail_gap_reduction(rows: List[Dict]) -> Dict[str, float]:
@@ -103,8 +109,8 @@ def tail_gap_reduction(rows: List[Dict]) -> Dict[str, float]:
     return out
 
 
-def main(backend: str = "hyperloop") -> List[Dict]:
-    rows = run(backend=backend)
+def main(backend: str = "hyperloop", jobs: int = 1) -> List[Dict]:
+    rows = run(backend=backend, jobs=jobs)
     print(format_table(rows, title="Figure 12 — MongoDB latency, native vs "
                                    "HyperLoop replication (YCSB)"))
     reductions = []

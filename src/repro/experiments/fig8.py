@@ -23,41 +23,49 @@ from .common import (
     make_naive,
     scaled,
 )
+from .parallel import sweep
 
 __all__ = ["MESSAGE_SIZES", "run", "main"]
 
 MESSAGE_SIZES = [128, 256, 512, 1024, 2048, 4096, 8192]
 
 
+def _point_worker(point) -> Dict:
+    """One (system, size) point: fresh testbed, full latency sweep."""
+    system, size, op, count, seed, backend = point
+    tenants = DEFAULT_TENANTS_PER_CORE * 16
+    testbed = build_testbed(3, seed=seed, replica_tenants=tenants)
+    if system == "naive":
+        group = make_naive(testbed, mode="event")
+    else:
+        group = make_group(testbed, backend, slots=1024,
+                           region_size=32 << 20)
+    recorder = latency_sweep(group, op, size, count)
+    summary = recorder.summary_us()
+    return {
+        "system": system,
+        "size": size,
+        "avg_us": summary["avg_us"],
+        "p95_us": summary["p95_us"],
+        "p99_us": summary["p99_us"],
+    }
+
+
 def run(op: str = "gwrite", sizes=None, count: int = None,
-        seed: int = 8, backend: str = "hyperloop") -> List[Dict]:
+        seed: int = 8, backend: str = "hyperloop",
+        jobs: int = 1) -> List[Dict]:
     """One row per (system, size): avg / p95 / p99 latency in µs.
 
     ``backend`` picks the NIC-offloaded arm (any registry name); the
-    Naïve-RDMA baseline arm is fixed.
+    Naïve-RDMA baseline arm is fixed.  Each point is an independent
+    simulation, so ``jobs > 1`` sweeps them in parallel with rows
+    identical to the serial order.
     """
     sizes = sizes or MESSAGE_SIZES
     count = count or scaled(1500, 10_000)
-    tenants = DEFAULT_TENANTS_PER_CORE * 16
-    rows: List[Dict] = []
-    for system in ("naive", backend):
-        for size in sizes:
-            testbed = build_testbed(3, seed=seed, replica_tenants=tenants)
-            if system == "naive":
-                group = make_naive(testbed, mode="event")
-            else:
-                group = make_group(testbed, backend, slots=1024,
-                                   region_size=32 << 20)
-            recorder = latency_sweep(group, op, size, count)
-            summary = recorder.summary_us()
-            rows.append({
-                "system": system,
-                "size": size,
-                "avg_us": summary["avg_us"],
-                "p95_us": summary["p95_us"],
-                "p99_us": summary["p99_us"],
-            })
-    return rows
+    points = [(system, size, op, count, seed, backend)
+              for system in ("naive", backend) for size in sizes]
+    return sweep(points, _point_worker, jobs=jobs)
 
 
 def speedups(rows: List[Dict]) -> Dict[int, Dict[str, float]]:
@@ -76,8 +84,9 @@ def speedups(rows: List[Dict]) -> Dict[int, Dict[str, float]]:
     return out
 
 
-def main(op: str = "gwrite", backend: str = "hyperloop") -> List[Dict]:
-    rows = run(op=op, backend=backend)
+def main(op: str = "gwrite", backend: str = "hyperloop",
+         jobs: int = 1) -> List[Dict]:
+    rows = run(op=op, backend=backend, jobs=jobs)
     print(format_table(rows, title=f"Figure 8 — {op} latency vs message size "
                                    "(group size 3, 10:1 tenant load)"))
     ratios = speedups(rows)

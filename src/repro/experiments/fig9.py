@@ -23,6 +23,7 @@ from .common import (
     scaled,
     throughput_run,
 )
+from .parallel import sweep
 
 __all__ = ["MESSAGE_SIZES", "run", "main"]
 
@@ -46,34 +47,38 @@ def _replica_cpu_fraction(testbed, group, elapsed_ns: int,
     return min(1.0, busy / max(1, elapsed_ns))
 
 
+def _point_worker(point) -> Dict:
+    """One (system, size) point: fresh testbed, full throughput run."""
+    system, size, total_bytes, seed, backend = point
+    testbed = build_testbed(3, seed=seed)
+    if system == "naive-polling":
+        group = make_naive(testbed, mode="polling", slots=512)
+    else:
+        group = make_group(testbed, backend, slots=512,
+                           region_size=32 << 20)
+    result = throughput_run(group, size, total_bytes, window=256)
+    cpu = _replica_cpu_fraction(testbed, group,
+                                result["elapsed_ns"], system)
+    return {
+        "system": system,
+        "size": size,
+        "kops_per_sec": result["kops_per_sec"],
+        "goodput_gbps": result["gbps"],
+        "backup_cpu_pct": 100.0 * cpu,
+    }
+
+
 def run(sizes=None, total_bytes: int = None, seed: int = 9,
-        backend: str = "hyperloop") -> List[Dict]:
+        backend: str = "hyperloop", jobs: int = 1) -> List[Dict]:
     sizes = sizes or MESSAGE_SIZES
     total_bytes = total_bytes or scaled(48 * MiB, 1024 * MiB)
-    rows: List[Dict] = []
-    for system in ("naive-polling", backend):
-        for size in sizes:
-            testbed = build_testbed(3, seed=seed)
-            if system == "naive-polling":
-                group = make_naive(testbed, mode="polling", slots=512)
-            else:
-                group = make_group(testbed, backend, slots=512,
-                                   region_size=32 << 20)
-            result = throughput_run(group, size, total_bytes, window=256)
-            cpu = _replica_cpu_fraction(testbed, group,
-                                        result["elapsed_ns"], system)
-            rows.append({
-                "system": system,
-                "size": size,
-                "kops_per_sec": result["kops_per_sec"],
-                "goodput_gbps": result["gbps"],
-                "backup_cpu_pct": 100.0 * cpu,
-            })
-    return rows
+    points = [(system, size, total_bytes, seed, backend)
+              for system in ("naive-polling", backend) for size in sizes]
+    return sweep(points, _point_worker, jobs=jobs)
 
 
-def main(backend: str = "hyperloop") -> List[Dict]:
-    rows = run(backend=backend)
+def main(backend: str = "hyperloop", jobs: int = 1) -> List[Dict]:
+    rows = run(backend=backend, jobs=jobs)
     print(format_table(
         rows, title="Figure 9 — gWRITE throughput & backup critical-path CPU"))
     naive_cpu = max(r["backup_cpu_pct"] for r in rows

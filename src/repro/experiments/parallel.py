@@ -1,0 +1,61 @@
+"""Parallel sweep execution for experiment point grids.
+
+Every figure experiment is an embarrassingly parallel sweep: each
+(system, message-size, …) point builds its *own* testbed and its own
+:class:`~repro.sim.engine.Simulator`, runs to completion, and emits one
+row.  Points share nothing — the simulation seed is part of the point —
+so they can run in worker processes with no coordination and, crucially,
+**no change in results**: a sweep at ``jobs=N`` must produce rows
+identical to ``jobs=1`` (``tests/experiments/test_parallel.py`` pins
+this).
+
+Workers must be module-level functions (picklable) taking a single
+point tuple; each figure module defines a ``_point_worker`` next to its
+``run()``.
+
+``sweep`` degrades gracefully: ``jobs<=1``, a single point, or an
+environment where process pools cannot start (sandboxes without
+working semaphores) all fall back to in-process serial execution.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Callable, Iterable, List, Sequence, TypeVar
+
+__all__ = ["sweep", "default_jobs"]
+
+P = TypeVar("P")
+R = TypeVar("R")
+
+
+def default_jobs() -> int:
+    """Job count from ``REPRO_JOBS`` (or 1 — parallelism is opt-in)."""
+    try:
+        return max(1, int(os.environ.get("REPRO_JOBS", "1")))
+    except ValueError:
+        return 1
+
+
+def sweep(points: Iterable[P], worker: Callable[[P], R],
+          jobs: int = 1) -> List[R]:
+    """Run ``worker(point)`` for every point, in submission order.
+
+    ``jobs > 1`` fans the points out over a ``ProcessPoolExecutor``;
+    results come back in point order regardless of completion order, so
+    callers see exactly the rows a serial loop would have produced.
+    """
+    items: Sequence[P] = list(points)
+    if jobs <= 1 or len(items) <= 1:
+        return [worker(point) for point in items]
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+        with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
+            return list(pool.map(worker, items))
+    except (OSError, PermissionError) as exc:
+        # Restricted environments (no /dev/shm, seccomp'd semaphores)
+        # cannot start worker processes — run serially rather than fail.
+        print(f"[sweep] process pool unavailable ({exc}); "
+              "running serially", file=sys.stderr)
+        return [worker(point) for point in items]

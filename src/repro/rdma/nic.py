@@ -293,7 +293,7 @@ class RNIC:
                     cq.advance_wait_cursor(qp.qp_num, target)
                 qp.sq.advance_head()
                 self.wqes_executed.increment()
-                yield self.sim.timeout(params.wait_processing_ns)
+                yield params.wait_processing_ns  # bare-delay fast path
                 if wqe.signaled:
                     qp.send_cq.push(WorkCompletion(
                         wr_id=wqe.wr_id, opcode=Opcode.WAIT,
@@ -306,7 +306,7 @@ class RNIC:
                 self.tracer.emit(self.sim.now, f"{self.name}.nic",
                                  "wqe.initiate",
                                  f"{qp.name}:{wqe.opcode.name}")
-            yield self.sim.timeout(params.wqe_processing_ns)
+            yield params.wqe_processing_ns  # bare-delay fast path
             yield from self._initiate(qp, wqe)
 
     def _stall(self, qp: QueuePair) -> Event:
@@ -347,7 +347,7 @@ class RNIC:
         if op in (Opcode.SEND, Opcode.WRITE, Opcode.WRITE_WITH_IMM):
             payload = self._gather(wqe.sg_list)
             if payload:
-                yield self.sim.timeout(params.dma_ns(len(payload)))
+                yield params.dma_ns(len(payload))  # bare-delay fast path
             message.payload = payload
             message.length = len(payload)
             message.imm = wqe.imm
@@ -417,12 +417,12 @@ class RNIC:
             message = self._ingress.popleft()
             self.messages_handled.increment()
             if message.kind in ("ack", "read_resp", "cas_resp"):
-                yield self.sim.timeout(params.ack_processing_ns)
+                yield params.ack_processing_ns  # bare-delay fast path
                 self._handle_response(message)
             else:
-                yield self.sim.timeout(params.ingress_processing_ns)
+                yield params.ingress_processing_ns  # bare-delay fast path
                 if message.payload:
-                    yield self.sim.timeout(params.dma_ns(len(message.payload)))
+                    yield params.dma_ns(len(message.payload))  # bare-delay fast path
                 self._handle_request(message)
         self._ingress_busy = False
 

@@ -122,7 +122,7 @@ class WQEFlags(IntEnum):
     STATIC = 8      # Cyclic re-arm keeps ownership (pre-posted forever).
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Sge:
     """A scatter/gather element: a contiguous local memory segment."""
 
@@ -134,7 +134,7 @@ class Sge:
             raise ValueError("sge addr/length must be non-negative")
 
 
-@dataclass
+@dataclass(slots=True)
 class WorkRequest:
     """The user-level work request handed to post_send/post_recv.
 
@@ -187,7 +187,7 @@ def encode_wqe(wr: WorkRequest, owned: bool) -> bytes:
     return bytes(buf)
 
 
-@dataclass
+@dataclass(slots=True)
 class DecodedWQE:
     """A descriptor parsed back out of ring memory by the NIC."""
 

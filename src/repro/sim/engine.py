@@ -11,6 +11,32 @@ Simulated time is kept in integer **nanoseconds** to avoid floating-point
 drift when summing many small delays.  Helpers for converting between units
 live in :mod:`repro.sim.units`.
 
+Performance
+-----------
+The kernel is the hot loop under every figure, so its data structures are
+deliberately lean (see docs/INTERNALS.md, "Kernel internals & performance
+model"):
+
+* every class carries ``__slots__`` — no per-object ``__dict__``;
+* the heap holds plain ``(time, seq, kind, payload)`` tuples.  ``seq`` is
+  a global tie-breaker that preserves FIFO order at equal timestamps and
+  guarantees comparisons never reach the payload;
+* process bootstrap and interrupt delivery are scheduled as *direct
+  resume* heap entries — no throwaway :class:`Event` is allocated;
+* callbacks are stored inline: the common single-subscriber case (a
+  process waiting on a ``timeout``) occupies one slot (``_cb1``) and
+  never allocates a list; only a second subscriber spills to ``_cbs``.
+
+A ``yield sim.timeout(d)`` round-trip therefore costs one ``Timeout``
+object and one heap tuple — no bootstrap events, no callback lists, no
+bound-method allocations (processes cache ``self._resume``).
+
+Hot model code can go further: a process may ``yield d`` with a bare
+non-negative ``int`` to sleep ``d`` nanoseconds.  That schedules a
+*tokened direct resume* — one heap tuple, no event object at all.  The
+resume value is ``None``; use :meth:`Simulator.timeout` when the value
+or the event object itself matters (e.g. with ``any_of``).
+
 Example
 -------
 >>> sim = Simulator()
@@ -25,7 +51,7 @@ Example
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 __all__ = [
@@ -58,6 +84,16 @@ class Interrupt(Exception):
 
 PENDING = object()
 
+# Heap-entry kinds.  Entries are (time, seq, kind, payload); seq is unique
+# so tuple comparison never reaches kind or payload.
+_KIND_EVENT = 0    # payload: Event — run its callbacks.
+_KIND_RESUME = 1   # payload: (Process, ok, value) — resume directly.
+_KIND_CALL = 2     # payload: zero-arg callable (call_at).
+_KIND_DELAY = 3    # payload: (Process, token) — resume from a bare delay.
+
+# "No deadline": beyond any plausible simulated time (≈292 years in ns).
+_T_MAX = 2 ** 63
+
 
 class Event:
     """A happening at a point in simulated time.
@@ -68,11 +104,17 @@ class Event:
     suspended until the event triggers.
     """
 
+    __slots__ = ("sim", "_value", "_ok", "_cb1", "_cbs", "_processed")
+
     def __init__(self, sim: "Simulator"):
         self.sim = sim
-        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
         self._value: Any = PENDING
         self._ok: Optional[bool] = None
+        # Inline callback storage: first subscriber in _cb1, overflow in
+        # _cbs.  The single-subscriber fast path never allocates a list.
+        self._cb1: Optional[Callable[["Event"], None]] = None
+        self._cbs: Optional[List[Callable[["Event"], None]]] = None
+        self._processed = False
 
     @property
     def triggered(self) -> bool:
@@ -82,7 +124,7 @@ class Event:
     @property
     def processed(self) -> bool:
         """True once the event's callbacks have run."""
-        return self.callbacks is None
+        return self._processed
 
     @property
     def ok(self) -> bool:
@@ -98,11 +140,13 @@ class Event:
 
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not PENDING:
             raise SimulationError("event already triggered")
         self._ok = True
         self._value = value
-        self.sim._queue(self)
+        sim = self.sim
+        heappush(sim._heap, (sim.now, sim._seq, _KIND_EVENT, self))
+        sim._seq += 1
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -111,13 +155,15 @@ class Event:
         A process yielding on this event will have ``exception`` raised at
         the ``yield`` statement.
         """
-        if self.triggered:
+        if self._value is not PENDING:
             raise SimulationError("event already triggered")
         if not isinstance(exception, BaseException):
             raise TypeError("fail() requires an exception instance")
         self._ok = False
         self._value = exception
-        self.sim._queue(self)
+        sim = self.sim
+        heappush(sim._heap, (sim.now, sim._seq, _KIND_EVENT, self))
+        sim._seq += 1
         return self
 
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
@@ -126,23 +172,38 @@ class Event:
         If the event was already processed the callback runs immediately —
         this keeps late subscribers from deadlocking.
         """
-        if self.callbacks is None:
+        if self._processed:
             callback(self)
+        elif self._cb1 is None:
+            self._cb1 = callback
+        elif self._cbs is None:
+            self._cbs = [callback]
         else:
-            self.callbacks.append(callback)
+            self._cbs.append(callback)
 
 
 class Timeout(Event):
-    """An event that fires after a fixed delay."""
+    """An event that fires after a fixed delay.
+
+    Timeouts are born triggered: construction schedules the fire directly,
+    so the only allocations on a ``yield sim.timeout(d)`` round-trip are
+    the ``Timeout`` itself and its heap tuple.
+    """
+
+    __slots__ = ("delay",)
 
     def __init__(self, sim: "Simulator", delay: int, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(sim)
+        self.sim = sim
         self._ok = True
         self._value = value
+        self._cb1 = None
+        self._cbs = None
+        self._processed = False
         self.delay = delay
-        sim._queue(self, delay=delay)
+        heappush(sim._heap, (sim.now + delay, sim._seq, _KIND_EVENT, self))
+        sim._seq += 1
 
 
 class Process(Event):
@@ -153,6 +214,9 @@ class Process(Event):
     carrying the exception).  This makes ``yield other_process`` a join.
     """
 
+    __slots__ = ("generator", "name", "_waiting_on", "_resume_cb",
+                 "_send", "_throw", "_wait_token")
+
     def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
         super().__init__(sim)
         if not hasattr(generator, "send"):
@@ -160,17 +224,24 @@ class Process(Event):
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._waiting_on: Optional[Event] = None
-        # Kick off the process at the current time.
-        bootstrap = Event(sim)
-        bootstrap._ok = True
-        bootstrap._value = None
-        bootstrap.callbacks = []
-        bootstrap.add_callback(self._resume)
-        sim._queue(bootstrap)
+        # Bumped on every resume; outstanding bare-delay entries carry the
+        # token they were scheduled under, so a superseded delay (after an
+        # interrupt) is recognised as stale at dispatch.
+        self._wait_token = 0
+        # Cache bound methods so the per-yield hot path does not allocate
+        # or re-look them up.
+        self._resume_cb = self._resume
+        self._send = generator.send
+        self._throw = generator.throw
+        # Kick off the process at the current time — a direct-resume heap
+        # entry, not a bootstrap Event.
+        heappush(sim._heap, (sim.now, sim._seq, _KIND_RESUME,
+                             (self, True, None)))
+        sim._seq += 1
 
     @property
     def is_alive(self) -> bool:
-        return not self.triggered
+        return self._value is PENDING
 
     def interrupt(self, cause: Any = None) -> None:
         """Raise :class:`Interrupt` inside the process at the current time.
@@ -178,59 +249,83 @@ class Process(Event):
         Interrupting a finished process is an error; interrupting a process
         twice before it handles the first interrupt queues both.
         """
-        if self.triggered:
+        if self._value is not PENDING:
             raise SimulationError(f"cannot interrupt finished process {self.name}")
-        poke = Event(self.sim)
-        poke._ok = False
-        poke._value = Interrupt(cause)
-        poke.callbacks = []
-        poke.add_callback(self._resume)
-        self.sim._queue(poke)
+        sim = self.sim
+        heappush(sim._heap, (sim.now, sim._seq, _KIND_RESUME,
+                             (self, False, Interrupt(cause))))
+        sim._seq += 1
 
     def _resume(self, trigger: Event) -> None:
-        if self.triggered:
+        """Callback entry point: the event we were waiting on fired."""
+        if self._value is not PENDING:
             return  # Process already finished (e.g. interrupted earlier).
-        # Detach from whatever we were waiting on so stale triggers from a
-        # superseded wait (after an interrupt) do not double-resume us.
-        if self._waiting_on is not None and trigger is not self._waiting_on \
-                and not isinstance(trigger._value, Interrupt):
+        # Only the event currently waited on may resume us.  A superseded
+        # wait (after an interrupt) still holds our callback but must not
+        # fire it — not even when the process has since moved on to a
+        # bare-delay wait (``_waiting_on is None``).
+        if trigger is not self._waiting_on:
             return
+        self._step(trigger._ok, trigger._value)
+
+    def _step(self, ok: bool, value: Any) -> None:
+        """Advance the generator one yield with a send (ok) or throw."""
+        if self._value is not PENDING:
+            return  # Finished between scheduling and dispatch.
         self._waiting_on = None
-        self.sim._active_process = self
+        self._wait_token = token = self._wait_token + 1
         try:
-            if trigger._ok:
-                target = self.generator.send(trigger._value)
+            if ok:
+                target = self._send(value)
             else:
-                target = self.generator.throw(trigger._value)
+                target = self._throw(value)
         except StopIteration as stop:
-            self.sim._active_process = None
             self.succeed(stop.value)
             return
         except BaseException as exc:
-            self.sim._active_process = None
             if isinstance(exc, (KeyboardInterrupt, SystemExit)):
                 raise
             self.fail(exc)
             return
-        self.sim._active_process = None
-        if not isinstance(target, Event):
-            # Give the process a chance to handle the misuse; otherwise it
-            # fails with the SimulationError.
-            error = SimulationError(
-                f"process {self.name} yielded non-event {target!r}")
-            try:
-                self.generator.throw(error)
-            except StopIteration as stop:
-                self.succeed(stop.value)
-            except BaseException as exc:
-                if isinstance(exc, (KeyboardInterrupt, SystemExit)):
-                    raise
-                self.fail(exc)
+        if type(target) is int:
+            # Bare-delay fast path: ``yield <ns>`` sleeps without
+            # allocating a Timeout — just one heap tuple.  The resume
+            # value is None (use a Timeout if the value matters).
+            if target >= 0:
+                sim = self.sim
+                heappush(sim._heap, (sim.now + target, sim._seq,
+                                     _KIND_DELAY, (self, token)))
+                sim._seq += 1
+                return
+        elif isinstance(target, Event):
+            # Inlined add_callback with the cached bound method — the
+            # single-subscriber wait is the kernel's hottest edge.
+            self._waiting_on = target
+            if target._processed:
+                self._resume(target)
+            elif target._cb1 is None:
+                target._cb1 = self._resume_cb
+            elif target._cbs is None:
+                target._cbs = [self._resume_cb]
             else:
-                self.fail(error)
+                target._cbs.append(self._resume_cb)
             return
-        self._waiting_on = target
-        target.add_callback(self._resume)
+        # Give the process a chance to handle the misuse; otherwise it
+        # fails with the SimulationError.
+        error = SimulationError(
+            f"process {self.name} yielded non-event {target!r}"
+            if type(target) is not int
+            else f"process {self.name} yielded negative delay {target}")
+        try:
+            self.generator.throw(error)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+        except BaseException as exc:
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            self.fail(exc)
+        else:
+            self.fail(error)
 
 
 class AllOf(Event):
@@ -239,6 +334,8 @@ class AllOf(Event):
     The value is a list of child values in the order given.  If any child
     fails, this event fails with that child's exception (first failure wins).
     """
+
+    __slots__ = ("events", "_remaining")
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim)
@@ -251,7 +348,7 @@ class AllOf(Event):
             event.add_callback(self._check)
 
     def _check(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not PENDING:
             return
         if not event._ok:
             self.fail(event._value)
@@ -267,6 +364,8 @@ class AnyOf(Event):
     The value is a ``(event, value)`` pair identifying the winner.
     """
 
+    __slots__ = ("events",)
+
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim)
         self.events = list(events)
@@ -276,7 +375,7 @@ class AnyOf(Event):
             event.add_callback(self._check)
 
     def _check(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not PENDING:
             return
         if event._ok:
             self.succeed((event, event._value))
@@ -285,13 +384,14 @@ class AnyOf(Event):
 
 
 class Simulator:
-    """The event loop: a clock plus a priority queue of triggered events."""
+    """The event loop: a clock plus a priority queue of scheduled entries."""
+
+    __slots__ = ("now", "_heap", "_seq")
 
     def __init__(self):
         self.now: int = 0
         self._heap: List = []
         self._seq = 0  # Tie-breaker preserving FIFO order at equal times.
-        self._active_process: Optional[Process] = None
 
     # ------------------------------------------------------------------
     # Factories
@@ -318,38 +418,93 @@ class Simulator:
     # Scheduling & execution
     # ------------------------------------------------------------------
     def _queue(self, event: Event, delay: int = 0) -> None:
-        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+        """Schedule an already-triggered event's callback dispatch."""
+        heappush(self._heap, (self.now + delay, self._seq, _KIND_EVENT, event))
         self._seq += 1
 
     def call_at(self, time: int, fn: Callable[[], None]) -> None:
         """Run a plain callable at an absolute simulated time."""
         if time < self.now:
             raise SimulationError(f"cannot schedule in the past ({time} < {self.now})")
-        marker = Event(self)
-        marker._ok = True
-        marker._value = None
-        marker.add_callback(lambda _event: fn())
-        heapq.heappush(self._heap, (time, self._seq, marker))
+        heappush(self._heap, (time, self._seq, _KIND_CALL, fn))
         self._seq += 1
 
     def step(self) -> None:
-        """Process the next queued event.
+        """Process the next queued heap entry.
 
         A failed :class:`Process` that nobody joined re-raises here —
         silent death of a model process (a NIC pipeline, a scheduler core)
         is always a bug, never intended behaviour.
         """
-        time, _seq, event = heapq.heappop(self._heap)
+        time, _seq, kind, payload = heappop(self._heap)
         if time < self.now:
             raise SimulationError("event queue corrupted: time went backwards")
         self.now = time
-        callbacks, event.callbacks = event.callbacks, None
-        for callback in callbacks:
-            callback(event)
-        if (isinstance(event, Process) and event._ok is False
-                and not callbacks
-                and not isinstance(event._value, Interrupt)):
-            raise event._value
+        if kind == _KIND_EVENT:
+            event = payload
+            cb1 = event._cb1
+            cbs = event._cbs
+            event._cb1 = None
+            event._cbs = None
+            event._processed = True
+            if cb1 is not None:
+                cb1(event)
+                if cbs is not None:
+                    for callback in cbs:
+                        callback(event)
+            elif (event._ok is False and isinstance(event, Process)
+                    and not isinstance(event._value, Interrupt)):
+                raise event._value
+        elif kind == _KIND_DELAY:
+            process, token = payload
+            if process._wait_token == token:
+                process._step(True, None)
+        elif kind == _KIND_RESUME:
+            process, ok, value = payload
+            process._step(ok, value)
+        else:  # _KIND_CALL
+            payload()
+
+    def _drain(self, limit: int, stop: Optional[Event]) -> None:
+        """Dispatch heap entries until ``limit`` is passed, ``stop`` (if
+        given) triggers, or the heap drains.
+
+        This is :meth:`step`'s dispatch inlined into a single loop — the
+        per-event method-call overhead is measurable at the event rates the
+        figures run at.  Every scheduling path already rejects past times,
+        so the corruption check lives only in the (non-inlined)
+        :meth:`step`.
+        """
+        heap = self._heap
+        pop = heappop
+        while heap and heap[0][0] <= limit:
+            if stop is not None and stop._value is not PENDING:
+                return
+            time, _seq, kind, payload = pop(heap)
+            self.now = time
+            if kind == _KIND_EVENT:
+                cb1 = payload._cb1
+                cbs = payload._cbs
+                payload._cb1 = None
+                payload._cbs = None
+                payload._processed = True
+                if cb1 is not None:
+                    cb1(payload)
+                    if cbs is not None:
+                        for callback in cbs:
+                            callback(payload)
+                elif (payload._ok is False and isinstance(payload, Process)
+                        and not isinstance(payload._value, Interrupt)):
+                    raise payload._value
+            elif kind == _KIND_DELAY:
+                process, token = payload
+                if process._wait_token == token:
+                    process._step(True, None)
+            elif kind == _KIND_RESUME:
+                process, ok, value = payload
+                process._step(ok, value)
+            else:  # _KIND_CALL
+                payload()
 
     def run(self, until: Optional[int] = None) -> None:
         """Run until the queue drains or the clock passes ``until``.
@@ -358,15 +513,24 @@ class Simulator:
         when the queue drains earlier, so back-to-back ``run`` calls compose.
         """
         if until is None:
-            while self._heap:
-                self.step()
+            self._drain(_T_MAX, None)
             return
         until = int(until)
         if until < self.now:
             raise SimulationError(f"cannot run to the past ({until} < {self.now})")
-        while self._heap and self._heap[0][0] <= until:
-            self.step()
+        self._drain(until, None)
         self.now = until
+
+    def run_until(self, event: Event, deadline: Optional[int] = None) -> None:
+        """Run until ``event`` triggers (or the clock would pass
+        ``deadline``, or the queue drains).
+
+        Unlike ``run(until=...)`` this stops as soon as the event fires, so
+        background load (tenant threads, pollers) does not keep the clock
+        spinning after the measured work completes.  The clock is left at
+        the last processed entry — it does *not* advance to ``deadline``.
+        """
+        self._drain(_T_MAX if deadline is None else int(deadline), event)
 
     def peek(self) -> Optional[int]:
         """Time of the next queued event, or None if the queue is empty."""

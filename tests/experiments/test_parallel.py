@@ -1,0 +1,54 @@
+"""Parallel sweep correctness: jobs=N must not change any row.
+
+Every sweep point owns its simulator and seed, so fanning points out
+over worker processes is pure scheduling — the rows must come back in
+point order and byte-identical to a serial run.  This is the regression
+gate for ``--jobs``: a parallel sweep that changes results is worse
+than no parallel sweep at all.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig8
+from repro.experiments.parallel import default_jobs, sweep
+
+
+def _square(point):
+    return point * point
+
+
+class TestSweep:
+    def test_serial_preserves_order(self):
+        assert sweep([3, 1, 2], _square, jobs=1) == [9, 1, 4]
+
+    def test_parallel_preserves_order(self):
+        assert sweep(list(range(8)), _square, jobs=4) == \
+            [i * i for i in range(8)]
+
+    def test_empty_points(self):
+        assert sweep([], _square, jobs=4) == []
+
+    def test_single_point_stays_in_process(self):
+        seen = []
+        # A closure is unpicklable — proving the single-point path never
+        # touches the process pool.
+        assert sweep([5], lambda p: seen.append(p) or p, jobs=8) == [5]
+        assert seen == [5]
+
+    def test_default_jobs_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert default_jobs() == 3
+        monkeypatch.setenv("REPRO_JOBS", "garbage")
+        assert default_jobs() == 1
+        monkeypatch.delenv("REPRO_JOBS")
+        assert default_jobs() == 1
+
+
+class TestFig8Parallel:
+    def test_rows_identical_serial_vs_parallel(self):
+        """The acceptance gate: fig8 at jobs=2 is byte-identical to
+        jobs=1 (same floats, same order)."""
+        kwargs = dict(op="gwrite", sizes=[256, 1024], count=80, seed=3)
+        serial = fig8.run(jobs=1, **kwargs)
+        parallel = fig8.run(jobs=2, **kwargs)
+        assert serial == parallel
