@@ -30,7 +30,6 @@ from ..host import Host
 from ..rdma.verbs import Access
 from ..rdma.wqe import Opcode, Sge, WorkRequest
 from .chain import ReplicaEngine
-from .readpath import ClientReadPath
 from .metadata import (
     ClientLayout,
     OpKind,
@@ -38,6 +37,7 @@ from .metadata import (
     meta_len,
     result_map_len,
 )
+from .readpath import ClientReadPath
 
 __all__ = ["GroupConfig", "ReplicaEngine", "HyperLoopGroup", "OpResult"]
 

@@ -19,7 +19,7 @@ from typing import Dict, List
 from .. import backend as backend_registry
 from ..core.recovery import ChainFailure, ChainSupervisor, RecoveryConfig
 from ..host import Cluster
-from ..sim.units import ms, to_ms
+from ..sim.units import ms
 from .common import format_table
 
 __all__ = ["run", "main"]

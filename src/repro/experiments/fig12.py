@@ -97,7 +97,7 @@ def run(workloads=None, op_count: int = None, record_count: int = None,
 def tail_gap_reduction(rows: List[Dict]) -> Dict[str, float]:
     """Reduction of the avg→p99 gap, native → HyperLoop, per workload."""
     out: Dict[str, float] = {}
-    for letter in {row["workload"] for row in rows}:
+    for letter in sorted({row["workload"] for row in rows}):
         native = next(r for r in rows if r["system"] == "native"
                       and r["workload"] == letter)
         hyper = next(r for r in rows if r["system"] != "native"

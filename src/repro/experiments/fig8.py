@@ -74,7 +74,7 @@ def speedups(rows: List[Dict]) -> Dict[int, Dict[str, float]]:
     treatment = next(row["system"] for row in rows
                      if row["system"] != "naive")
     out: Dict[int, Dict[str, float]] = {}
-    for size in {row["size"] for row in rows}:
+    for size in sorted({row["size"] for row in rows}):
         naive = by_key[("naive", size)]
         hyper = by_key[(treatment, size)]
         out[size] = {

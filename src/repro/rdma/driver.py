@@ -52,8 +52,11 @@ class WorkQueue:
     ``ring.address + (i % num_slots) * WQE_SIZE``.
     """
 
+    __slots__ = ("memory", "ring", "name", "num_slots", "head", "tail",
+                 "cyclic")
+
     def __init__(self, memory: MemoryDevice, ring: Allocation, name: str = "wq",
-                 cyclic: bool = False):
+                 cyclic: bool = False) -> None:
         if ring.size % WQE_SIZE:
             raise ValueError("ring size must be a multiple of WQE_SIZE")
         self.memory = memory

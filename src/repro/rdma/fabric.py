@@ -25,7 +25,7 @@ from ..sim.units import gbps_to_bytes_per_ns, us
 __all__ = ["FabricParams", "Fabric", "Port"]
 
 
-@dataclass
+@dataclass(slots=True)
 class FabricParams:
     """Link characteristics, defaulting to the paper's 56 Gbps ConnectX-3."""
 
@@ -45,7 +45,10 @@ class FabricParams:
 class Port:
     """One NIC's attachment point: an egress queue with FIFO serialization."""
 
-    def __init__(self, fabric: "Fabric", name: str):
+    __slots__ = ("fabric", "name", "_egress_free_at", "bytes_sent",
+                 "messages_sent", "_deliver")
+
+    def __init__(self, fabric: "Fabric", name: str) -> None:
         self.fabric = fabric
         self.name = name
         self._egress_free_at = 0
@@ -82,7 +85,9 @@ class Port:
 class Fabric:
     """The switch: a registry of ports plus shared link parameters."""
 
-    def __init__(self, sim: Simulator, params: Optional[FabricParams] = None):
+    __slots__ = ("sim", "params", "ports")
+
+    def __init__(self, sim: Simulator, params: Optional[FabricParams] = None) -> None:
         self.sim = sim
         self.params = params or FabricParams()
         self.ports: Dict[str, Port] = {}

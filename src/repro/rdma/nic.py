@@ -29,14 +29,15 @@ build gFLUSH out of a 0-byte READ (§4.2).
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional
-from collections import deque
 
 from ..nvm.cache import NICWriteCache
 from ..nvm.memory import MemoryDevice
-from ..sim.engine import Event, Simulator
+from ..sim.engine import Event, ProcessGenerator, Simulator
 from ..sim.stats import Counter
+from ..sim.trace import Tracer
 from ..sim.units import us
 from .driver import WorkQueue
 from .fabric import Fabric, Port
@@ -56,7 +57,7 @@ from .wqe import WQE_SIZE, DecodedWQE, Opcode, Sge
 __all__ = ["NICParams", "RNIC", "Message"]
 
 
-@dataclass
+@dataclass(slots=True)
 class NICParams:
     """NIC timing and sizing parameters (ConnectX-3-class defaults)."""
 
@@ -75,7 +76,7 @@ class NICParams:
         return int(size_bytes / self.dma_bytes_per_ns)
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """A transport-layer message between two NICs (request or response)."""
 
@@ -97,7 +98,7 @@ class Message:
     rnr_retries: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class _PendingOp:
     """Sender-side state for an initiated, not-yet-completed operation."""
 
@@ -108,10 +109,16 @@ class _PendingOp:
 class RNIC:
     """One RDMA NIC: verbs objects, WQE execution, ingress pipeline."""
 
+    __slots__ = ("sim", "memory", "fabric", "name", "params", "port", "cache",
+                 "qps", "cqs", "mrs", "_next_key", "_kicks", "_outstanding",
+                 "_drain_waiters", "_pending", "_ingress", "_ingress_busy",
+                 "tracer", "rnr_retries", "remote_access_errors",
+                 "messages_handled", "wqes_executed")
+
     _req_ids = itertools.count(1)
 
     def __init__(self, sim: Simulator, memory: MemoryDevice, fabric: Fabric,
-                 name: str, params: Optional[NICParams] = None):
+                 name: str, params: Optional[NICParams] = None) -> None:
         self.sim = sim
         self.memory = memory
         self.fabric = fabric
@@ -134,7 +141,7 @@ class RNIC:
         self._ingress: Deque[Message] = deque()
         self._ingress_busy = False
         # Counters for assertions and reports.
-        self.tracer = None  # Set by Cluster.enable_tracing.
+        self.tracer: Optional[Tracer] = None  # Set by Cluster.enable_tracing.
         self.rnr_retries = Counter(f"{name}.rnr")
         self.remote_access_errors = Counter(f"{name}.access_err")
         self.messages_handled = Counter(f"{name}.msgs")
@@ -224,7 +231,7 @@ class RNIC:
             if pending.qp is qp:
                 del self._pending[req_id]
         self.memory.free(qp.sq.ring)
-        if not getattr(qp, "uses_srq", False):
+        if not qp.uses_srq:
             # Shared receive rings belong to their creator, not any QP.
             self.memory.free(qp.rq.ring)
 
@@ -255,7 +262,7 @@ class RNIC:
             if kick is not None and not kick.triggered:
                 kick.succeed()
 
-    def _sq_service(self, qp: QueuePair):
+    def _sq_service(self, qp: QueuePair) -> ProcessGenerator:
         """Per-QP send-queue processor (one NIC execution context per QP)."""
         params = self.params
         while True:
@@ -327,7 +334,7 @@ class RNIC:
                  for sge in sg_list if sge.length]
         return b"".join(parts)
 
-    def _initiate(self, qp: QueuePair, wqe: DecodedWQE):
+    def _initiate(self, qp: QueuePair, wqe: DecodedWQE) -> ProcessGenerator:
         params = self.params
         op = wqe.opcode
         if op is Opcode.NOP:
@@ -411,7 +418,7 @@ class RNIC:
             self._ingress_busy = True
             self.sim.process(self._ingress_service(), name=f"{self.name}.ingress")
 
-    def _ingress_service(self):
+    def _ingress_service(self) -> ProcessGenerator:
         params = self.params
         while self._ingress:
             message = self._ingress.popleft()

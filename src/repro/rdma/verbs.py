@@ -14,10 +14,10 @@ API, :mod:`repro.rdma.driver` owns descriptor rings, and
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from dataclasses import dataclass
 from enum import Enum, IntFlag
-from typing import TYPE_CHECKING, Deque, Dict, List, Optional
-from collections import deque
+from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Optional, Tuple
 
 from ..sim.engine import Event, Simulator
 from .driver import WorkQueue
@@ -52,7 +52,7 @@ class RemoteAccessError(Exception):
     """rkey mismatch, out-of-bounds access, or missing permission."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MemoryRegion:
     """A registered slice of host memory.
 
@@ -85,7 +85,7 @@ class WCStatus(Enum):
     FLUSHED = "flushed"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WorkCompletion:
     """A completion-queue entry as returned by ``poll``."""
 
@@ -107,7 +107,9 @@ class CompletionChannel:
     from.
     """
 
-    def __init__(self, sim: Simulator):
+    __slots__ = ("sim", "_pending", "_waiter")
+
+    def __init__(self, sim: Simulator) -> None:
         self.sim = sim
         self._pending = 0
         self._waiter: Optional[Event] = None
@@ -138,10 +140,13 @@ class CompletionQueue:
     that WAIT work requests compare against (CORE-Direct semantics).
     """
 
+    __slots__ = ("sim", "cq_id", "name", "channel", "_entries", "count",
+                 "_wait_consumed", "_armed", "_wait_subscribers")
+
     _ids = itertools.count(1)
 
     def __init__(self, sim: Simulator, channel: Optional[CompletionChannel] = None,
-                 name: str = ""):
+                 name: str = "") -> None:
         self.sim = sim
         self.cq_id = next(CompletionQueue._ids)
         self.name = name or f"cq{self.cq_id}"
@@ -155,7 +160,7 @@ class CompletionQueue:
         # per-op count patching).
         self._wait_consumed: Dict[int, int] = {}
         self._armed = False
-        self._wait_subscribers: List = []  # (target_count, callback)
+        self._wait_subscribers: List[Tuple[int, Callable[[], None]]] = []
 
     @property
     def wait_consumed(self) -> int:
@@ -202,7 +207,8 @@ class CompletionQueue:
             self._armed = False
             self.channel.notify()
 
-    def subscribe_count(self, target_count: int, callback) -> None:
+    def subscribe_count(self, target_count: int,
+                        callback: Callable[[], None]) -> None:
         """Run ``callback`` once ``count`` reaches ``target_count`` (WAIT)."""
         if self.count >= target_count:
             callback()
@@ -223,10 +229,13 @@ class QueuePair:
     QPs together (or a QP to itself for HyperLoop's loopback copy/CAS QPs).
     """
 
+    __slots__ = ("nic", "qp_num", "name", "sq", "rq", "send_cq", "recv_cq",
+                 "state", "remote", "uses_srq")
+
     _nums = itertools.count(1)
 
     def __init__(self, nic: "RNIC", send_queue: WorkQueue, recv_queue: WorkQueue,
-                 send_cq: CompletionQueue, recv_cq: CompletionQueue, name: str = ""):
+                 send_cq: CompletionQueue, recv_cq: CompletionQueue, name: str = "") -> None:
         self.nic = nic
         self.qp_num = next(QueuePair._nums)
         self.name = name or f"qp{self.qp_num}"
@@ -236,6 +245,7 @@ class QueuePair:
         self.recv_cq = recv_cq
         self.state = QPState.RESET
         self.remote: Optional["QueuePair"] = None
+        self.uses_srq = False  # Set by RNIC.create_qp for shared-RQ QPs.
 
     def connect(self, remote: "QueuePair") -> None:
         """Transition both QPs to RTS, connected to each other.
@@ -287,7 +297,7 @@ class QueuePair:
         # A dead QP's rings stop re-arming (cyclic rings would otherwise
         # never drain).  A shared RQ keeps serving its other QPs.
         self.sq.cyclic = False
-        if not getattr(self, "uses_srq", False):
+        if not self.uses_srq:
             self.rq.cyclic = False
         while True:
             wqe = self.sq.peek_head()
@@ -297,5 +307,5 @@ class QueuePair:
             self.send_cq.push(WorkCompletion(
                 wr_id=wqe.wr_id, opcode=wqe.opcode, status=WCStatus.FLUSHED,
                 qp_num=self.qp_num))
-        if not getattr(self, "uses_srq", False):
+        if not self.uses_srq:
             self.rq.reset()

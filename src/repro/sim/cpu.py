@@ -42,9 +42,9 @@ import heapq
 import math
 from dataclasses import dataclass
 from enum import Enum
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
-from .engine import Event, Simulator
+from .engine import Event, ProcessGenerator, Simulator
 from .stats import Counter
 from .units import us
 
@@ -53,7 +53,7 @@ __all__ = ["SchedParams", "ThreadState", "Thread", "HostCPU"]
 INFINITE = float("inf")
 
 
-@dataclass
+@dataclass(slots=True)
 class SchedParams:
     """Scheduler tunables, roughly mirroring Linux CFS server defaults."""
 
@@ -81,7 +81,7 @@ class ThreadState(Enum):
     RUNNING = "running"
 
 
-@dataclass
+@dataclass(slots=True)
 class _WorkItem:
     remaining_ns: float
     done: Optional[Event]
@@ -95,7 +95,10 @@ class Thread:
     model decoupled from protocol logic.
     """
 
-    def __init__(self, cpu: "HostCPU", name: str):
+    __slots__ = ("cpu", "name", "state", "vruntime", "cpu_time_ns",
+                 "switches_in", "last_core", "_work", "_on_running")
+
+    def __init__(self, cpu: "HostCPU", name: str) -> None:
         self.cpu = cpu
         self.name = name
         self.state = ThreadState.BLOCKED
@@ -169,7 +172,11 @@ class Thread:
 class _Core:
     """One CPU core: its own run queue, serving lowest-vruntime first."""
 
-    def __init__(self, cpu: "HostCPU", index: int):
+    __slots__ = ("cpu", "index", "current", "last_thread", "busy_ns",
+                 "slice_start", "min_vruntime", "_queue", "_seq",
+                 "_preempt", "_idle_wakeup")
+
+    def __init__(self, cpu: "HostCPU", index: int) -> None:
         self.cpu = cpu
         self.index = index
         self.current: Optional[Thread] = None
@@ -177,7 +184,7 @@ class _Core:
         self.busy_ns: int = 0
         self.slice_start: Optional[int] = None
         self.min_vruntime: float = 0.0
-        self._queue: List = []  # Heap of (vruntime, seq, thread).
+        self._queue: List[Tuple[float, int, Thread]] = []  # (vruntime, seq, thread) heap.
         self._seq = 0
         self._preempt: Optional[Event] = None
         self._idle_wakeup: Optional[Event] = None
@@ -241,7 +248,7 @@ class _Core:
     # ------------------------------------------------------------------
     # Execution loop
     # ------------------------------------------------------------------
-    def _loop(self):
+    def _loop(self) -> ProcessGenerator:
         sim = self.cpu.sim
         params = self.cpu.params
         while True:
@@ -313,8 +320,12 @@ class _Core:
 class HostCPU:
     """A multi-core host processor shared by all threads of a machine."""
 
+    __slots__ = ("sim", "name", "params", "context_switches", "threads",
+                 "_placement_rr", "cores")
+
     def __init__(self, sim: Simulator, cores: int,
-                 params: Optional[SchedParams] = None, name: str = "cpu"):
+                 params: Optional[SchedParams] = None,
+                 name: str = "cpu") -> None:
         if cores < 1:
             raise ValueError("need at least one core")
         self.sim = sim

@@ -52,7 +52,7 @@ Example
 from __future__ import annotations
 
 from heapq import heappop, heappush
-from typing import Any, Callable, Generator, Iterable, List, Optional
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
 __all__ = [
     "Event",
@@ -63,7 +63,12 @@ __all__ = [
     "Interrupt",
     "Simulator",
     "SimulationError",
+    "ProcessGenerator",
 ]
+
+#: The type of a model-process generator: yields Events, combinators, or
+#: non-negative bare-delay ints; the kernel sends event values back in.
+ProcessGenerator = Generator[Any, Any, Any]
 
 
 class SimulationError(Exception):
@@ -77,7 +82,7 @@ class Interrupt(Exception):
     :meth:`Process.interrupt`.
     """
 
-    def __init__(self, cause: Any = None):
+    def __init__(self, cause: Any = None) -> None:
         super().__init__(cause)
         self.cause = cause
 
@@ -106,7 +111,7 @@ class Event:
 
     __slots__ = ("sim", "_value", "_ok", "_cb1", "_cbs", "_processed")
 
-    def __init__(self, sim: "Simulator"):
+    def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
         self._value: Any = PENDING
         self._ok: Optional[bool] = None
@@ -192,7 +197,7 @@ class Timeout(Event):
 
     __slots__ = ("delay",)
 
-    def __init__(self, sim: "Simulator", delay: int, value: Any = None):
+    def __init__(self, sim: "Simulator", delay: int, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
         self.sim = sim
@@ -217,7 +222,7 @@ class Process(Event):
     __slots__ = ("generator", "name", "_waiting_on", "_resume_cb",
                  "_send", "_throw", "_wait_token")
 
-    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = "") -> None:
         super().__init__(sim)
         if not hasattr(generator, "send"):
             raise TypeError(f"process requires a generator, got {generator!r}")
@@ -337,7 +342,7 @@ class AllOf(Event):
 
     __slots__ = ("events", "_remaining")
 
-    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
         super().__init__(sim)
         self.events = list(events)
         self._remaining = len(self.events)
@@ -366,7 +371,7 @@ class AnyOf(Event):
 
     __slots__ = ("events",)
 
-    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
         super().__init__(sim)
         self.events = list(events)
         if not self.events:
@@ -388,9 +393,9 @@ class Simulator:
 
     __slots__ = ("now", "_heap", "_seq")
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.now: int = 0
-        self._heap: List = []
+        self._heap: List[Tuple[int, int, int, Any]] = []
         self._seq = 0  # Tie-breaker preserving FIFO order at equal times.
 
     # ------------------------------------------------------------------

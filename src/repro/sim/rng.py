@@ -29,6 +29,11 @@ FNV_OFFSET_BASIS_64 = 0xCBF29CE484222325
 FNV_PRIME_64 = 0x100000001B3
 _MASK64 = 0xFFFFFFFFFFFFFFFF
 
+#: Seed for generators constructed without an explicit stream.  Fixed, not
+#: OS entropy: a bare ``ZipfianGenerator(n)`` must still be reproducible
+#: run to run (simlint DET01 forbids unseeded ``random.Random()``).
+_DEFAULT_SEED = 0x5EED
+
 
 def fnv_hash64(value: int) -> int:
     """FNV-1a hash of an integer, matching YCSB's key scrambler."""
@@ -57,7 +62,9 @@ def _name_hash64(name: str) -> int:
 class RandomStreams:
     """A family of independent named :class:`random.Random` streams."""
 
-    def __init__(self, seed: int = 0):
+    __slots__ = ("seed", "_streams")
+
+    def __init__(self, seed: int = 0) -> None:
         self.seed = seed
         self._streams: Dict[str, random.Random] = {}
 
@@ -81,15 +88,17 @@ class ZipfianGenerator:
     Item 0 is the most popular.  ``theta`` defaults to YCSB's 0.99.
     """
 
+    __slots__ = ("items", "theta", "rng", "alpha", "zetan", "zeta2", "eta")
+
     def __init__(self, items: int, theta: float = 0.99,
-                 rng: Optional[random.Random] = None):
+                 rng: Optional[random.Random] = None) -> None:
         if items <= 0:
             raise ValueError("items must be positive")
         if not 0 < theta < 1:
             raise ValueError("theta must be in (0, 1)")
         self.items = items
         self.theta = theta
-        self.rng = rng or random.Random()
+        self.rng = rng if rng is not None else random.Random(_DEFAULT_SEED)
         self.alpha = 1.0 / (1.0 - theta)
         self.zetan = self._zeta(items, theta)
         self.zeta2 = self._zeta(2, theta)
@@ -113,8 +122,10 @@ class ZipfianGenerator:
 class ScrambledZipfianGenerator:
     """Zipfian popularity spread uniformly over the keyspace via hashing."""
 
+    __slots__ = ("items", "_zipf")
+
     def __init__(self, items: int, theta: float = 0.99,
-                 rng: Optional[random.Random] = None):
+                 rng: Optional[random.Random] = None) -> None:
         self.items = items
         self._zipf = ZipfianGenerator(items, theta, rng)
 
@@ -129,11 +140,13 @@ class LatestGenerator:
     workload D.  Call :meth:`observe_insert` as the keyspace grows.
     """
 
+    __slots__ = ("items", "theta", "rng", "_zipf")
+
     def __init__(self, items: int, theta: float = 0.99,
-                 rng: Optional[random.Random] = None):
+                 rng: Optional[random.Random] = None) -> None:
         self.items = items
         self.theta = theta
-        self.rng = rng or random.Random()
+        self.rng = rng if rng is not None else random.Random(_DEFAULT_SEED)
         self._zipf = ZipfianGenerator(max(items, 1), theta, self.rng)
 
     def observe_insert(self) -> None:

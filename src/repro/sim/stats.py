@@ -40,7 +40,9 @@ def _percentile(sorted_samples: List[float], pct: float) -> float:
 class LatencyRecorder:
     """Collects latency samples (nanoseconds) and reports statistics."""
 
-    def __init__(self, name: str = ""):
+    __slots__ = ("name", "samples", "_sorted")
+
+    def __init__(self, name: str = "") -> None:
         self.name = name
         self.samples: List[int] = []
         self._sorted: Optional[List[int]] = None
@@ -110,7 +112,9 @@ def summarize_us(samples_ns: List[int]) -> Dict[str, float]:
 class Counter:
     """A named monotonic counter (context switches, messages, bytes...)."""
 
-    def __init__(self, name: str = ""):
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str = "") -> None:
         self.name = name
         self.value = 0
 
@@ -130,7 +134,9 @@ class UtilizationTracker:
     if the caller double-books the resource, so we clamp and flag.
     """
 
-    def __init__(self, name: str = ""):
+    __slots__ = ("name", "busy_ns")
+
+    def __init__(self, name: str = "") -> None:
         self.name = name
         self.busy_ns = 0
 

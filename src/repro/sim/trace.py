@@ -14,12 +14,12 @@ short-circuit on a None tracer).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Tuple
 
 __all__ = ["TraceEvent", "Tracer", "span_durations"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceEvent:
     """One timestamped happening."""
 
@@ -33,7 +33,9 @@ class TraceEvent:
 class Tracer:
     """An append-only event log with simple query helpers."""
 
-    def __init__(self, capacity: int = 1_000_000):
+    __slots__ = ("capacity", "events", "dropped")
+
+    def __init__(self, capacity: int = 1_000_000) -> None:
         self.capacity = capacity
         self.events: List[TraceEvent] = []
         self.dropped = 0
@@ -72,13 +74,13 @@ class Tracer:
         self.dropped = 0
 
 
-def span_durations(events: Iterable[TraceEvent]) -> List[tuple]:
+def span_durations(events: Iterable[TraceEvent]) -> List[Tuple[str, int]]:
     """Turn a slot's ordered event list into (stage, duration_ns) spans.
 
     Each span runs from one event to the next; the last event has no span.
     """
     ordered = sorted(events, key=lambda event: event.time_ns)
-    spans = []
+    spans: List[Tuple[str, int]] = []
     for current, following in zip(ordered, ordered[1:]):
         label = f"{current.component}:{current.kind}"
         spans.append((label, following.time_ns - current.time_ns))

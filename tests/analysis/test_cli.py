@@ -1,0 +1,110 @@
+"""End-to-end tests for the ``scripts/simlint.py`` CLI."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SIMLINT = REPO_ROOT / "scripts" / "simlint.py"
+
+CLEAN_SOURCE = "X = 1\n"
+DIRTY_SOURCE = (
+    "import time\n"
+    "\n"
+    "def stamp():\n"
+    "    return time.time()\n"
+)
+
+
+def run_cli(*args):
+    return subprocess.run(
+        [sys.executable, str(SIMLINT), *args],
+        capture_output=True, text=True, cwd=REPO_ROOT)
+
+
+def test_clean_file_exits_zero(tmp_path):
+    target = tmp_path / "clean.py"
+    target.write_text(CLEAN_SOURCE)
+    result = run_cli(str(target))
+    assert result.returncode == 0
+    assert "clean" in result.stdout
+
+
+def test_violations_exit_one_with_location(tmp_path):
+    target = tmp_path / "dirty.py"
+    target.write_text(DIRTY_SOURCE)
+    result = run_cli(str(target))
+    assert result.returncode == 1
+    assert "DET02" in result.stdout
+    assert f"{target}:4:" in result.stdout
+
+
+def test_fixit_shown_and_suppressed(tmp_path):
+    target = tmp_path / "dirty.py"
+    target.write_text(DIRTY_SOURCE)
+    with_fix = run_cli(str(target))
+    assert "fix:" in with_fix.stdout
+    without_fix = run_cli(str(target), "--no-fixits")
+    assert "fix:" not in without_fix.stdout
+
+
+def test_json_report(tmp_path):
+    target = tmp_path / "dirty.py"
+    target.write_text(DIRTY_SOURCE)
+    result = run_cli(str(target), "--json")
+    assert result.returncode == 1
+    payload = json.loads(result.stdout)
+    assert payload["violation_count"] == 1
+    [violation] = payload["violations"]
+    assert violation["code"] == "DET02"
+    assert violation["line"] == 4
+
+
+def test_select_narrows_rules(tmp_path):
+    target = tmp_path / "dirty.py"
+    target.write_text(DIRTY_SOURCE)
+    result = run_cli(str(target), "--select", "DET01")
+    assert result.returncode == 0
+
+
+def test_disable_by_name(tmp_path):
+    target = tmp_path / "dirty.py"
+    target.write_text(DIRTY_SOURCE)
+    result = run_cli(str(target), "--disable", "wall-clock")
+    assert result.returncode == 0
+
+
+def test_unknown_rule_is_usage_error(tmp_path):
+    target = tmp_path / "clean.py"
+    target.write_text(CLEAN_SOURCE)
+    result = run_cli(str(target), "--select", "NOPE99")
+    assert result.returncode == 2
+    assert "unknown simlint rule" in result.stderr
+
+
+def test_missing_path_is_usage_error():
+    result = run_cli("/no/such/path.py")
+    assert result.returncode == 2
+
+
+def test_no_paths_is_usage_error():
+    result = run_cli()
+    assert result.returncode == 2
+
+
+def test_list_rules():
+    result = run_cli("--list-rules")
+    assert result.returncode == 0
+    for code in ("DET01", "DET02", "DET03", "DET04",
+                 "KP01", "KP02", "KP03", "KP04",
+                 "WQ01", "WQ02", "WQ03"):
+        assert code in result.stdout
+
+
+def test_syntax_error_reported_as_violation(tmp_path):
+    target = tmp_path / "broken.py"
+    target.write_text("def broken(:\n")
+    result = run_cli(str(target))
+    assert result.returncode == 1
+    assert "E000" in result.stdout

@@ -1,0 +1,35 @@
+"""Meta-test: the live ``src/repro`` tree is simlint-clean.
+
+This is the enforcement point for the repo's invariants — a change that
+reintroduces an unseeded RNG, a hash-ordered loop feeding the schedule, a
+slots-less kernel class or an out-of-layer descriptor poke fails here with
+the full report in the assertion message.
+"""
+
+from repro.analysis import all_rules, get_rule
+from repro.analysis.pytest_bridge import assert_tree_clean, repro_src_root
+
+
+def test_live_tree_is_clean():
+    report = assert_tree_clean()
+    # Sanity: the walk actually covered the package.
+    assert report.files_checked > 50
+
+
+def test_src_root_points_at_repro_package():
+    root = repro_src_root()
+    assert root.name == "repro"
+    assert (root / "sim" / "engine.py").is_file()
+
+
+def test_all_rule_families_registered():
+    families = {rule.family for rule in all_rules()}
+    assert families == {"determinism", "kernel-protocol", "wqe-ownership"}
+    assert len(all_rules()) == 11
+
+
+def test_rules_resolvable_by_code_and_name():
+    for rule in all_rules():
+        assert get_rule(rule.code) is rule
+        assert get_rule(rule.name) is rule
+    assert get_rule("nonexistent-rule") is None

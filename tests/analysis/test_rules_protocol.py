@@ -1,0 +1,202 @@
+"""Fixture tests for the KP (kernel-protocol) rule family."""
+
+from textwrap import dedent
+
+from repro.analysis import lint_source
+
+
+def codes(source: str, module: str = "repro/core/fixture.py"):
+    return [v.code for v in lint_source(dedent(source), module=module)]
+
+
+class TestYieldDiscipline:
+    def test_bare_yield_in_registered_process(self):
+        assert "KP01" in codes("""
+            def loop(sim):
+                while True:
+                    yield
+
+            def setup(sim):
+                sim.process(loop(sim))
+            """)
+
+    def test_string_yield_in_marked_process(self):
+        # One good yield (sim.timeout) classifies the generator as a
+        # process; the string yield is then a protocol violation.
+        assert "KP01" in codes("""
+            def loop(sim):
+                yield sim.timeout(10)
+                yield "not an event"
+            """)
+
+    def test_negative_delay_literal(self):
+        assert "KP01" in codes("""
+            def loop(sim):
+                yield sim.timeout(10)
+                yield -5
+            """)
+
+    def test_none_yield_in_marked_process(self):
+        assert "KP01" in codes("""
+            def loop(sim):
+                yield sim.timeout(10)
+                yield None
+            """)
+
+    def test_event_and_bare_delay_are_clean(self):
+        assert codes("""
+            def loop(sim):
+                yield sim.timeout(10)
+                yield 250
+                yield sim.event()
+            """) == []
+
+    def test_data_generator_left_alone(self):
+        # A plain data generator (no process markers, never registered via
+        # sim.process) may yield whatever it likes.
+        assert codes("""
+            def rows():
+                yield "header"
+                yield None
+            """) == []
+
+
+class TestEventAttrStash:
+    def test_attribute_stash_on_event_local(self):
+        assert "KP02" in codes("""
+            def fire(sim):
+                done = sim.event()
+                done.owner = "me"
+                return done
+            """)
+
+    def test_private_field_poke(self):
+        assert "KP02" in codes("""
+            def hack(event):
+                event._cb1 = None
+            """)
+
+    def test_private_field_poke_augassign(self):
+        assert "KP02" in codes("""
+            def hack(event):
+                event._processed = True
+            """)
+
+    def test_engine_module_is_allowed(self):
+        assert codes("""
+            def _step(self):
+                self._processed = True
+            """, module="repro/sim/engine.py") == []
+
+    def test_own_state_is_clean(self):
+        assert codes("""
+            def fire(sim, table):
+                done = sim.event()
+                table["done"] = done
+                return done
+            """) == []
+
+
+class TestSlotsRequired:
+    def test_plain_class_in_sim_package(self):
+        assert "KP03" in codes("""
+            class Hot:
+                def __init__(self):
+                    self.x = 1
+            """, module="repro/sim/thing.py")
+
+    def test_plain_class_in_rdma_package(self):
+        assert "KP03" in codes("""
+            class Hot:
+                pass
+            """, module="repro/rdma/thing.py")
+
+    def test_slots_class_is_clean(self):
+        assert codes("""
+            class Hot:
+                __slots__ = ("x",)
+
+                def __init__(self):
+                    self.x = 1
+            """, module="repro/sim/thing.py") == []
+
+    def test_dataclass_slots_true_is_clean(self):
+        assert codes("""
+            from dataclasses import dataclass
+
+            @dataclass(slots=True)
+            class Hot:
+                x: int = 1
+            """, module="repro/sim/thing.py") == []
+
+    def test_dataclass_without_slots_flagged(self):
+        assert "KP03" in codes("""
+            from dataclasses import dataclass
+
+            @dataclass
+            class Hot:
+                x: int = 1
+            """, module="repro/sim/thing.py")
+
+    def test_exception_subclass_exempt(self):
+        assert codes("""
+            class KernelPanic(Exception):
+                pass
+            """, module="repro/sim/thing.py") == []
+
+    def test_enum_subclass_exempt(self):
+        assert codes("""
+            from enum import Enum
+
+            class Color(Enum):
+                RED = 1
+            """, module="repro/sim/thing.py") == []
+
+    def test_outside_kernel_packages_not_enforced(self):
+        assert codes("""
+            class Anything:
+                pass
+            """, module="repro/experiments/fig99.py") == []
+
+
+class TestBlockingCall:
+    def test_time_sleep_in_process(self):
+        assert "KP04" in codes("""
+            import time
+
+            def loop(sim):
+                yield sim.timeout(10)
+                time.sleep(1)
+            """)
+
+    def test_open_in_process(self):
+        assert "KP04" in codes("""
+            def loop(sim):
+                yield sim.timeout(10)
+                with open("/tmp/x") as f:
+                    f.read()
+            """)
+
+    def test_subprocess_in_process(self):
+        assert "KP04" in codes("""
+            import subprocess
+
+            def loop(sim):
+                yield sim.timeout(10)
+                subprocess.run(["ls"])
+            """)
+
+    def test_open_outside_process_is_clean(self):
+        # File I/O in setup/report code (not a process generator) is fine.
+        assert codes("""
+            def report(rows):
+                with open("/tmp/x", "w") as f:
+                    f.write(str(rows))
+            """) == []
+
+    def test_simulated_wait_is_clean(self):
+        assert codes("""
+            def loop(sim):
+                yield sim.timeout(10)
+                yield 100
+            """) == []

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.apps.logqueue import QueueConfig, ReplicatedQueue
+from repro.apps.logqueue import ReplicatedQueue
 from repro.core.client import StoreConfig, initialize
 from repro.core.group import GroupConfig, HyperLoopGroup
 from repro.sim.units import ms

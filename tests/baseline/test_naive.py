@@ -10,7 +10,6 @@ from repro.baseline.naive import (
     encode_header,
 )
 from repro.core.metadata import OpKind, OpSpec
-from repro.host import Cluster
 from repro.sim.units import ms
 
 

@@ -2,9 +2,9 @@
 
 import pytest
 
-from repro.core.client import ReplicatedStore, StoreConfig, initialize
-from repro.core.group import GroupConfig, HyperLoopGroup
 from repro.baseline.naive import NaiveConfig, NaiveGroup
+from repro.core.client import StoreConfig, initialize
+from repro.core.group import GroupConfig, HyperLoopGroup
 from repro.sim.units import ms
 from repro.storage.wal import LogEntry, WalFullError
 

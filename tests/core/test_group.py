@@ -3,8 +3,7 @@
 import pytest
 
 from repro.core.group import GroupConfig, HyperLoopGroup
-from repro.host import Cluster
-from repro.sim.units import ms, to_us, us
+from repro.sim.units import ms, us
 
 
 def make_group(cluster, replicas=3, slots=16, region=2 << 20, **cfg):

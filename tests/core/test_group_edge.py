@@ -1,8 +1,6 @@
 """Additional group-layer tests: mixed workloads, fan-out durability,
 concurrency across groups, and window behaviour."""
 
-import pytest
-
 from repro.core.fanout import FanoutGroup
 from repro.core.group import GroupConfig, HyperLoopGroup
 from repro.sim.units import ms, us

@@ -1,7 +1,5 @@
 """Recovery under adverse conditions: load, Naïve groups, repeated cycles."""
 
-import pytest
-
 from repro.baseline.naive import NaiveConfig, NaiveGroup
 from repro.core.group import GroupConfig, HyperLoopGroup
 from repro.core.recovery import ChainFailure, ChainSupervisor, RecoveryConfig

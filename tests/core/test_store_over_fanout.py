@@ -6,8 +6,6 @@ read locks, remote reads, durability — must work unchanged over
 across replication protocols.
 """
 
-import pytest
-
 from repro.apps.mongolike import MongoLikeDB
 from repro.core.client import StoreConfig, initialize
 from repro.core.fanout import FanoutGroup

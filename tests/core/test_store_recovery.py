@@ -1,7 +1,5 @@
 """Coordinator crash-recovery: rebuilding a store from replica NVM."""
 
-import pytest
-
 from repro.core.client import StoreConfig, initialize, recover
 from repro.core.group import GroupConfig, HyperLoopGroup
 from repro.sim.units import ms

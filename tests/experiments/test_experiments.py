@@ -7,16 +7,7 @@ experiment module executes end to end and emits sane rows.
 import pytest
 
 from repro.experiments import fig8, fig9, fig10, fig11, fig12, table2
-from repro.experiments.common import (
-    build_testbed,
-    format_table,
-    full_run,
-    latency_sweep,
-    make_hyperloop,
-    make_naive,
-    scaled,
-    throughput_run,
-)
+from repro.experiments.common import (build_testbed, format_table, full_run, latency_sweep, make_hyperloop, scaled, throughput_run)
 from repro.sim.units import MiB
 
 

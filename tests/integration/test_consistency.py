@@ -10,9 +10,9 @@ correctly under arbitrary interleavings.
 
 from hypothesis import given, settings, strategies as st
 
+from repro.baseline.naive import NaiveConfig, NaiveGroup
 from repro.core.fanout import FanoutGroup
 from repro.core.group import GroupConfig, HyperLoopGroup
-from repro.baseline.naive import NaiveConfig, NaiveGroup
 from repro.host import Cluster
 from repro.sim.units import seconds
 
@@ -24,16 +24,21 @@ GROUP_SIZE = 3
 #   ("cas", offset8, new_value)           -- expected read from the model
 #   ("memcpy", src, dst, size)
 #   ("flush",)
+# Offsets stay at least 264 bytes from the region end so that a maximal
+# 200-byte operation still fits inside the *fanout* backend's addressable
+# range, which reserves the last 64 bytes for CAS result scratch
+# (FanoutGroup._region_limit).
+_MAX_OFFSET = REGION - 264
 _ops = st.one_of(
     st.tuples(st.just("write"),
-              st.integers(min_value=0, max_value=REGION - 256),
+              st.integers(min_value=0, max_value=_MAX_OFFSET),
               st.binary(min_size=1, max_size=200)),
     st.tuples(st.just("cas"),
-              st.integers(min_value=0, max_value=(REGION - 256) // 8),
+              st.integers(min_value=0, max_value=_MAX_OFFSET // 8),
               st.integers(min_value=0, max_value=2 ** 32)),
     st.tuples(st.just("memcpy"),
-              st.integers(min_value=0, max_value=REGION - 256),
-              st.integers(min_value=0, max_value=REGION - 256),
+              st.integers(min_value=0, max_value=_MAX_OFFSET),
+              st.integers(min_value=0, max_value=_MAX_OFFSET),
               st.integers(min_value=1, max_value=200)),
     st.tuples(st.just("flush")),
 )

@@ -10,7 +10,6 @@ chain at various points and check exactly that.
 import pytest
 
 from repro.core.group import GroupConfig, HyperLoopGroup
-from repro.host import Cluster
 from repro.sim.units import ms, us
 
 

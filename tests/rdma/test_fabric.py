@@ -3,7 +3,6 @@
 import pytest
 
 from repro.rdma.fabric import Fabric, FabricParams
-from repro.sim.engine import Simulator
 from repro.sim.units import us
 
 

@@ -7,7 +7,6 @@ from repro.rdma.fabric import Fabric
 from repro.rdma.nic import NICParams, RNIC
 from repro.rdma.verbs import Access, WCStatus
 from repro.rdma.wqe import Opcode, Sge, WorkRequest, encode_wqe
-from repro.sim.engine import Simulator
 from repro.sim.units import ms, us
 
 FULL = Access.LOCAL_WRITE | Access.REMOTE_WRITE | Access.REMOTE_READ \

@@ -1,13 +1,10 @@
 """Edge-case and interaction tests for the RNIC model."""
 
-import pytest
-
 from repro.nvm.memory import NVM
 from repro.rdma.fabric import Fabric, FabricParams
 from repro.rdma.nic import NICParams, RNIC
-from repro.rdma.verbs import Access, WCStatus
+from repro.rdma.verbs import Access
 from repro.rdma.wqe import Opcode, Sge, WorkRequest
-from repro.sim.engine import Simulator
 from repro.sim.units import ms, us
 
 FULL = Access.LOCAL_WRITE | Access.REMOTE_WRITE | Access.REMOTE_READ \

@@ -16,7 +16,6 @@ from repro.rdma.verbs import (
     WorkCompletion,
 )
 from repro.rdma.wqe import Opcode, WorkRequest
-from repro.sim.engine import Simulator
 
 
 class TestMemoryRegion:

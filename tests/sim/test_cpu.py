@@ -3,7 +3,6 @@
 import pytest
 
 from repro.sim.cpu import HostCPU, SchedParams, ThreadState
-from repro.sim.engine import Simulator
 from repro.sim.units import ms, us
 
 

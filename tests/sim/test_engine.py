@@ -2,14 +2,7 @@
 
 import pytest
 
-from repro.sim.engine import (
-    AllOf,
-    AnyOf,
-    Event,
-    Interrupt,
-    SimulationError,
-    Simulator,
-)
+from repro.sim.engine import Interrupt, SimulationError
 
 
 class TestEvent:

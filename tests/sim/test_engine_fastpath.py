@@ -8,8 +8,6 @@ equal timestamps, interrupt staleness, combinator failure propagation
 order, and late-callback behaviour on processed events.
 """
 
-import pytest
-
 from repro.sim.engine import Interrupt, SimulationError, Simulator
 
 

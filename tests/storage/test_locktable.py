@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.client import StoreConfig, initialize
 from repro.core.group import GroupConfig, HyperLoopGroup
-from repro.host import Cluster
 from repro.sim.units import ms
 from repro.storage.locktable import READER_MASK, WRITER_FLAG
 

@@ -6,7 +6,6 @@ from repro.core.client import StoreConfig, initialize
 from repro.core.group import GroupConfig, HyperLoopGroup
 from repro.host import Cluster
 from repro.sim.units import ms, us
-from repro.storage.locktable import WRITER_FLAG
 
 
 def make_store(seed):

@@ -6,12 +6,8 @@ from repro.baseline.naive import NaiveConfig, NaiveGroup
 from repro.core.client import StoreConfig, initialize
 from repro.core.group import GroupConfig, HyperLoopGroup
 from repro.sim.units import ms
-from repro.storage.twophase import (
-    PartitionWrite,
-    TwoPhaseCoordinator,
-    TxnOutcome,
-)
-from repro.storage.wal import LogEntry, RecordKind, WalFullError
+from repro.storage.twophase import PartitionWrite, TwoPhaseCoordinator
+from repro.storage.wal import LogEntry, RecordKind
 
 
 def make_partitions(cluster, names=("users", "orders"), wal_size=256 * 1024,

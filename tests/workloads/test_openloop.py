@@ -1,14 +1,7 @@
 """Tests for the open-loop load generator."""
 
-import pytest
-
 from repro.core.group import GroupConfig, HyperLoopGroup
-from repro.workloads.openloop import (
-    OpenLoopConfig,
-    OpenLoopResult,
-    load_sweep,
-    open_loop_gwrite,
-)
+from repro.workloads.openloop import OpenLoopConfig, load_sweep, open_loop_gwrite
 
 
 def make_group(cluster, slots=256):
