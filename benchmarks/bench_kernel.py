@@ -1,11 +1,12 @@
 """Microbenchmarks for the discrete-event simulation kernel.
 
 Every figure in the reproduction is bottlenecked by
-:mod:`repro.sim.engine` — each simulated WQE costs event objects, heap
-pushes and callback dispatch — so kernel throughput (events/sec) is the
-single number that bounds how fast any experiment can run.
+:mod:`repro.sim.engine` — each simulated WQE costs event objects,
+schedule inserts and callback dispatch — so kernel throughput
+(events/sec) is the single number that bounds how fast any experiment
+can run.
 
-Four workloads exercise the kernel's distinct hot paths:
+Seven workloads exercise the kernel's distinct hot paths:
 
 ``timeout_chain``
     One process doing back-to-back ``yield sim.timeout(1)`` — the
@@ -13,7 +14,7 @@ Four workloads exercise the kernel's distinct hot paths:
 ``delay_chain``
     The same wait expressed as a bare ``yield 1`` — the allocation-free
     delay fast path the NIC/CPU models actually use on their hot paths
-    (one heap tuple per wait, no Event or Timeout object).
+    (one schedule tuple per wait, no Event or Timeout object).
 ``event_pingpong``
     Two processes handing a fresh :class:`Event` back and forth via
     ``succeed()`` — the trigger/callback dispatch path (completion
@@ -24,17 +25,32 @@ Four workloads exercise the kernel's distinct hot paths:
 ``fanin_allof``
     Repeated ``AllOf`` joins over a small fan-in — the combinator path
     (waiting for a chain of replica ACKs).
+``short_delay_fanout``
+    Hundreds of concurrent processes each looping on small bare delays
+    — the multi-tenant short-delay regime (per-WQE NIC processing,
+    link hops) where hundreds of timers are pending at once.  This is
+    the regime the timing wheel targets: the heap pays O(log n) per
+    pending-timer set, the wheel O(1).
+``short_timeout_fanout``
+    The same fan-out expressed through ``sim.timeout`` — short-delay
+    concurrency plus the Timeout allocation path.
 
 Each workload reports **events/sec**, where an "event" is one scheduled
-occurrence popped off the kernel heap (the workloads are written so the
+occurrence dispatched by the kernel (the workloads are written so the
 count is known in closed form).  The definition is stable across kernel
 versions, which is what makes the number comparable in
 ``BENCH_kernel.json`` — see ``scripts/perf_report.py`` for the recorded
 perf trajectory and the CI regression gate.
 
+Every workload builder and :func:`run_workload` accept a ``scheduler``
+argument (``"wheel"``/``"heap"``/``None``); ``None`` defers to the
+``REPRO_SCHEDULER`` environment default, so the same harness measures
+both scheduling structures.
+
 Run standalone::
 
     PYTHONPATH=src python benchmarks/bench_kernel.py
+    PYTHONPATH=src python benchmarks/bench_kernel.py --compare
 
 or under pytest-benchmark like the figure benches::
 
@@ -44,16 +60,23 @@ or under pytest-benchmark like the figure benches::
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.sim.engine import Simulator
 
-__all__ = ["WORKLOADS", "run_workload", "main"]
+__all__ = ["WORKLOADS", "SHORT_DELAY_WORKLOADS", "run_workload", "main"]
+
+# Concurrent processes in the fan-out workloads.  Chosen to match the
+# multi-tenant regime from the paper's figure 8/9 setups (hundreds of
+# tenant threads with in-flight WQEs), and large enough that the heap
+# scheduler pays its O(log n) while the wheel stays O(1).
+_FANOUT_PROCS = 384
 
 
-def timeout_chain(n: int) -> Tuple[Simulator, int]:
+def timeout_chain(n: int,
+                  scheduler: Optional[str] = None) -> Tuple[Simulator, int]:
     """One process, ``n`` sequential 1 ns timeouts.  ~n events."""
-    sim = Simulator()
+    sim = Simulator(scheduler=scheduler)
 
     def proc(sim):
         for _ in range(n):
@@ -63,9 +86,10 @@ def timeout_chain(n: int) -> Tuple[Simulator, int]:
     return sim, n
 
 
-def delay_chain(n: int) -> Tuple[Simulator, int]:
+def delay_chain(n: int,
+                scheduler: Optional[str] = None) -> Tuple[Simulator, int]:
     """One process, ``n`` sequential bare-delay waits.  ~n events."""
-    sim = Simulator()
+    sim = Simulator(scheduler=scheduler)
 
     def proc(sim):
         for _ in range(n):
@@ -75,9 +99,10 @@ def delay_chain(n: int) -> Tuple[Simulator, int]:
     return sim, n
 
 
-def event_pingpong(n: int) -> Tuple[Simulator, int]:
+def event_pingpong(n: int,
+                   scheduler: Optional[str] = None) -> Tuple[Simulator, int]:
     """Two processes exchanging ``n`` fresh events.  ~2n events."""
-    sim = Simulator()
+    sim = Simulator(scheduler=scheduler)
     box = {"ping": sim.event(), "pong": None}
 
     def left(sim):
@@ -97,9 +122,10 @@ def event_pingpong(n: int) -> Tuple[Simulator, int]:
     return sim, 2 * n
 
 
-def process_spawn(n: int) -> Tuple[Simulator, int]:
+def process_spawn(n: int,
+                  scheduler: Optional[str] = None) -> Tuple[Simulator, int]:
     """``n`` short-lived child processes joined by a parent.  ~3n events."""
-    sim = Simulator()
+    sim = Simulator(scheduler=scheduler)
 
     def child(sim):
         yield sim.timeout(1)
@@ -112,9 +138,10 @@ def process_spawn(n: int) -> Tuple[Simulator, int]:
     return sim, 3 * n
 
 
-def fanin_allof(n: int, width: int = 4) -> Tuple[Simulator, int]:
+def fanin_allof(n: int, width: int = 4,
+                scheduler: Optional[str] = None) -> Tuple[Simulator, int]:
     """``n`` AllOf joins over ``width`` timeouts each.  ~n*(width+1) events."""
-    sim = Simulator()
+    sim = Simulator(scheduler=scheduler)
 
     def proc(sim):
         for _ in range(n):
@@ -124,21 +151,69 @@ def fanin_allof(n: int, width: int = 4) -> Tuple[Simulator, int]:
     return sim, n * (width + 1)
 
 
-WORKLOADS: Dict[str, Callable[[int], Tuple[Simulator, int]]] = {
+def short_delay_fanout(n: int,
+                       scheduler: Optional[str] = None,
+                       procs: int = _FANOUT_PROCS) -> Tuple[Simulator, int]:
+    """``procs`` concurrent processes looping on 1–7 ns bare delays.
+
+    ~n events total with ~``procs`` timers pending at every instant.
+    """
+    sim = Simulator(scheduler=scheduler)
+    per = max(1, n // procs)
+
+    def worker(sim, i):
+        delay = (i % 7) + 1
+        for _ in range(per):
+            yield delay  # bare-delay fast path
+
+    for i in range(procs):
+        sim.process(worker(sim, i))
+    return sim, per * procs
+
+
+def short_timeout_fanout(n: int,
+                         scheduler: Optional[str] = None,
+                         procs: int = _FANOUT_PROCS) -> Tuple[Simulator, int]:
+    """``procs`` concurrent processes looping on 1–13 ns timeouts.
+
+    ~n events total with ~``procs`` timers pending at every instant.
+    """
+    sim = Simulator(scheduler=scheduler)
+    per = max(1, n // procs)
+
+    def worker(sim, i):
+        delay = (i % 13) + 1
+        for _ in range(per):
+            yield sim.timeout(delay)
+
+    for i in range(procs):
+        sim.process(worker(sim, i))
+    return sim, per * procs
+
+
+WORKLOADS: Dict[str, Callable[..., Tuple[Simulator, int]]] = {
     "timeout_chain": timeout_chain,
     "delay_chain": delay_chain,
     "event_pingpong": event_pingpong,
     "process_spawn": process_spawn,
     "fanin_allof": fanin_allof,
+    "short_delay_fanout": short_delay_fanout,
+    "short_timeout_fanout": short_timeout_fanout,
 }
 
+# The workloads in the short-delay regime the timing wheel targets —
+# the acceptance surface for the wheel-vs-heap speedup claim.
+SHORT_DELAY_WORKLOADS = ("short_delay_fanout", "short_timeout_fanout")
 
-def run_workload(name: str, n: int, repeats: int = 3) -> Dict[str, float]:
+
+def run_workload(name: str, n: int, repeats: int = 3,
+                 scheduler: Optional[str] = None) -> Dict[str, float]:
     """Best-of-``repeats`` run of one workload; returns events/sec stats."""
     build = WORKLOADS[name]
     best = float("inf")
+    events = 0
     for _ in range(repeats):
-        sim, events = build(n)
+        sim, events = build(n, scheduler=scheduler)
         started = time.perf_counter()
         sim.run()
         elapsed = time.perf_counter() - started
@@ -151,15 +226,31 @@ def run_workload(name: str, n: int, repeats: int = 3) -> Dict[str, float]:
     }
 
 
-def main(n: int = 100_000, repeats: int = 3) -> Dict[str, Dict[str, float]]:
+def main(n: int = 100_000, repeats: int = 3,
+         scheduler: Optional[str] = None) -> Dict[str, Dict[str, float]]:
     results = {}
     for name in WORKLOADS:
-        results[name] = run_workload(name, n, repeats=repeats)
+        results[name] = run_workload(name, n, repeats=repeats,
+                                     scheduler=scheduler)
         r = results[name]
-        print(f"{name:<16} {r['events']:>9,} events  "
+        print(f"{name:<21} {r['events']:>9,} events  "
               f"{r['elapsed_s'] * 1e3:8.1f} ms  "
               f"{r['events_per_sec'] / 1e6:6.2f} M events/s")
     return results
+
+
+def compare(n: int = 100_000, repeats: int = 3) -> Dict[str, float]:
+    """Run every workload under both schedulers; print the speedup."""
+    ratios = {}
+    for name in WORKLOADS:
+        heap = run_workload(name, n, repeats=repeats, scheduler="heap")
+        wheel = run_workload(name, n, repeats=repeats, scheduler="wheel")
+        ratio = wheel["events_per_sec"] / heap["events_per_sec"]
+        ratios[name] = ratio
+        print(f"{name:<21} heap {heap['events_per_sec'] / 1e6:6.2f} M/s  "
+              f"wheel {wheel['events_per_sec'] / 1e6:6.2f} M/s  "
+              f"ratio {ratio:5.2f}x")
+    return ratios
 
 
 # ----------------------------------------------------------------------
@@ -174,8 +265,29 @@ def test_kernel_timeout_chain(benchmark):
 def test_kernel_event_pingpong(benchmark):
     sim, _ = event_pingpong(25_000)
     benchmark.pedantic(sim.run, rounds=1, iterations=1)
-    assert not sim._heap
+    assert sim.peek() is None
+
+
+def test_kernel_short_delay_fanout(benchmark):
+    sim, events = short_delay_fanout(100_000)
+    benchmark.pedantic(sim.run, rounds=1, iterations=1)
+    assert sim.peek() is None
+    assert events == 99_840  # 384 procs x 260 waits
 
 
 if __name__ == "__main__":
-    main()
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=100_000)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--scheduler", choices=("wheel", "heap"),
+                        default=None)
+    parser.add_argument("--compare", action="store_true",
+                        help="run each workload under both schedulers "
+                             "and report the wheel/heap speedup")
+    cli = parser.parse_args()
+    if cli.compare:
+        compare(cli.n, repeats=cli.repeats)
+    else:
+        main(cli.n, repeats=cli.repeats, scheduler=cli.scheduler)

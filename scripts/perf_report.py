@@ -18,11 +18,15 @@ Usage::
     PYTHONPATH=src python scripts/perf_report.py --quick \
         --baseline BENCH_kernel.json                             # regression gate
 
-With ``--baseline`` the run exits non-zero if any kernel workload's
-events/sec regresses more than ``--threshold`` (default 30%) against the
-*last* entry recorded in the baseline file — this is the CI perf-smoke
-gate.  Events/sec is size-independent enough that a ``--quick`` run can
-be compared against a full-sized recorded baseline.
+With ``--baseline`` the run exits 1 if any kernel workload's events/sec
+regresses more than ``--threshold`` (default 30%) against the *last*
+entry recorded in the baseline file — this is the CI perf-smoke gate.
+A baseline file that exists but doesn't match the schema (hand-edited,
+truncated, pre-schema) exits 2 with a description of what's wrong
+instead of tracebacking; a malformed ``--append`` target is reported
+and replaced with a fresh entry list.  Events/sec is size-independent
+enough that a ``--quick`` run can be compared against a full-sized
+recorded baseline.
 """
 
 from __future__ import annotations
@@ -41,13 +45,70 @@ sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 
 SCHEMA = 1
 DEFAULT_THRESHOLD = 0.30
+EXIT_MALFORMED = 2
+
+
+class SchemaError(ValueError):
+    """A perf-tracking JSON file that exists but doesn't match the schema."""
+
+
+def load_entries(path: Path) -> list:
+    """Parse a perf-tracking JSON file and return its entry list.
+
+    Raises :class:`SchemaError` with a human-readable reason for every
+    malformation shape seen in the wild (hand-edited files, truncated
+    writes, pre-schema versions) instead of letting ``KeyError`` /
+    ``AttributeError`` escape as a traceback.
+    """
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise SchemaError(f"cannot read {path}: {exc}") from None
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SchemaError(f"{path} is not valid JSON: {exc}") from None
+    if not isinstance(data, dict):
+        raise SchemaError(f"{path}: top level must be an object, "
+                          f"got {type(data).__name__}")
+    entries = data.get("entries")
+    if entries is None:
+        raise SchemaError(f"{path}: missing 'entries' list "
+                          "(older schema or hand-edited?)")
+    if not isinstance(entries, list):
+        raise SchemaError(f"{path}: 'entries' must be a list, "
+                          f"got {type(entries).__name__}")
+    for i, item in enumerate(entries):
+        if not isinstance(item, dict):
+            raise SchemaError(f"{path}: entries[{i}] must be an object, "
+                              f"got {type(item).__name__}")
+    return entries
+
+
+def validate_bench_entry(entry: dict, where: str) -> None:
+    """Check one recorded entry has what the regression gate reads."""
+    if not isinstance(entry.get("label"), str):
+        raise SchemaError(f"{where}: missing or non-string 'label'")
+    kernel = entry.get("kernel")
+    if not isinstance(kernel, dict):
+        raise SchemaError(f"{where}: missing or non-object 'kernel' section")
+    for name, record in kernel.items():
+        if not isinstance(record, dict):
+            raise SchemaError(f"{where}: kernel[{name!r}] must be an object")
+        rate = record.get("events_per_sec")
+        if not isinstance(rate, (int, float)) or rate <= 0:
+            raise SchemaError(f"{where}: kernel[{name!r}] needs a positive "
+                              f"numeric 'events_per_sec', got {rate!r}")
 
 
 def measure(quick: bool) -> dict:
     import bench_kernel
     from repro.experiments import fig8
 
-    n = 20_000 if quick else 100_000
+    # Quick stays large enough that events/sec has converged: the wheel's
+    # same-timestamp bucket path in particular reads low at n=20k and is
+    # within noise of the full-size rate from ~n=50k up.
+    n = 50_000 if quick else 100_000
     kernel = {}
     for name in bench_kernel.WORKLOADS:
         kernel[name] = bench_kernel.run_workload(name, n, repeats=3)
@@ -88,11 +149,22 @@ def make_entry(label: str, quick: bool, results: dict) -> dict:
 
 def check_regression(entry: dict, baseline_path: Path,
                      threshold: float) -> int:
-    data = json.loads(baseline_path.read_text())
-    if not data.get("entries"):
-        print(f"baseline {baseline_path} has no entries; skipping gate")
-        return 0
-    base = data["entries"][-1]
+    """Gate ``entry`` against the last recorded baseline entry.
+
+    Returns 0 (ok), 1 (regression), or ``EXIT_MALFORMED`` (baseline file
+    exists but can't be used — CI should fix the baseline, not trust a
+    silently skipped gate).
+    """
+    try:
+        entries = load_entries(baseline_path)
+        if not entries:
+            print(f"baseline {baseline_path} has no entries; skipping gate")
+            return 0
+        base = entries[-1]
+        validate_bench_entry(base, f"{baseline_path}: entries[-1]")
+    except SchemaError as exc:
+        print(f"malformed baseline: {exc}", file=sys.stderr)
+        return EXIT_MALFORMED
     print(f"\nregression gate vs {baseline_path} "
           f"(entry: {base['label']!r}, threshold {threshold:.0%}):")
     failed = False
@@ -121,7 +193,8 @@ def main(argv=None) -> int:
     parser.add_argument("--append", action="store_true",
                         help="append to --out instead of overwriting")
     parser.add_argument("--baseline", type=Path, default=None,
-                        help="compare against this JSON; exit 1 on regression")
+                        help="compare against this JSON; exit 1 on "
+                             "regression, 2 on a malformed baseline")
     parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
                         help="allowed fractional events/sec regression "
                              "(default 0.30)")
@@ -132,7 +205,12 @@ def main(argv=None) -> int:
 
     if args.out:
         if args.append and args.out.exists():
-            data = json.loads(args.out.read_text())
+            try:
+                data = {"schema": SCHEMA, "entries": load_entries(args.out)}
+            except SchemaError as exc:
+                print(f"[perf_report] {exc}; starting a fresh entry list",
+                      file=sys.stderr)
+                data = {"schema": SCHEMA, "entries": []}
         else:
             data = {"schema": SCHEMA, "entries": []}
         data["entries"].append(entry)

@@ -50,12 +50,17 @@ def sweep(points: Iterable[P], worker: Callable[[P], R],
     if jobs <= 1 or len(items) <= 1:
         return [worker(point) for point in items]
     try:
-        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
         with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
             return list(pool.map(worker, items))
-    except (OSError, PermissionError) as exc:
-        # Restricted environments (no /dev/shm, seccomp'd semaphores)
-        # cannot start worker processes — run serially rather than fail.
-        print(f"[sweep] process pool unavailable ({exc}); "
+    except (OSError, PermissionError, BrokenExecutor) as exc:
+        # Two distinct failure shapes, one recovery: restricted
+        # environments (no /dev/shm, seccomp'd semaphores) cannot start
+        # worker processes at all, and a worker dying mid-sweep (OOM
+        # kill, hard crash) surfaces as BrokenProcessPool — a
+        # RuntimeError subclass the OSError net never caught.  Points
+        # share nothing, so re-running the whole sweep serially is
+        # always safe.
+        print(f"[sweep] process pool unavailable ({exc!r}); "
               "running serially", file=sys.stderr)
         return [worker(point) for point in items]

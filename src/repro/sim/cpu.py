@@ -41,6 +41,7 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass
+from operator import index as operator_index
 from enum import Enum
 from typing import List, Optional, Tuple
 
@@ -120,6 +121,16 @@ class Thread:
         """
         if self._work is not None:
             raise RuntimeError(f"thread {self.name} already has work outstanding")
+        try:
+            service_ns = operator_index(service_ns)
+        except TypeError:
+            # A fractional service time would leave remaining_ns short of
+            # every integer boundary, so ``int(min(slice_ns, remaining))``
+            # in the core loop truncates to a zero-length timeslice and
+            # the scheduler livelocks at one timestamp.
+            raise TypeError(
+                f"service_ns must be a whole number of ns, got "
+                f"{type(service_ns).__name__}: {service_ns!r}") from None
         if service_ns < 0:
             raise ValueError("service time must be non-negative")
         done = self.cpu.sim.event()
@@ -283,6 +294,12 @@ class _Core:
             work = thread._work
             slice_ns = params.timeslice(self.nr_queued + 1)
             run_ns = int(min(slice_ns, work.remaining_ns))
+            # run() rejects fractional service times precisely so this
+            # holds: a zero-length timeslice would re-run this loop at the
+            # same timestamp forever.
+            assert run_ns > 0, (
+                f"zero-length timeslice for {thread.name} "
+                f"(remaining={work.remaining_ns!r}, slice={slice_ns})")
             start = sim.now
             self.slice_start = start
             # One wake event serves both slice expiry and preemption —

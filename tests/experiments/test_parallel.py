@@ -9,12 +9,26 @@ than no parallel sweep at all.
 
 from __future__ import annotations
 
+import multiprocessing
+import os
+
 from repro.experiments import fig8
 from repro.experiments.parallel import default_jobs, sweep
 
 
 def _square(point):
     return point * point
+
+
+def _crash_in_pool_worker(point):
+    """Die hard (like an OOM kill) inside pool workers only.
+
+    ``parent_process()`` is None in the main process, so the serial
+    fallback re-run computes real results.
+    """
+    if multiprocessing.parent_process() is not None:
+        os._exit(1)
+    return point * 10
 
 
 class TestSweep:
@@ -34,6 +48,13 @@ class TestSweep:
         # touches the process pool.
         assert sweep([5], lambda p: seen.append(p) or p, jobs=8) == [5]
         assert seen == [5]
+
+    def test_crashed_worker_falls_back_serial(self, capsys):
+        """A worker dying mid-sweep raises BrokenProcessPool (a
+        RuntimeError, not an OSError) — the sweep must re-run serially
+        instead of propagating it."""
+        assert sweep([1, 2, 3], _crash_in_pool_worker, jobs=2) == [10, 20, 30]
+        assert "running serially" in capsys.readouterr().err
 
     def test_default_jobs_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_JOBS", "3")

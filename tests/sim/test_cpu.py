@@ -41,6 +41,22 @@ class TestBasicService:
         with pytest.raises(ValueError):
             thread.run(-1)
 
+    def test_fractional_service_rejected(self, sim):
+        """A float service time used to livelock the core loop: the
+        fractional remainder never crossed an integer boundary, so the
+        core kept issuing zero-length timeslices at one timestamp."""
+        cpu = make_cpu(sim, cores=1)
+        thread = cpu.spawn_thread("worker")
+        with pytest.raises(TypeError, match="whole number"):
+            thread.run(us(10) + 0.5)
+        # Whole-valued floats are rejected too — int is the contract.
+        with pytest.raises(TypeError, match="whole number"):
+            thread.run(float(us(10)))
+        # The rejection must leave the thread reusable.
+        done = thread.run(us(10))
+        sim.run()
+        assert done.triggered
+
     def test_outstanding_work_rejected(self, sim):
         cpu = make_cpu(sim, cores=1)
         thread = cpu.spawn_thread("worker")

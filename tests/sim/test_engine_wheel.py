@@ -1,0 +1,247 @@
+"""Wheel/heap scheduler equivalence and the `scheduler=` knob.
+
+The timing wheel is a pure performance structure: for every schedule the
+kernel can express, its dispatch sequence must be *indistinguishable*
+from the binary heap's — same entries, same times, same `(time, seq)`
+FIFO order at equal timestamps.  These tests run the same workload under
+``Simulator(scheduler="wheel")`` and ``scheduler="heap"`` and diff the
+full dispatch logs, with delay distributions chosen to cross every
+structural boundary: within one level-0 block (< 1024 ns), across level
+1 (< 2^20 ns), and into the overflow heap (up to seconds).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.engine import Interrupt, Simulator, Timeout
+
+# Delays straddling every wheel boundary: same-slot, same-block,
+# block-crossing (1024), superblock-crossing (2^20), and deep overflow.
+BOUNDARY_DELAYS = st.sampled_from(
+    [0, 1, 3, 7, 1023, 1024, 1025, 4096, (1 << 20) - 1, 1 << 20,
+     (1 << 20) + 3, 10 ** 7, 10 ** 9])
+
+
+def dispatch_log(scheduler, build):
+    """Run ``build(sim, log)`` to completion; return the dispatch log."""
+    sim = Simulator(scheduler=scheduler)
+    log = []
+    build(sim, log)
+    sim.run()
+    return log
+
+
+def assert_equivalent(build):
+    wheel = dispatch_log("wheel", build)
+    heap = dispatch_log("heap", build)
+    assert wheel == heap
+    assert wheel  # a trivially empty log proves nothing
+
+
+class TestSchedulerKnob:
+    def test_default_is_wheel(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCHEDULER", raising=False)
+        assert Simulator().scheduler == "wheel"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCHEDULER", "heap")
+        assert Simulator().scheduler == "heap"
+
+    def test_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCHEDULER", "heap")
+        assert Simulator(scheduler="wheel").scheduler == "wheel"
+
+    def test_invalid_scheduler_rejected(self):
+        with pytest.raises(ValueError, match="scheduler"):
+            Simulator(scheduler="skiplist")
+
+
+class TestTimeoutValidation:
+    """Regression: ``Timeout`` built directly (not via ``sim.timeout``)
+    used to skip delay coercion and put a float timestamp on the heap,
+    breaking the integer-nanosecond clock invariant."""
+
+    def test_direct_fractional_delay_rejected(self, sim):
+        with pytest.raises(ValueError, match="whole number"):
+            Timeout(sim, 1.5)
+
+    def test_factory_fractional_delay_rejected(self, sim):
+        with pytest.raises(ValueError, match="whole number"):
+            sim.timeout(1.5)
+
+    def test_whole_float_coerced_to_int_clock(self, sim):
+        fired = []
+        Timeout(sim, 100.0).add_callback(lambda _e: fired.append(sim.now))
+        sim.run()
+        assert fired == [100]
+        assert type(fired[0]) is int
+
+    def test_direct_negative_delay_rejected(self, sim):
+        with pytest.raises(ValueError, match="negative"):
+            Timeout(sim, -5)
+
+
+class TestDispatchEquivalence:
+    def test_boundary_timeouts(self):
+        delays = [0, 1, 1, 1023, 1024, 1025, 2047, 4096,
+                  (1 << 20) - 1, 1 << 20, (1 << 20) + 1, 10 ** 9,
+                  512, 512, 3, 0]
+
+        def build(sim, log):
+            for i, d in enumerate(delays):
+                sim.timeout(d).add_callback(
+                    lambda _e, i=i: log.append((sim.now, i)))
+
+        assert_equivalent(build)
+
+    def test_chained_delays_reinsert_across_blocks(self):
+        """Processes re-scheduling from inside the run cross block and
+        superblock horizons repeatedly (cascade + heap refill paths)."""
+        def build(sim, log):
+            def proc(sim, tag, step, count):
+                for i in range(count):
+                    yield step
+                    log.append((sim.now, tag, i))
+
+            proc_specs = [(0, 1, 50), (1, 7, 40), (2, 1023, 30),
+                          (3, 1024, 30), (4, 40_000, 28), (5, 1 << 20, 6),
+                          (6, 3_000_000, 4)]
+            for tag, step, count in proc_specs:
+                sim.process(proc(sim, tag, step, count))
+
+        assert_equivalent(build)
+
+    def test_interrupt_and_call_at(self):
+        def build(sim, log):
+            def sleeper(sim, tag, delay):
+                try:
+                    yield sim.timeout(delay)
+                    log.append((sim.now, tag, "timeout"))
+                except Interrupt:
+                    log.append((sim.now, tag, "interrupted"))
+                yield 5
+                log.append((sim.now, tag, "after"))
+
+            procs = [sim.process(sleeper(sim, tag, 1000 + tag))
+                     for tag in range(6)]
+            for tag in (1, 3, 5):
+                sim.call_at(100 + tag,
+                            lambda p=procs[tag]: p.interrupt("stop"))
+            sim.call_at(2000, lambda: log.append((sim.now, "late-call")))
+
+        assert_equivalent(build)
+
+    def test_same_time_event_storm(self):
+        """Zero-delay triggers landing in the bucket being dispatched
+        must be picked up in the same pass, exactly like the heap."""
+        def build(sim, log):
+            def proc(sim, tag):
+                for i in range(10):
+                    event = sim.event()
+                    sim.call_at(sim.now, lambda e=event: e.succeed())
+                    yield event
+                    log.append((sim.now, tag, i))
+
+            for tag in range(8):
+                sim.process(proc(sim, tag))
+
+        assert_equivalent(build)
+
+    def test_run_until_stop_and_resume(self):
+        """Stopping mid-timestamp (run_until) then continuing must not
+        lose or reorder the rest of the bucket."""
+        def run_one(scheduler):
+            sim = Simulator(scheduler=scheduler)
+            log = []
+            stop_event = sim.event()
+            for i in range(12):
+                sim.timeout(50).add_callback(
+                    lambda _e, i=i: log.append((sim.now, i)))
+                if i == 5:
+                    sim.timeout(50).add_callback(
+                        lambda _e: stop_event.succeed())
+            sim.run_until(stop_event)
+            marker = len(log)
+            sim.run()
+            return log, marker
+
+        wheel_log, wheel_marker = run_one("wheel")
+        heap_log, heap_marker = run_one("heap")
+        assert wheel_log == heap_log
+        assert wheel_marker == heap_marker
+        assert wheel_marker < len(wheel_log)  # the stop actually split it
+
+    def test_run_until_limit_then_insert_before_horizon(self):
+        """After run(until=T) parks the clock mid-block, inserts between
+        now and the next occupied slot must still fire first."""
+        def run_one(scheduler):
+            sim = Simulator(scheduler=scheduler)
+            log = []
+            sim.timeout(10_000).add_callback(lambda _e: log.append(sim.now))
+            sim.run(until=2_500)
+            sim.timeout(100).add_callback(lambda _e: log.append(sim.now))
+            sim.timeout(0).add_callback(lambda _e: log.append(sim.now))
+            sim.run()
+            return log
+
+        assert run_one("wheel") == run_one("heap") == [2500, 2600, 10000]
+
+    def test_step_and_peek_agree(self):
+        delays = [0, 3, 3, 900, 1024, 5000, (1 << 20) + 7, 10 ** 8]
+
+        def run_one(scheduler):
+            sim = Simulator(scheduler=scheduler)
+            log = []
+            for i, d in enumerate(delays):
+                sim.timeout(d).add_callback(
+                    lambda _e, i=i: log.append((sim.now, i)))
+            peeks = []
+            while sim.peek() is not None:
+                peeks.append(sim.peek())
+                sim.step()
+            return log, peeks
+
+        assert run_one("wheel") == run_one("heap")
+
+    def test_step_on_empty_raises(self):
+        for scheduler in ("wheel", "heap"):
+            sim = Simulator(scheduler=scheduler)
+            with pytest.raises(IndexError):
+                sim.step()
+
+
+class TestRandomizedEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.lists(BOUNDARY_DELAYS, min_size=1, max_size=8),
+                    min_size=1, max_size=10))
+    def test_random_process_mix(self, stages_per_process):
+        def build(sim, log):
+            def proc(sim, tag, stages):
+                for i, d in enumerate(stages):
+                    yield sim.timeout(d) if (i + tag) % 2 else d
+                    log.append((sim.now, tag, i))
+
+            for tag, stages in enumerate(stages_per_process):
+                sim.process(proc(sim, tag, stages))
+
+        assert_equivalent(build)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=10 ** 9),
+                    min_size=1, max_size=50),
+           st.integers(min_value=0, max_value=10 ** 9))
+    def test_random_timeouts_with_until(self, delays, until):
+        def run_one(scheduler):
+            sim = Simulator(scheduler=scheduler)
+            log = []
+            for i, d in enumerate(delays):
+                sim.timeout(d).add_callback(
+                    lambda _e, i=i: log.append((sim.now, i)))
+            sim.run(until=until)
+            marker = len(log)
+            sim.run()
+            return log, marker, sim.now
+
+        assert run_one("wheel") == run_one("heap")

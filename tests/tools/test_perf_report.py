@@ -1,0 +1,161 @@
+"""Schema handling in ``scripts/perf_report.py``.
+
+The perf trajectory lives in a committed JSON file that humans edit
+(dropping entries, resolving merge conflicts) and older script versions
+wrote with a different shape.  A malformed baseline must fail the gate
+with exit 2 and a readable reason — a ``KeyError`` traceback reads as a
+perf-script bug, and a silently skipped gate reads as a pass.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+_spec = importlib.util.spec_from_file_location(
+    "perf_report", REPO_ROOT / "scripts" / "perf_report.py")
+perf_report = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(perf_report)
+
+
+def good_entry(rate=1_000_000.0):
+    return {
+        "label": "seed",
+        "kernel": {
+            "timeout_chain": {"events_per_sec": rate},
+        },
+    }
+
+
+def write_json(path, payload):
+    path.write_text(json.dumps(payload))
+    return path
+
+
+class TestLoadEntries:
+    def test_valid_file_round_trips(self, tmp_path):
+        path = write_json(tmp_path / "b.json",
+                          {"schema": 1, "entries": [good_entry()]})
+        entries = perf_report.load_entries(path)
+        assert entries[0]["label"] == "seed"
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(perf_report.SchemaError, match="cannot read"):
+            perf_report.load_entries(tmp_path / "absent.json")
+
+    def test_truncated_json(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text('{"schema": 1, "entries": [')
+        with pytest.raises(perf_report.SchemaError, match="not valid JSON"):
+            perf_report.load_entries(path)
+
+    def test_top_level_not_object(self, tmp_path):
+        path = write_json(tmp_path / "b.json", [good_entry()])
+        with pytest.raises(perf_report.SchemaError, match="top level"):
+            perf_report.load_entries(path)
+
+    def test_missing_entries_key(self, tmp_path):
+        path = write_json(tmp_path / "b.json", {"schema": 1})
+        with pytest.raises(perf_report.SchemaError, match="entries"):
+            perf_report.load_entries(path)
+
+    def test_non_list_entries(self, tmp_path):
+        path = write_json(tmp_path / "b.json",
+                          {"schema": 1, "entries": {"oops": 1}})
+        with pytest.raises(perf_report.SchemaError, match="must be a list"):
+            perf_report.load_entries(path)
+
+    def test_non_object_entry(self, tmp_path):
+        path = write_json(tmp_path / "b.json",
+                          {"schema": 1, "entries": ["oops"]})
+        with pytest.raises(perf_report.SchemaError, match="entries\\[0\\]"):
+            perf_report.load_entries(path)
+
+
+class TestValidateBenchEntry:
+    def test_good_entry_passes(self):
+        perf_report.validate_bench_entry(good_entry(), "here")
+
+    def test_missing_label(self):
+        entry = good_entry()
+        del entry["label"]
+        with pytest.raises(perf_report.SchemaError, match="label"):
+            perf_report.validate_bench_entry(entry, "here")
+
+    def test_missing_kernel_section(self):
+        with pytest.raises(perf_report.SchemaError, match="kernel"):
+            perf_report.validate_bench_entry({"label": "x"}, "here")
+
+    def test_non_numeric_rate(self):
+        entry = good_entry()
+        entry["kernel"]["timeout_chain"]["events_per_sec"] = "fast"
+        with pytest.raises(perf_report.SchemaError, match="events_per_sec"):
+            perf_report.validate_bench_entry(entry, "here")
+
+    def test_zero_rate(self):
+        with pytest.raises(perf_report.SchemaError, match="positive"):
+            perf_report.validate_bench_entry(good_entry(rate=0), "here")
+
+
+class TestCheckRegression:
+    """The gate used to traceback (KeyError) on these; now exit 2."""
+
+    def test_malformed_baseline_exits_2(self, tmp_path, capsys):
+        path = write_json(tmp_path / "b.json",
+                          {"schema": 1, "entries": [{"quick": False}]})
+        rc = perf_report.check_regression(good_entry(), path, 0.3)
+        assert rc == perf_report.EXIT_MALFORMED == 2
+        assert "malformed baseline" in capsys.readouterr().err
+
+    def test_old_schema_without_entries_exits_2(self, tmp_path, capsys):
+        path = write_json(tmp_path / "b.json", {"kernel": {}})
+        assert perf_report.check_regression(good_entry(), path, 0.3) == 2
+        assert "entries" in capsys.readouterr().err
+
+    def test_empty_entries_skips_gate(self, tmp_path):
+        path = write_json(tmp_path / "b.json", {"schema": 1, "entries": []})
+        assert perf_report.check_regression(good_entry(), path, 0.3) == 0
+
+    def test_ok_run_passes(self, tmp_path):
+        path = write_json(tmp_path / "b.json",
+                          {"schema": 1, "entries": [good_entry()]})
+        assert perf_report.check_regression(good_entry(), path, 0.3) == 0
+
+    def test_regression_detected(self, tmp_path):
+        path = write_json(tmp_path / "b.json",
+                          {"schema": 1, "entries": [good_entry()]})
+        slow = good_entry(rate=1_000_000.0)
+        slow["kernel"]["timeout_chain"]["events_per_sec"] = 100_000.0
+        assert perf_report.check_regression(slow, path, 0.3) == 1
+
+
+class TestAppendTarget:
+    def test_malformed_append_target_degrades(self, tmp_path, monkeypatch,
+                                              capsys):
+        """``--append`` onto a corrupt file used to KeyError; it now
+        reports the problem and records into a fresh entry list."""
+        out = tmp_path / "out.json"
+        out.write_text("definitely not json")
+        monkeypatch.setattr(perf_report, "measure",
+                            lambda quick: {"kernel": {}, "figures": {}})
+        rc = perf_report.main(["--out", str(out), "--append",
+                               "--label", "after-corruption"])
+        assert rc == 0
+        assert "fresh entry list" in capsys.readouterr().err
+        data = json.loads(out.read_text())
+        assert [e["label"] for e in data["entries"]] == ["after-corruption"]
+
+    def test_append_extends_valid_file(self, tmp_path, monkeypatch):
+        out = write_json(tmp_path / "out.json",
+                         {"schema": 1, "entries": [good_entry()]})
+        monkeypatch.setattr(perf_report, "measure",
+                            lambda quick: {"kernel": {}, "figures": {}})
+        assert perf_report.main(["--out", str(out), "--append",
+                                 "--label", "second"]) == 0
+        data = json.loads(out.read_text())
+        assert [e["label"] for e in data["entries"]] == ["seed", "second"]
