@@ -34,6 +34,11 @@ Seven workloads exercise the kernel's distinct hot paths:
 ``short_timeout_fanout``
     The same fan-out expressed through ``sim.timeout`` — short-delay
     concurrency plus the Timeout allocation path.
+``sharded_deployment``
+    Eight concurrent router/chain process pairs, each op one event
+    handoff in, ``hops`` bare-delay chain hops, one ACK event back —
+    the event mix of the sharded cluster layer (`repro.cluster`), where
+    N independent shard pipelines interleave in one kernel.
 
 Each workload reports **events/sec**, where an "event" is one scheduled
 occurrence dispatched by the kernel (the workloads are written so the
@@ -191,6 +196,42 @@ def short_timeout_fanout(n: int,
     return sim, per * procs
 
 
+def sharded_deployment(n: int,
+                       scheduler: Optional[str] = None,
+                       shards: int = 8,
+                       hops: int = 3) -> Tuple[Simulator, int]:
+    """``shards`` concurrent closed-loop router/chain pairs.
+
+    Per op and shard: the router triggers a request event (one dispatch
+    into the chain process), the chain walks ``hops`` bare-delay hops —
+    staggered per shard so wheel buckets spread like real chains — and
+    triggers the ACK event (one dispatch back).  Exactly
+    ``(hops + 2)`` events per op, ``per * shards * (hops + 2)`` total.
+    """
+    sim = Simulator(scheduler=scheduler)
+    per = max(1, n // (shards * (hops + 2)))
+
+    def router(sim, box):
+        for _ in range(per):
+            box["ack"] = sim.event()
+            box["req"].succeed()
+            yield box["ack"]
+
+    def chain(sim, box, delay):
+        for _ in range(per):
+            yield box["req"]
+            box["req"] = sim.event()
+            for _ in range(hops):
+                yield delay  # bare-delay fast path, one per chain hop
+            box["ack"].succeed()
+
+    for shard in range(shards):
+        box = {"req": sim.event(), "ack": None}
+        sim.process(router(sim, box))
+        sim.process(chain(sim, box, (shard % 7) + 1))
+    return sim, per * shards * (hops + 2)
+
+
 WORKLOADS: Dict[str, Callable[..., Tuple[Simulator, int]]] = {
     "timeout_chain": timeout_chain,
     "delay_chain": delay_chain,
@@ -199,6 +240,7 @@ WORKLOADS: Dict[str, Callable[..., Tuple[Simulator, int]]] = {
     "fanin_allof": fanin_allof,
     "short_delay_fanout": short_delay_fanout,
     "short_timeout_fanout": short_timeout_fanout,
+    "sharded_deployment": sharded_deployment,
 }
 
 # The workloads in the short-delay regime the timing wheel targets —
@@ -273,6 +315,13 @@ def test_kernel_short_delay_fanout(benchmark):
     benchmark.pedantic(sim.run, rounds=1, iterations=1)
     assert sim.peek() is None
     assert events == 99_840  # 384 procs x 260 waits
+
+
+def test_kernel_sharded_deployment(benchmark):
+    sim, events = sharded_deployment(100_000)
+    benchmark.pedantic(sim.run, rounds=1, iterations=1)
+    assert sim.peek() is None
+    assert events == 100_000  # 8 shards x 2,500 ops x (3 hops + 2 events)
 
 
 if __name__ == "__main__":

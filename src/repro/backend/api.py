@@ -126,3 +126,17 @@ class ReplicationBackend(Protocol):
 
     def close(self) -> None:
         ...
+
+    # -- rebalance hooks --------------------------------------------------
+    def drain(self) -> Event:
+        """Fires once every queued and in-flight op has completed.
+
+        The quiesce step of an online shard rebalance (see
+        :class:`repro.cluster.ShardedDeployment`): stop routing, wait on
+        this, then snapshot and copy state to the successor group.
+        """
+        ...
+
+    def snapshot_range(self, offset: int, size: int) -> bytes:
+        """Authoritative (post-drain) bytes of a region range."""
+        ...

@@ -54,6 +54,7 @@ class GroupBase:
         # event object.
         self._issue_ns: Dict[int, int] = {}
         self._window_waiters: List[Event] = []
+        self._drain_waiters: List[Event] = []
         self._submit_queue: Deque = deque()
         self._submit_kick: Optional[Event] = None
 
@@ -144,6 +145,45 @@ class GroupBase:
                 f"{limit} bytes")
 
     # ------------------------------------------------------------------
+    # Rebalance hooks (drain + snapshot)
+    # ------------------------------------------------------------------
+    def drain(self) -> Event:
+        """An event that fires once every queued and in-flight op is done.
+
+        This is the quiesce half of an online rebalance: the deployment
+        layer stops routing new work at the group, waits on ``drain()``,
+        then snapshots the key-range state it is migrating.  Draining is
+        cooperative — the caller must stop calling :meth:`submit` first;
+        operations submitted after ``drain()`` returns are not waited on.
+
+        Already-idle groups (and groups whose in-flight ops were aborted)
+        get a triggered event, so ``yield group.drain()`` never hangs.
+        """
+        done = self.sim.event()
+        if self.in_flight == 0 and not self._submit_queue:
+            done.succeed()
+        else:
+            self._drain_waiters.append(done)
+        return done
+
+    def snapshot_range(self, offset: int, size: int) -> bytes:
+        """The client-side bytes of ``region[offset:offset+size]``.
+
+        After a :meth:`drain` the client's copy of the region is
+        authoritative (every ACKed op has been applied along the whole
+        chain), so a rebalance can copy key-range state from here into a
+        successor group via the replication primitives.
+        """
+        return self.read_local(offset, size)
+
+    def _release_drain_waiters(self) -> None:
+        if self._drain_waiters and self.in_flight == 0 \
+                and not self._submit_queue:
+            waiters, self._drain_waiters = self._drain_waiters, []
+            for waiter in waiters:
+                waiter.succeed()
+
+    # ------------------------------------------------------------------
     # Membership
     # ------------------------------------------------------------------
     def member_hosts(self) -> List[Host]:
@@ -179,6 +219,9 @@ class GroupBase:
                 aborted += 1
         self._submit_queue.clear()
         self._acked = self._next_slot
+        # The group is now (vacuously) drained; anyone quiescing it for a
+        # rebalance must not hang on ops that will never complete.
+        self._release_drain_waiters()
         return aborted
 
     def _begin_close(self) -> bool:
@@ -216,6 +259,7 @@ class GroupBase:
         """Account one ACKed slot; returns its completion event (if any)."""
         done = self._ack_events.pop(slot, None)
         self._acked += 1
+        self._release_drain_waiters()
         return done
 
     def _release_window_waiters(self) -> None:

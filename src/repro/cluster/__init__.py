@@ -1,0 +1,62 @@
+"""The cluster layer: scenarios, key routing, placement, deployments.
+
+Layering (each module only looks *down* the list):
+
+:mod:`~repro.cluster.scenario`
+    One group over dedicated hosts — :class:`ScenarioConfig` /
+    :func:`build_scenario`, the construction surface every figure script
+    and test uses.
+:mod:`~repro.cluster.router`
+    Key→shard mapping: a deterministic consistent-hash ring
+    (:class:`HashRing`) with virtual nodes and an epoch counter.
+:mod:`~repro.cluster.placement`
+    Shard→host assignment policies (:func:`make_placement`), enforcing
+    that a chain never co-locates two members on one machine.
+:mod:`~repro.cluster.deployment`
+    N routed groups over a shared pool — :class:`ShardedConfig` /
+    :func:`build_deployment` — with online ``split_shard`` /
+    ``move_shard`` rebalancing.
+
+This package grew out of the flat ``repro/cluster.py`` module; the
+original import surface (``from repro.cluster import ScenarioConfig,
+build_scenario``) is unchanged.
+"""
+
+from .deployment import (
+    GroupHandle,
+    ShardedConfig,
+    ShardedDeployment,
+    build_deployment,
+)
+from .placement import (
+    Assignment,
+    LeastLoadedPlacement,
+    PlacementPolicy,
+    RoundRobinPlacement,
+    make_placement,
+)
+from .router import DEFAULT_VNODES, HashRing
+from .scenario import (
+    DEFAULT_TENANTS_PER_CORE,
+    Scenario,
+    ScenarioConfig,
+    build_scenario,
+)
+
+__all__ = [
+    "DEFAULT_TENANTS_PER_CORE",
+    "ScenarioConfig",
+    "Scenario",
+    "build_scenario",
+    "HashRing",
+    "DEFAULT_VNODES",
+    "Assignment",
+    "PlacementPolicy",
+    "RoundRobinPlacement",
+    "LeastLoadedPlacement",
+    "make_placement",
+    "ShardedConfig",
+    "GroupHandle",
+    "ShardedDeployment",
+    "build_deployment",
+]

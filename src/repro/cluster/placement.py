@@ -1,0 +1,150 @@
+"""Shard→host assignment policies.
+
+A sharded deployment owns a pool of simulated hosts and must decide, for
+every shard, which host runs the shard's client (coordinator) and which
+hosts run its replica chain.  The one hard invariant — enforced here, not
+left to callers — is that a shard's chain members are **pairwise distinct
+hosts**: co-locating two links of the same chain on one machine would
+make a single host failure eat two replicas, which defeats the point of
+replication (and quietly halves the paper's fault model).
+
+Two policies ship in-tree:
+
+``round-robin``
+    Shard ``s`` takes ``group_size`` consecutive hosts starting at
+    ``s * group_size`` (mod pool).  Stateless, perfectly predictable,
+    and — when the pool is sized ``shards * group_size`` — gives every
+    shard dedicated hardware, the configuration the scale-out experiment
+    (``fig_shards``) uses to measure horizontal scaling.
+
+``least-loaded``
+    Tracks how many chain roles each host has already been assigned and
+    picks the least-loaded hosts (ties broken by pool order, so the
+    choice is deterministic).  This is the policy for oversubscribed
+    pools, where shards outnumber ``pool // group_size`` and roles must
+    spread evenly.
+
+Both accept an ``exclude`` set of host names, which :meth:`move_shard`
+uses to force a shard off its current machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Collection, Dict, List, Sequence, Type
+
+from ..host import Host
+
+__all__ = ["Assignment", "PlacementPolicy", "RoundRobinPlacement",
+           "LeastLoadedPlacement", "PLACEMENTS", "make_placement"]
+
+
+@dataclass
+class Assignment:
+    """One shard's chain: the client host plus its replica hosts."""
+
+    client: Host
+    replicas: List[Host]
+
+    def hosts(self) -> List[Host]:
+        """Every distinct machine in the chain, client first."""
+        return [self.client] + list(self.replicas)
+
+    def host_names(self) -> List[str]:
+        return [host.name for host in self.hosts()]
+
+
+class PlacementPolicy:
+    """Base class: pool bookkeeping plus the no-co-location invariant."""
+
+    name = ""
+
+    def __init__(self, hosts: Sequence[Host]) -> None:
+        if not hosts:
+            raise ValueError("placement needs a non-empty host pool")
+        self.hosts = list(hosts)
+
+    def place(self, shard_id: int, group_size: int,
+              exclude: Collection[str] = ()) -> Assignment:
+        """Choose ``group_size`` distinct hosts (client + replicas).
+
+        ``exclude`` names hosts that must not be used — a move's source
+        machines, or hosts a fault plan has taken down.
+        """
+        candidates = [host for host in self.hosts
+                      if host.name not in exclude]
+        if len(candidates) < group_size:
+            raise ValueError(
+                f"shard {shard_id} needs {group_size} distinct hosts, "
+                f"pool has {len(candidates)} eligible "
+                f"(of {len(self.hosts)}; {len(exclude)} excluded)")
+        chosen = self._choose(shard_id, group_size, candidates)
+        names = [host.name for host in chosen]
+        if len(set(names)) != len(names):  # Defense against subclass bugs.
+            raise AssertionError(
+                f"placement co-located a chain: {names}")
+        return Assignment(client=chosen[0], replicas=chosen[1:])
+
+    def _choose(self, shard_id: int, group_size: int,
+                candidates: List[Host]) -> List[Host]:
+        raise NotImplementedError
+
+    def on_release(self, assignment: Assignment) -> None:
+        """A shard left its hosts (moved or closed); stateful policies
+        return the freed capacity."""
+
+
+class RoundRobinPlacement(PlacementPolicy):
+    """Consecutive pool slices: shard ``s`` starts at ``s * group_size``."""
+
+    name = "round-robin"
+
+    def _choose(self, shard_id: int, group_size: int,
+                candidates: List[Host]) -> List[Host]:
+        start = (shard_id * group_size) % len(candidates)
+        return [candidates[(start + i) % len(candidates)]
+                for i in range(group_size)]
+
+
+class LeastLoadedPlacement(PlacementPolicy):
+    """Spread chain roles evenly: fewest-roles-first, pool order on ties."""
+
+    name = "least-loaded"
+
+    def __init__(self, hosts: Sequence[Host]) -> None:
+        super().__init__(hosts)
+        self._load: Dict[str, int] = {host.name: 0 for host in self.hosts}
+        self._order: Dict[str, int] = {host.name: index
+                                       for index, host in enumerate(self.hosts)}
+
+    def _choose(self, shard_id: int, group_size: int,
+                candidates: List[Host]) -> List[Host]:
+        ranked = sorted(candidates,
+                        key=lambda host: (self._load[host.name],
+                                          self._order[host.name]))
+        chosen = ranked[:group_size]
+        for host in chosen:
+            self._load[host.name] += 1
+        return chosen
+
+    def on_release(self, assignment: Assignment) -> None:
+        for host in assignment.hosts():
+            if host.name in self._load and self._load[host.name] > 0:
+                self._load[host.name] -= 1
+
+
+PLACEMENTS: Dict[str, Type[PlacementPolicy]] = {
+    RoundRobinPlacement.name: RoundRobinPlacement,
+    LeastLoadedPlacement.name: LeastLoadedPlacement,
+}
+
+
+def make_placement(name: str, hosts: Sequence[Host]) -> PlacementPolicy:
+    """Resolve a policy by name over a host pool."""
+    try:
+        policy_cls = PLACEMENTS[name]
+    except KeyError:
+        known = ", ".join(sorted(PLACEMENTS))
+        raise ValueError(
+            f"unknown placement policy {name!r}; known: {known}") from None
+    return policy_cls(hosts)

@@ -1,0 +1,155 @@
+"""Key→shard routing: a consistent-hash ring with virtual nodes.
+
+A :class:`HashRing` maps every integer key to one shard id.  Each shard
+contributes ``vnodes`` points on a 64-bit ring; a key routes to the shard
+owning the first point at or after the key's own position (wrapping at
+the top).  Virtual nodes smooth the per-shard key share to within a few
+percent of uniform, and — the property the deployment layer leans on —
+**adding a shard only moves keys onto the new shard**: every key either
+keeps its owner or transfers to the newcomer, so a split migrates the
+minimum state.
+
+Determinism is load-bearing.  Positions derive from the FNV-1a hashes in
+:mod:`repro.sim.rng` (:func:`~repro.sim.rng.fnv_hash64` /
+:func:`~repro.sim.rng.fnv_hash_str`), never from Python's per-process
+salted ``hash()``, so the same ``(seed, shards, vnodes)`` triple yields
+the identical key→shard map in every process — parallel sweep workers
+included (``tests/cluster/test_router.py`` pins this across
+``PYTHONHASHSEED`` values).
+
+Every membership mutation increments :attr:`HashRing.epoch`.  Routing
+state cached against an epoch (a client's shard map, an in-flight
+request's destination) is invalidated by a simple integer compare; the
+deployment also bumps the epoch when a shard *moves* hosts without the
+key mapping changing, since cached group handles go stale all the same.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Iterable, List, Tuple
+
+from ..sim.rng import fnv_hash64, fnv_hash_str
+
+__all__ = ["HashRing", "DEFAULT_VNODES"]
+
+#: Virtual nodes per shard.  64 keeps the largest/smallest shard key
+#: share within ~1.3x of each other for up to a few hundred shards while
+#: membership changes stay cheap (one sorted merge of 64 points).
+DEFAULT_VNODES = 64
+
+_RING_BITS = 64
+_RING_MASK = (1 << _RING_BITS) - 1
+
+
+class HashRing:
+    """Consistent-hash ring: shard membership plus key lookup.
+
+    ``seed`` perturbs every position (vnode and key alike), so distinct
+    experiments get independent ring layouts from the same shard ids
+    while any single experiment stays reproducible.
+    """
+
+    __slots__ = ("seed", "vnodes", "epoch", "_salt", "_points", "_keys",
+                 "_shards")
+
+    def __init__(self, shards: Iterable[int] = (), vnodes: int = DEFAULT_VNODES,
+                 seed: int = 0) -> None:
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        if seed < 0:
+            raise ValueError(f"seed must be non-negative, got {seed}")
+        self.seed = seed
+        self.vnodes = vnodes
+        self.epoch = 0
+        self._salt = fnv_hash64(seed ^ 0x5AFE5EED)
+        self._points: List[Tuple[int, int]] = []  # (position, shard) sorted.
+        self._keys: List[int] = []                # Positions only, for bisect.
+        self._shards: List[int] = []              # Sorted member ids.
+        for shard in shards:
+            self.add_shard(shard)
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def add_shard(self, shard: int) -> None:
+        """Add ``shard``'s virtual nodes; bumps the epoch."""
+        if shard < 0:
+            raise ValueError(f"shard ids are non-negative, got {shard}")
+        if shard in self._shards:
+            raise ValueError(f"shard {shard} already on the ring")
+        for position in self._positions(shard):
+            # Tie-break equal positions by shard id so insertion order
+            # never leaks into the map (ties are astronomically rare but
+            # must still be deterministic).
+            index = bisect_left(self._points, (position, shard))
+            self._points.insert(index, (position, shard))
+            self._keys.insert(index, position)
+        self._shards.append(shard)
+        self._shards.sort()
+        self.epoch += 1
+
+    def remove_shard(self, shard: int) -> None:
+        """Remove ``shard``'s virtual nodes; bumps the epoch."""
+        if shard not in self._shards:
+            raise ValueError(f"shard {shard} not on the ring")
+        if len(self._shards) == 1:
+            raise ValueError("cannot remove the last shard")
+        self._points = [point for point in self._points if point[1] != shard]
+        self._keys = [position for position, _ in self._points]
+        self._shards.remove(shard)
+        self.epoch += 1
+
+    def bump_epoch(self) -> None:
+        """Invalidate cached routes without changing the key map.
+
+        Used when a shard's *placement* changes (its group moved hosts):
+        the key→shard map is intact but any cached group handle is stale.
+        """
+        self.epoch += 1
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def lookup(self, key: int) -> int:
+        """The shard owning ``key``."""
+        if not self._shards:
+            raise ValueError("ring has no shards")
+        index = bisect_left(self._keys, self.key_position(key))
+        if index == len(self._keys):
+            index = 0  # Wrap past the top of the ring.
+        return self._points[index][1]
+
+    def key_position(self, key: int) -> int:
+        """``key``'s position on the ring (seed-salted FNV-1a)."""
+        return fnv_hash64(key ^ self._salt) & _RING_MASK
+
+    def shards(self) -> List[int]:
+        """Member shard ids, sorted."""
+        return list(self._shards)
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def __contains__(self, shard: object) -> bool:
+        return shard in self._shards
+
+    def copy(self) -> "HashRing":
+        """An independent ring with the same membership (epoch restarts).
+
+        Used to *probe* a membership change — build the post-change map
+        and diff ownership — before committing it to the live ring.
+        """
+        probe = HashRing(vnodes=self.vnodes, seed=self.seed)
+        for shard in self._shards:
+            probe.add_shard(shard)
+        return probe
+
+    def _positions(self, shard: int) -> List[int]:
+        salt = self._salt
+        return [fnv_hash64(fnv_hash_str(f"shard{shard}.v{vnode}") ^ salt)
+                & _RING_MASK for vnode in range(self.vnodes)]
+
+    def __repr__(self) -> str:
+        return (f"<HashRing shards={self._shards} vnodes={self.vnodes} "
+                f"epoch={self.epoch}>")

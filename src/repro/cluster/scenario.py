@@ -35,9 +35,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional
 
-from . import backend as backend_registry
-from .backend.api import ReplicationBackend
-from .host import Cluster, Host, HostParams
+from .. import backend as backend_registry
+from ..backend.api import ReplicationBackend
+from ..host import Cluster, Host, HostParams
 
 __all__ = ["ScenarioConfig", "Scenario", "build_scenario"]
 
@@ -64,6 +64,22 @@ class ScenarioConfig:
     tenant_kind: str = "bursty"      # Tenant load profile (Host.add_tenant_load).
     backend_kwargs: Dict[str, Any] = field(default_factory=dict)
     #                                  Backend config overrides (slots, ...).
+
+    def __post_init__(self) -> None:
+        # Fail at construction, not deep inside build_scenario: a config is
+        # data that travels (through sweep points, pickles, CLI parsing), so
+        # the place it was *made* is the place a typo is debuggable.
+        if self.replicas < 1:
+            raise ValueError(
+                f"replicas must be >= 1, got {self.replicas}")
+        if self.seed < 0:
+            raise ValueError(
+                f"seed must be non-negative, got {self.seed}")
+        known = backend_registry.names()
+        if self.backend not in known:
+            raise ValueError(
+                f"unknown replication backend {self.backend!r}; "
+                f"registered: {', '.join(known)}")
 
     def tenants_per_core(self) -> float:
         return self.replica_tenants / self.cores if self.cores else 0.0

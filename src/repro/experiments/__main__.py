@@ -11,6 +11,7 @@ Usage::
     python -m repro.experiments fig8 --jobs 4 # sweep points in parallel
     REPRO_FULL=1 python -m repro.experiments all   # paper-sized counts
     REPRO_QUICK=1 python -m repro.experiments fig8 # CI-smoke counts
+    python -m repro.experiments fig_shards --quick # same, as a flag
 
 ``--backend NAME`` resolves through the replication-backend registry
 (:mod:`repro.backend`), so any registered backend — including out-of-tree
@@ -24,12 +25,13 @@ and seed, so rows are identical to a serial run.
 
 from __future__ import annotations
 
+import os
 import sys
 import time
 
 from .. import backend as backend_registry
 from . import (availability, calibration, fig2, fig8, fig9, fig10, fig11,
-               fig12, parallel, table2)
+               fig12, fig_shards, parallel, table2)
 
 EXPERIMENTS = {
     "fig2": ("Figure 2 — multi-tenancy root cause (MongoDB)",
@@ -48,6 +50,9 @@ EXPERIMENTS = {
               lambda backend, jobs: fig11.main(backend=backend)),
     "fig12": ("Figure 12 — MongoDB across YCSB workloads",
               lambda backend, jobs: fig12.main(backend=backend, jobs=jobs)),
+    "fig_shards": ("Scale-out — sharded throughput & online rebalance",
+                   lambda backend, jobs: fig_shards.main(backend=backend,
+                                                         jobs=jobs)),
     "calibration": ("Calibration — simulator parameter anchors",
                     lambda backend, jobs: calibration.main(backend=backend)),
     "availability": ("Availability — throughput through crash & repair",
@@ -90,6 +95,8 @@ def main(argv) -> int:
             jobs = args.pop(0)
         elif arg.startswith("--jobs="):
             jobs = arg.split("=", 1)[1]
+        elif arg == "--quick":
+            os.environ["REPRO_QUICK"] = "1"
         elif arg in ("-h", "--help"):
             _usage()
             return 0

@@ -23,6 +23,7 @@ __all__ = [
     "ScrambledZipfianGenerator",
     "LatestGenerator",
     "fnv_hash64",
+    "fnv_hash_str",
 ]
 
 FNV_OFFSET_BASIS_64 = 0xCBF29CE484222325
@@ -46,11 +47,13 @@ def fnv_hash64(value: int) -> int:
     return hashval
 
 
-def _name_hash64(name: str) -> int:
+def fnv_hash_str(name: str) -> int:
     """FNV-1a over the name's UTF-8 bytes.
 
     Built-in ``hash()`` is salted per interpreter process (PYTHONHASHSEED),
-    which would make "deterministic" streams differ between runs.
+    which would make "deterministic" streams differ between runs.  Named
+    RNG streams and the cluster router's hash ring both derive positions
+    from this, so identical configs map identically across processes.
     """
     hashval = FNV_OFFSET_BASIS_64
     for octet in name.encode("utf-8"):
@@ -72,13 +75,13 @@ class RandomStreams:
         """The stream for ``name``, created deterministically on first use."""
         if name not in self._streams:
             # Derive a per-stream seed from the experiment seed and the name.
-            derived = fnv_hash64(self.seed ^ _name_hash64(name))
+            derived = fnv_hash64(self.seed ^ fnv_hash_str(name))
             self._streams[name] = random.Random(derived)
         return self._streams[name]
 
     def spawn(self, name: str) -> "RandomStreams":
         """A child family, for components that create their own substreams."""
-        derived = fnv_hash64(self.seed ^ _name_hash64(name))
+        derived = fnv_hash64(self.seed ^ fnv_hash_str(name))
         return RandomStreams(derived)
 
 

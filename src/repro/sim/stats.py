@@ -7,22 +7,26 @@ Every experiment in the reproduction reports one or more of:
 * throughput (operations per second over a simulated interval), Figure 9;
 * CPU utilization and context-switch counts, Figures 2 and 9.
 
-The recorders here store raw samples (simulation runs are small enough) and
-compute percentiles with linear interpolation, the same convention as
-``numpy.percentile``'s default.
+The recorders here store raw samples and compute percentiles with linear
+interpolation, the same convention as ``numpy.percentile``'s default.
+Samples live in a compact ``array('q')`` rather than a list — at the
+scale-out experiments' volumes (10⁵ clients × several ops each, per sweep
+point) that is 8 bytes per sample instead of a ~28-byte boxed int plus
+pointer, with identical append/extend behaviour.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional
+from array import array
+from typing import Dict, Optional, Sequence
 
 from .units import to_us
 
 __all__ = ["LatencyRecorder", "Counter", "UtilizationTracker", "summarize_us"]
 
 
-def _percentile(sorted_samples: List[float], pct: float) -> float:
+def _percentile(sorted_samples: Sequence[int], pct: float) -> float:
     """Linear-interpolated percentile of pre-sorted samples."""
     if not sorted_samples:
         raise ValueError("no samples recorded")
@@ -38,14 +42,22 @@ def _percentile(sorted_samples: List[float], pct: float) -> float:
 
 
 class LatencyRecorder:
-    """Collects latency samples (nanoseconds) and reports statistics."""
+    """Collects latency samples (nanoseconds) and reports statistics.
+
+    Storage is a signed-64-bit ``array('q')``: dense, cache-friendly, and
+    still list-shaped (``append``/``extend``/iteration/indexing), so the
+    public surface — :attr:`samples`, :meth:`record`, :meth:`merge`, the
+    percentile accessors — is unchanged from the list-backed version.
+    The sorted view is computed lazily and cached; any mutation
+    (:meth:`record` or :meth:`merge`) invalidates the cache.
+    """
 
     __slots__ = ("name", "samples", "_sorted")
 
     def __init__(self, name: str = "") -> None:
         self.name = name
-        self.samples: List[int] = []
-        self._sorted: Optional[List[int]] = None
+        self.samples: array = array("q")
+        self._sorted: Optional[array] = None
 
     def record(self, latency_ns: int) -> None:
         if latency_ns < 0:
@@ -54,15 +66,16 @@ class LatencyRecorder:
         self._sorted = None
 
     def merge(self, other: "LatencyRecorder") -> None:
+        """Append ``other``'s samples (one memcpy-like extend)."""
         self.samples.extend(other.samples)
         self._sorted = None
 
     def __len__(self) -> int:
         return len(self.samples)
 
-    def _ensure_sorted(self) -> List[int]:
+    def _ensure_sorted(self) -> array:
         if self._sorted is None:
-            self._sorted = sorted(self.samples)
+            self._sorted = array("q", sorted(self.samples))
         return self._sorted
 
     @property
@@ -101,7 +114,7 @@ class LatencyRecorder:
         }
 
 
-def summarize_us(samples_ns: List[int]) -> Dict[str, float]:
+def summarize_us(samples_ns: Sequence[int]) -> Dict[str, float]:
     """One-shot summary for a raw list of nanosecond samples."""
     recorder = LatencyRecorder()
     for sample in samples_ns:

@@ -9,7 +9,13 @@ from .ycsb import (
     YCSBWorkload,
     make_value,
 )
-from .runner import MongoAdapter, RocksAdapter, RunStats, YCSBRunner
+from .runner import (
+    MongoAdapter,
+    RocksAdapter,
+    RunStats,
+    ShardedAdapter,
+    YCSBRunner,
+)
 
 __all__ = [
     "WORKLOAD_MIXES",
@@ -21,6 +27,7 @@ __all__ = [
     "make_value",
     "MongoAdapter",
     "RocksAdapter",
+    "ShardedAdapter",
     "RunStats",
     "YCSBRunner",
 ]

@@ -1,0 +1,221 @@
+"""Sharded deployments: routing, drain hooks, and online rebalancing.
+
+The load-bearing guarantee is at the bottom: a split and a move executed
+*while writes are in flight* must lose zero acknowledged writes — every
+ACKed record readable, at its last ACKed version, on every replica of
+its key's (possibly new) owner.  The deployment's own oracle
+(``write_record``/``verify_records``) checks exactly that.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import ShardedConfig, build_deployment
+from repro.cluster.deployment import encode_record
+from repro.sim.units import seconds
+
+DEADLINE = seconds(60)
+
+
+def _deployment(**overrides):
+    defaults = dict(shards=2, replicas=2, seed=1, records_per_shard=64,
+                    record_size=256)
+    defaults.update(overrides)
+    return build_deployment(ShardedConfig(**defaults))
+
+
+def _drive(deployment, generator):
+    """Run a driver generator to completion against the deployment."""
+    process = deployment.sim.process(generator, name="driver")
+    deployment.run_until(process, DEADLINE)
+    assert process.triggered, "driver did not finish before the deadline"
+    return process.value
+
+
+class TestConfig:
+    def test_rejects_bad_values(self):
+        for bad in (dict(shards=0), dict(replicas=0), dict(seed=-1),
+                    dict(backend="nope"), dict(placement="nope"),
+                    dict(record_size=8), dict(records_per_shard=0),
+                    dict(hosts=2, replicas=3)):
+            with pytest.raises(ValueError):
+                _deployment(**bad)
+
+    def test_pool_defaults_to_dedicated_chains(self):
+        config = ShardedConfig(shards=4, replicas=3)
+        assert config.pool_size() == 4 * 4
+
+    def test_encode_record_roundtrip_and_bounds(self):
+        assert encode_record(1, 2, 64) != encode_record(1, 3, 64)
+        assert len(encode_record(5, 9, 300)) == 300
+        with pytest.raises(ValueError):
+            encode_record(1, 1, 8)
+
+
+class TestBuild:
+    def test_groups_on_distinct_hosts_one_fabric(self):
+        deployment = _deployment(shards=3)
+        assert sorted(deployment.handles) == [0, 1, 2]
+        for row in deployment.shard_rows():
+            names = row["hosts"].split(",")
+            assert len(set(names)) == len(names)
+        sims = {deployment.handles[s].group.sim
+                for s in deployment.handles}
+        assert sims == {deployment.sim}, "all groups share one simulator"
+        deployment.close()
+
+    def test_any_registered_backend_shards(self):
+        for backend in ("hyperloop", "naive", "fanout"):
+            deployment = _deployment(backend=backend)
+
+            def driver():
+                yield deployment.write_record(3, seq=1, durable=True)
+
+            _drive(deployment, driver())
+            assert deployment.verify_records() == []
+            deployment.close()
+
+
+class TestRouting:
+    def test_writes_land_on_ring_owner(self):
+        deployment = _deployment()
+
+        def driver():
+            events = [deployment.write_record(key, seq=1)
+                      for key in range(32)]
+            yield deployment.sim.all_of(events)
+
+        _drive(deployment, driver())
+        for key in range(32):
+            owner = deployment.shard_of(key)
+            assert key in deployment.handles[owner].keys
+            expected = encode_record(key, 1, deployment.config.record_size)
+            assert deployment.read_record(key) == expected
+        assert sum(len(h.keys) for h in deployment.handles.values()) == 32
+        deployment.close()
+
+    def test_oversized_write_rejected(self):
+        deployment = _deployment()
+        with pytest.raises(ValueError):
+            deployment.submit_write(1, size=4096)
+        deployment.close()
+
+    def test_closed_deployment_rejects_writes(self):
+        deployment = _deployment()
+        deployment.close()
+        with pytest.raises(RuntimeError):
+            deployment.submit_write(1)
+
+
+class TestDrainHook:
+    def test_idle_group_drains_immediately(self):
+        deployment = _deployment(shards=1)
+        group = deployment.handles[0].group
+        assert group.drain().triggered
+        deployment.close()
+
+    def test_drain_waits_for_inflight_and_queued(self):
+        deployment = _deployment(shards=1)
+        group = deployment.handles[0].group
+
+        def driver():
+            pending = [group.gwrite(0, 64) for _ in range(8)]
+            drained = group.drain()
+            assert not drained.triggered
+            yield drained
+            assert all(event.triggered for event in pending)
+            assert group.in_flight == 0
+
+        _drive(deployment, driver())
+        deployment.close()
+
+
+class TestRebalance:
+    def test_split_under_load_loses_nothing(self):
+        deployment = _deployment(shards=2, records_per_shard=128)
+        sim = deployment.sim
+
+        def driver():
+            settled = [deployment.write_record(key, seq=1, durable=True)
+                       for key in range(64)]
+            yield sim.all_of(settled)
+            epoch = deployment.epoch
+            # Second wave still in flight while the split drains/copies.
+            inflight = [deployment.write_record(key, seq=2)
+                        for key in range(0, 64, 2)]
+            new_id = yield from deployment.split_shard()
+            yield sim.all_of(inflight)
+            assert deployment.epoch > epoch
+            assert new_id in deployment.handles
+            assert len(deployment.handles[new_id].keys) > 0, \
+                "split must take over part of the keyspace"
+
+        _drive(deployment, driver())
+        assert deployment.verify_records() == []
+        assert all(h.state == "serving"
+                   for h in deployment.handles.values())
+        deployment.close()
+
+    def test_move_under_load_loses_nothing(self):
+        deployment = _deployment(shards=2, hosts=9)
+        sim = deployment.sim
+
+        def driver():
+            settled = [deployment.write_record(key, seq=1, durable=True)
+                       for key in range(48)]
+            yield sim.all_of(settled)
+            moved = deployment.shard_of(0)
+            before = set(deployment.handles[moved].assignment.host_names())
+            inflight = [deployment.write_record(key, seq=2)
+                        for key in range(48)]
+            assignment = yield from deployment.move_shard(moved)
+            yield sim.all_of(inflight)
+            assert not set(assignment.host_names()) & before
+            return moved
+
+        moved = _drive(deployment, driver())
+        assert deployment.verify_records() == []
+        assert deployment.handles[moved].state == "serving"
+        deployment.close()
+
+    def test_requests_during_drain_forward_and_complete(self):
+        """A write routed at a draining shard parks, re-routes after the
+        epoch flip, and still ACKs — callers only see extra latency."""
+        deployment = _deployment(shards=1, records_per_shard=128)
+        sim = deployment.sim
+
+        def driver():
+            yield sim.all_of([deployment.write_record(key, seq=1)
+                              for key in range(32)])
+            deployment.handles[0].pause()
+            parked = [deployment.write_record(key, seq=2)
+                      for key in range(32)]
+            assert not any(event.triggered for event in parked)
+            assert deployment.handles[0].ops == 32, \
+                "parked writes must not be counted as served"
+            deployment.handles[0].resume()
+            yield sim.all_of(parked)
+
+        _drive(deployment, driver())
+        assert deployment.verify_records() == []
+        deployment.close()
+
+    def test_epoch_strictly_increases_per_rebalance(self):
+        deployment = _deployment(shards=2, hosts=12, records_per_shard=128)
+
+        def driver():
+            yield deployment.sim.all_of(
+                [deployment.write_record(key, seq=1) for key in range(24)])
+            epochs = [deployment.epoch]
+            yield from deployment.split_shard()
+            epochs.append(deployment.epoch)
+            yield from deployment.move_shard(0)
+            epochs.append(deployment.epoch)
+            return epochs
+
+        epochs = _drive(deployment, driver())
+        assert epochs == sorted(epochs) and len(set(epochs)) == 3
+        assert deployment.rebalances == 2
+        assert deployment.verify_records() == []
+        deployment.close()

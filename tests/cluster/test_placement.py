@@ -1,0 +1,78 @@
+"""Placement policies: the no-co-location invariant and determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import make_placement
+from repro.cluster.placement import LeastLoadedPlacement, RoundRobinPlacement
+from repro.host import Cluster
+
+
+def _pool(count: int):
+    return Cluster(seed=0).add_hosts(count, prefix="host")
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("policy", ["round-robin", "least-loaded"])
+    def test_chain_never_colocates(self, policy):
+        placement = make_placement(policy, _pool(6))
+        for shard in range(12):
+            names = placement.place(shard, 4).host_names()
+            assert len(set(names)) == 4
+
+    @pytest.mark.parametrize("policy", ["round-robin", "least-loaded"])
+    def test_deterministic(self, policy):
+        first = make_placement(policy, _pool(8))
+        second = make_placement(policy, _pool(8))
+        for shard in range(10):
+            assert first.place(shard, 3).host_names() == \
+                second.place(shard, 3).host_names()
+
+    def test_exclude_forces_fresh_hosts(self):
+        placement = make_placement("round-robin", _pool(8))
+        original = placement.place(0, 4)
+        moved = placement.place(0, 4, exclude=set(original.host_names()))
+        assert not set(moved.host_names()) & set(original.host_names())
+
+    def test_insufficient_pool_raises(self):
+        placement = make_placement("round-robin", _pool(3))
+        with pytest.raises(ValueError):
+            placement.place(0, 4)
+        with pytest.raises(ValueError):
+            placement.place(0, 3, exclude={"host0"})
+
+    def test_empty_pool_raises(self):
+        with pytest.raises(ValueError):
+            make_placement("round-robin", [])
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(ValueError, match="least-loaded"):
+            make_placement("best-fit", _pool(4))
+
+
+class TestRoundRobin:
+    def test_dedicated_hardware_when_pool_matches(self):
+        """Pool sized shards×group_size ⇒ every shard gets disjoint
+        hosts — the fig_shards scale-out configuration."""
+        placement = RoundRobinPlacement(_pool(12))
+        used = set()
+        for shard in range(3):
+            names = placement.place(shard, 4).host_names()
+            assert not used & set(names)
+            used |= set(names)
+
+
+class TestLeastLoaded:
+    def test_roles_spread_evenly_when_oversubscribed(self):
+        placement = LeastLoadedPlacement(_pool(6))
+        for shard in range(6):
+            placement.place(shard, 3)
+        # 6 shards × 3 roles over 6 hosts ⇒ exactly 3 roles per host.
+        assert set(placement._load.values()) == {3}
+
+    def test_release_returns_capacity(self):
+        placement = LeastLoadedPlacement(_pool(6))
+        assignment = placement.place(0, 3)
+        placement.on_release(assignment)
+        assert set(placement._load.values()) == {0}

@@ -1,0 +1,151 @@
+"""HashRing: determinism, minimal movement, epoch discipline.
+
+The ring is the one piece of cluster state every process must agree on —
+a parallel sweep worker, a forwarded request, and the coordinator all
+compute key→shard independently.  So the first test here runs the same
+lookup in subprocesses under *different* ``PYTHONHASHSEED`` values: if
+any position ever derives from Python's salted ``hash()``, this is the
+test that catches it.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.cluster import HashRing
+
+KEYS = range(2_000)
+
+_MAP_SNIPPET = """\
+import sys
+from repro.cluster import HashRing
+ring = HashRing(shards=range(4), seed=7)
+print(",".join(str(ring.lookup(key)) for key in range(2000)))
+"""
+
+
+def _key_map(ring: HashRing, keys=KEYS):
+    return {key: ring.lookup(key) for key in keys}
+
+
+class TestDeterminism:
+    def test_same_seed_same_map(self):
+        first = _key_map(HashRing(shards=range(8), seed=3))
+        second = _key_map(HashRing(shards=range(8), seed=3))
+        assert first == second
+
+    def test_insertion_order_irrelevant(self):
+        forward = HashRing(shards=[0, 1, 2, 3], seed=3)
+        backward = HashRing(shards=[3, 2, 1, 0], seed=3)
+        assert _key_map(forward) == _key_map(backward)
+
+    def test_different_seeds_differ(self):
+        assert _key_map(HashRing(shards=range(8), seed=1)) != \
+            _key_map(HashRing(shards=range(8), seed=2))
+
+    @pytest.mark.parametrize("hashseed", ["0", "42"])
+    def test_map_stable_across_processes(self, hashseed):
+        """Same map from a subprocess with a hostile PYTHONHASHSEED."""
+        env = dict(os.environ, PYTHONHASHSEED=hashseed)
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, [os.path.join(os.getcwd(), "src"),
+                          env.get("PYTHONPATH", "")]))
+        output = subprocess.run(
+            [sys.executable, "-c", _MAP_SNIPPET], env=env,
+            capture_output=True, text=True, check=True).stdout.strip()
+        local = HashRing(shards=range(4), seed=7)
+        assert output == ",".join(str(local.lookup(key)) for key in KEYS)
+
+
+class TestMinimalMovement:
+    def test_adding_shard_only_moves_keys_onto_it(self):
+        """The consistent-hashing contract a split relies on: after
+        add_shard, every key either kept its owner or moved to the
+        newcomer — never between survivors."""
+        ring = HashRing(shards=range(4), seed=5)
+        before = _key_map(ring)
+        ring.add_shard(4)
+        after = _key_map(ring)
+        moved = {key for key in KEYS if before[key] != after[key]}
+        assert moved, "a new shard must take over some keys"
+        assert all(after[key] == 4 for key in moved)
+
+    def test_copy_probe_matches_committed_ring(self):
+        """split_shard probes on a copy, then commits on the live ring;
+        both must produce the identical post-split map."""
+        ring = HashRing(shards=range(3), seed=11)
+        probe = ring.copy()
+        probe.add_shard(3)
+        ring.add_shard(3)
+        assert _key_map(probe) == _key_map(ring)
+
+    def test_remove_restores_prior_owners(self):
+        ring = HashRing(shards=range(4), seed=5)
+        before = _key_map(ring)
+        ring.add_shard(4)
+        ring.remove_shard(4)
+        assert _key_map(ring) == before
+
+
+class TestEpoch:
+    def test_epoch_monotonic_across_mutations(self):
+        ring = HashRing(seed=1)
+        seen = [ring.epoch]
+        ring.add_shard(0)
+        seen.append(ring.epoch)
+        ring.add_shard(1)
+        seen.append(ring.epoch)
+        ring.bump_epoch()
+        seen.append(ring.epoch)
+        ring.remove_shard(1)
+        seen.append(ring.epoch)
+        assert seen == sorted(seen)
+        assert len(set(seen)) == len(seen), "every mutation must bump"
+
+    def test_lookup_does_not_bump(self):
+        ring = HashRing(shards=range(2), seed=1)
+        epoch = ring.epoch
+        _key_map(ring)
+        assert ring.epoch == epoch
+
+
+class TestValidationAndBalance:
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            HashRing(vnodes=0)
+        with pytest.raises(ValueError):
+            HashRing(seed=-1)
+        with pytest.raises(ValueError):
+            HashRing(shards=[0, 0])
+        ring = HashRing(shards=[0])
+        with pytest.raises(ValueError):
+            ring.remove_shard(0)  # Never strand the keyspace.
+        with pytest.raises(ValueError):
+            ring.remove_shard(9)
+        with pytest.raises(ValueError):
+            ring.add_shard(-1)
+
+    def test_empty_ring_refuses_lookup(self):
+        with pytest.raises(ValueError):
+            HashRing().lookup(1)
+
+    def test_vnodes_keep_shares_balanced(self):
+        """With 64 vnodes the largest shard share stays within ~2x of
+        the smallest — the property that makes hash sharding a load
+        balancer and not a lottery."""
+        ring = HashRing(shards=range(8), seed=9)
+        counts = {shard: 0 for shard in ring.shards()}
+        for key in range(20_000):
+            counts[ring.lookup(key)] += 1
+        assert min(counts.values()) > 0
+        assert max(counts.values()) / min(counts.values()) < 2.0
+
+    def test_membership_helpers(self):
+        ring = HashRing(shards=[2, 0, 1], seed=4)
+        assert ring.shards() == [0, 1, 2]
+        assert len(ring) == 3
+        assert 1 in ring and 7 not in ring
