@@ -65,11 +65,14 @@ or under pytest-benchmark like the figure benches::
 from __future__ import annotations
 
 import time
+from array import array
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.sim.engine import Simulator
+from repro.sim.stats import LatencyRecorder
 
-__all__ = ["WORKLOADS", "SHORT_DELAY_WORKLOADS", "run_workload", "main"]
+__all__ = ["WORKLOADS", "SHORT_DELAY_WORKLOADS", "run_workload",
+           "sweep_overhead", "sweep_overhead_compare", "main"]
 
 # Concurrent processes in the fan-out workloads.  Chosen to match the
 # multi-tenant regime from the paper's figure 8/9 setups (hundreds of
@@ -296,6 +299,84 @@ def compare(n: int = 100_000, repeats: int = 3) -> Dict[str, float]:
 
 
 # ----------------------------------------------------------------------
+# Sweep-engine result-transport overhead.
+#
+# Not a kernel workload: it measures the experiment harness *around* the
+# kernel (how fast a worker's latency distribution reaches the parent),
+# so it reports wall seconds, not events/sec, and is deliberately not in
+# ``WORKLOADS`` — the events/sec regression gate stays about the kernel.
+# ``scripts/perf_report.py`` records it in a separate ``sweep`` section.
+# ----------------------------------------------------------------------
+#: Deterministic sample pattern, tiled to size with C-level array repeat
+#: so building the payload costs a memcpy, not a Python loop — the run
+#: cost then *is* the result transport.
+_TRANSPORT_PATTERN = array(
+    "q", (1_000 + ((i * 2654435761) & 0xFFF) for i in range(4096)))
+
+
+def _transport_point(point) -> Dict[str, int]:
+    """Synthetic sweep point: a large latency distribution, a tiny row."""
+    from repro.experiments.parallel import publish_recorder
+
+    index, count = point
+    reps = -(-count // len(_TRANSPORT_PATTERN))
+    recorder = LatencyRecorder(f"transport-{index}")
+    recorder.samples = (_TRANSPORT_PATTERN * reps)[:count]
+    publish_recorder(recorder)
+    return {"index": index, "count": count}
+
+
+def sweep_overhead(samples: int = 200_000, points: int = 8, jobs: int = 2,
+                   shm: bool = True, repeats: int = 3) -> Dict[str, float]:
+    """Best-of-``repeats`` parallel sweep moving ``points`` recorders of
+    ``samples`` int64s each back to the parent; returns wall seconds and
+    the payload rate for the selected transport."""
+    from repro.experiments.parallel import SweepOptions, last_stats, sweep
+
+    opts = SweepOptions(cache_dir=None, resume=False, shm=shm)
+    grid = [(i, samples) for i in range(points)]
+    payload_mb = points * samples * 8 / 1e6
+    best = float("inf")
+    transport = "serial"
+    for _ in range(repeats):
+        recorders: list = []
+        started = time.perf_counter()
+        rows = sweep(grid, _transport_point, jobs=jobs,
+                     recorders=recorders, samples_hint=samples,
+                     sweep_options=opts)
+        best = min(best, time.perf_counter() - started)
+        transport = last_stats().transport
+        assert [row["index"] for row in rows] == list(range(points))
+        assert all(len(r) == samples for r in recorders)
+    return {
+        "samples": samples,
+        "points": points,
+        "jobs": jobs,
+        "transport": transport,
+        "payload_mb": payload_mb,
+        "elapsed_s": best,
+        "mb_per_sec": payload_mb / best if best > 0 else float("inf"),
+    }
+
+
+def sweep_overhead_compare(samples: int = 200_000, points: int = 8,
+                           jobs: int = 2,
+                           repeats: int = 3) -> Dict[str, Dict[str, float]]:
+    """Run the transport bench with shm off, then on; print the speedup."""
+    results = {}
+    for mode, shm in (("pickle", False), ("shm", True)):
+        results[mode] = sweep_overhead(samples, points, jobs=jobs,
+                                       shm=shm, repeats=repeats)
+        r = results[mode]
+        print(f"sweep_overhead/{r['transport']:<7} "
+              f"{r['payload_mb']:6.1f} MB  {r['elapsed_s'] * 1e3:8.1f} ms  "
+              f"{r['mb_per_sec']:7.1f} MB/s")
+    ratio = results["pickle"]["elapsed_s"] / results["shm"]["elapsed_s"]
+    print(f"sweep_overhead speedup shm vs pickle: {ratio:.2f}x")
+    return results
+
+
+# ----------------------------------------------------------------------
 # pytest-benchmark integration (same harness as the figure benches).
 # ----------------------------------------------------------------------
 def test_kernel_timeout_chain(benchmark):
@@ -335,8 +416,13 @@ if __name__ == "__main__":
     parser.add_argument("--compare", action="store_true",
                         help="run each workload under both schedulers "
                              "and report the wheel/heap speedup")
+    parser.add_argument("--sweep-overhead", action="store_true",
+                        help="measure the sweep engine's result transport "
+                             "(shm vs pickle) instead of kernel workloads")
     cli = parser.parse_args()
-    if cli.compare:
+    if cli.sweep_overhead:
+        sweep_overhead_compare()
+    elif cli.compare:
         compare(cli.n, repeats=cli.repeats)
     else:
         main(cli.n, repeats=cli.repeats, scheduler=cli.scheduler)

@@ -7,7 +7,10 @@ discrete-event kernel, so this script records two things:
 * **events/sec** on the kernel microbenchmarks in
   ``benchmarks/bench_kernel.py`` (the number that bounds every figure);
 * **wall-clock** for a fixed fig8-shaped workload (group size 3, gWRITE
-  latency sweep) — the end-to-end cost a contributor actually feels.
+  latency sweep) — the end-to-end cost a contributor actually feels;
+* **sweep result-transport throughput** (MB/s of latency samples moved
+  from pool workers back to the parent) for the shared-memory and the
+  pickled transport — ``--transport {pickle,shm,both}`` selects which.
 
 Usage::
 
@@ -101,7 +104,7 @@ def validate_bench_entry(entry: dict, where: str) -> None:
                               f"numeric 'events_per_sec', got {rate!r}")
 
 
-def measure(quick: bool) -> dict:
+def measure(quick: bool, transport: str = "both") -> dict:
     import bench_kernel
     from repro.experiments import fig8
 
@@ -134,7 +137,25 @@ def measure(quick: bool) -> dict:
     }
     print(f"figure/fig8_shaped      {wall:6.2f} s wall "
           f"({len(rows)} rows, {count} ops x {len(sizes)} sizes x 2 arms)")
-    return {"kernel": kernel, "figures": figures}
+
+    # Sweep result transport: how fast published latency distributions
+    # travel from pool workers back to the parent.  Not part of the
+    # kernel events/sec gate — recorded so the shm-vs-pickle trajectory
+    # is visible in BENCH_kernel.json.
+    samples = 50_000 if quick else 200_000
+    sweep = {}
+    modes = {"pickle": False, "shm": True}
+    wanted = ("pickle", "shm") if transport == "both" else (transport,)
+    for mode in wanted:
+        sweep[mode] = bench_kernel.sweep_overhead(
+            samples=samples, points=8, jobs=2, shm=modes[mode])
+        r = sweep[mode]
+        print(f"sweep/{r['transport']:<17} {r['payload_mb']:6.1f} MB  "
+              f"{r['elapsed_s'] * 1e3:8.1f} ms  {r['mb_per_sec']:7.1f} MB/s")
+    if len(sweep) == 2:
+        ratio = sweep["pickle"]["elapsed_s"] / sweep["shm"]["elapsed_s"]
+        print(f"sweep transport speedup shm vs pickle: {ratio:.2f}x")
+    return {"kernel": kernel, "figures": figures, "sweep": sweep}
 
 
 def make_entry(label: str, quick: bool, results: dict) -> dict:
@@ -198,10 +219,15 @@ def main(argv=None) -> int:
     parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
                         help="allowed fractional events/sec regression "
                              "(default 0.30)")
+    parser.add_argument("--transport", choices=("pickle", "shm", "both"),
+                        default="both",
+                        help="which sweep result transport(s) to measure "
+                             "(default both)")
     args = parser.parse_args(argv)
 
     quick = args.quick or os.environ.get("REPRO_QUICK", "") == "1"
-    entry = make_entry(args.label, quick, measure(quick))
+    entry = make_entry(args.label, quick,
+                       measure(quick, transport=args.transport))
 
     if args.out:
         if args.append and args.out.exists():

@@ -12,6 +12,12 @@ Usage::
     REPRO_FULL=1 python -m repro.experiments all   # paper-sized counts
     REPRO_QUICK=1 python -m repro.experiments fig8 # CI-smoke counts
     python -m repro.experiments fig_shards --quick # same, as a flag
+    python -m repro.experiments fig8 --cache-dir .sweep-cache
+                                              # journal completed points
+    python -m repro.experiments fig8 --cache-dir .sweep-cache --resume
+                                              # ... and skip journaled ones
+    python -m repro.experiments fig8 --jobs 4 --no-shm
+                                              # force the pickle transport
 
 ``--backend NAME`` resolves through the replication-backend registry
 (:mod:`repro.backend`), so any registered backend — including out-of-tree
@@ -19,8 +25,15 @@ ones — can stand in for HyperLoop in the offloaded arm.  Experiments whose
 point is the baseline itself (fig2) ignore the flag.
 
 ``--jobs N`` (or ``REPRO_JOBS=N``) fans independent sweep points out over
-worker processes (fig8/fig9/fig10/fig12); every point owns its simulator
-and seed, so rows are identical to a serial run.
+worker processes (fig8/fig9/fig10/fig12/fig_shards); every point owns its
+simulator and seed, so rows are identical to a serial run.
+
+``--cache-dir DIR`` (or ``REPRO_SWEEP_CACHE=DIR``) journals every
+completed sweep point to a per-experiment JSONL file under ``DIR``, keyed
+by a config hash; ``--resume`` additionally *replays* journaled rows, so
+a grown grid — or a rerun CI shard — only computes points it has never
+seen.  ``--no-shm`` (or ``REPRO_SWEEP_SHM=0``) disables the
+shared-memory result transport; rows are identical either way.
 """
 
 from __future__ import annotations
@@ -77,6 +90,9 @@ def _usage() -> None:
 def main(argv) -> int:
     backend = DEFAULT_BACKEND
     jobs = parallel.default_jobs()
+    cache_dir = None
+    resume = False
+    shm = None
     names = []
     args = list(argv)
     while args:
@@ -95,6 +111,17 @@ def main(argv) -> int:
             jobs = args.pop(0)
         elif arg.startswith("--jobs="):
             jobs = arg.split("=", 1)[1]
+        elif arg == "--cache-dir":
+            if not args:
+                print("--cache-dir requires a path", file=sys.stderr)
+                return 2
+            cache_dir = args.pop(0)
+        elif arg.startswith("--cache-dir="):
+            cache_dir = arg.split("=", 1)[1]
+        elif arg == "--resume":
+            resume = True
+        elif arg == "--no-shm":
+            shm = False
         elif arg == "--quick":
             os.environ["REPRO_QUICK"] = "1"
         elif arg in ("-h", "--help"):
@@ -107,6 +134,19 @@ def main(argv) -> int:
     except (TypeError, ValueError):
         print(f"--jobs expects an integer, got {jobs!r}", file=sys.stderr)
         return 2
+    if resume and cache_dir is None and parallel.options().cache_dir is None:
+        print("--resume needs a journal: pass --cache-dir DIR or set "
+              "REPRO_SWEEP_CACHE", file=sys.stderr)
+        return 2
+    overrides = {}
+    if cache_dir is not None:
+        overrides["cache_dir"] = cache_dir
+    if resume:
+        overrides["resume"] = True
+    if shm is not None:
+        overrides["shm"] = shm
+    if overrides:
+        parallel.configure(**overrides)
     if backend not in backend_registry.names():
         print(f"unknown backend {backend!r}; registered: "
               f"{', '.join(backend_registry.names())}", file=sys.stderr)

@@ -28,7 +28,7 @@ from .common import (
     run_until,
     scaled,
 )
-from .parallel import sweep
+from .parallel import publish_recorder, sweep
 
 __all__ = ["WORKLOADS", "run", "main", "tail_gap_reduction"]
 
@@ -73,6 +73,7 @@ def _point_worker(point) -> Dict:
         raise RuntimeError(
             f"fig12 {system}/{letter}: run did not complete")
     overall = runner.stats.overall
+    publish_recorder(overall)  # full distribution via shm transport
     return {
         "system": system,
         "workload": letter,
@@ -85,13 +86,14 @@ def _point_worker(point) -> Dict:
 
 def run(workloads=None, op_count: int = None, record_count: int = None,
         seed: int = 13, backend: str = "hyperloop",
-        jobs: int = 1) -> List[Dict]:
+        jobs: int = 1, recorders=None) -> List[Dict]:
     workloads = workloads or WORKLOADS
     op_count = op_count or scaled(500, 100_000)
     record_count = record_count or scaled(150, 100_000)
     points = [(system, letter, op_count, record_count, seed, backend)
               for system in ("native", backend) for letter in workloads]
-    return sweep(points, _point_worker, jobs=jobs)
+    return sweep(points, _point_worker, jobs=jobs,
+                 recorders=recorders, samples_hint=op_count)
 
 
 def tail_gap_reduction(rows: List[Dict]) -> Dict[str, float]:

@@ -23,7 +23,7 @@ from .common import (
     make_naive,
     scaled,
 )
-from .parallel import sweep
+from .parallel import publish_recorder, sweep
 
 __all__ = ["MESSAGE_SIZES", "run", "main"]
 
@@ -41,6 +41,9 @@ def _point_worker(point) -> Dict:
         group = make_group(testbed, backend, slots=1024,
                            region_size=32 << 20)
     recorder = latency_sweep(group, op, size, count)
+    # The full distribution rides the sweep engine's shared-memory
+    # transport; only the summary row goes through the result pipe.
+    publish_recorder(recorder)
     summary = recorder.summary_us()
     return {
         "system": system,
@@ -53,19 +56,22 @@ def _point_worker(point) -> Dict:
 
 def run(op: str = "gwrite", sizes=None, count: int = None,
         seed: int = 8, backend: str = "hyperloop",
-        jobs: int = 1) -> List[Dict]:
+        jobs: int = 1, recorders=None) -> List[Dict]:
     """One row per (system, size): avg / p95 / p99 latency in µs.
 
     ``backend`` picks the NIC-offloaded arm (any registry name); the
     Naïve-RDMA baseline arm is fixed.  Each point is an independent
     simulation, so ``jobs > 1`` sweeps them in parallel with rows
-    identical to the serial order.
+    identical to the serial order.  Pass a list as ``recorders`` to get
+    each point's full latency distribution back (zero-copy from shared
+    memory when parallel).
     """
     sizes = sizes or MESSAGE_SIZES
     count = count or scaled(1500, 10_000)
     points = [(system, size, op, count, seed, backend)
               for system in ("naive", backend) for size in sizes]
-    return sweep(points, _point_worker, jobs=jobs)
+    return sweep(points, _point_worker, jobs=jobs,
+                 recorders=recorders, samples_hint=count)
 
 
 def speedups(rows: List[Dict]) -> Dict[int, Dict[str, float]]:

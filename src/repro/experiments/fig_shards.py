@@ -30,7 +30,7 @@ from ..cluster import ShardedConfig, ShardedDeployment, build_deployment
 from ..sim.stats import LatencyRecorder
 from ..sim.units import seconds
 from .common import format_table, scaled
-from .parallel import sweep
+from .parallel import publish_recorder, sweep
 
 __all__ = ["SHARD_COUNTS", "run", "rebalance_run", "main"]
 
@@ -88,6 +88,9 @@ def _drive_closed_loop(deployment: ShardedDeployment, clients: int,
             f"closed loop incomplete: {state['done']}/{total} ops "
             f"before the deadline")
     elapsed = sim.now - start
+    # At 10⁵-client scale this recorder is the multi-megabyte payload
+    # the shared-memory transport exists for.
+    publish_recorder(recorder)
     summary = recorder.summary_us()
     return {
         "ops": total,
@@ -124,7 +127,8 @@ def _point_worker(point) -> Dict:
 
 def run(shard_counts: Optional[List[int]] = None, clients: int = None,
         ops_per_client: int = 2, replicas: int = 3, seed: int = 21,
-        backend: str = "hyperloop", jobs: int = 1) -> List[Dict]:
+        backend: str = "hyperloop", jobs: int = 1,
+        recorders=None) -> List[Dict]:
     """One row per shard count: aggregate closed-loop write throughput.
 
     The client population is fixed across points (default 2,000; 10⁵
@@ -135,7 +139,8 @@ def run(shard_counts: Optional[List[int]] = None, clients: int = None,
     clients = clients or scaled(2_000, 100_000)
     points = [(shards, clients, ops_per_client, replicas, seed, backend)
               for shards in shard_counts]
-    return sweep(points, _point_worker, jobs=jobs)
+    return sweep(points, _point_worker, jobs=jobs, recorders=recorders,
+                 samples_hint=clients * ops_per_client)
 
 
 def rebalance_run(shards: int = 2, clients: int = None,

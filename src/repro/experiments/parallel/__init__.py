@@ -1,0 +1,46 @@
+"""Sweep-engine package: parallel point grids, zero-copy, resumable.
+
+Layering (see ``docs/INTERNALS.md`` §11):
+
+``engine``
+    :func:`sweep` itself — ordering, the serial/pool decision,
+    cache-hit skipping, worker wrapping, and every graceful fallback.
+``transport``
+    The shared-memory result path: a preallocated int64 slab arena that
+    workers deposit latency samples into so the parent reconstructs
+    full recorders zero-copy instead of unpickling sample lists.
+``cache``
+    The resumable-sweep journal: completed rows keyed by an FNV-1a
+    config hash, appended as JSON lines, replayed on ``--resume``.
+
+The public surface (``sweep``, ``default_jobs``) is unchanged from the
+old single-module ``parallel.py``; everything new is additive.
+"""
+
+from . import cache, engine, transport
+from .engine import (
+    DEFAULT_SAMPLES_HINT,
+    SweepOptions,
+    SweepStats,
+    configure,
+    default_jobs,
+    last_stats,
+    options,
+    publish_recorder,
+    sweep,
+)
+
+__all__ = [
+    "sweep",
+    "default_jobs",
+    "publish_recorder",
+    "configure",
+    "options",
+    "last_stats",
+    "SweepOptions",
+    "SweepStats",
+    "DEFAULT_SAMPLES_HINT",
+    "cache",
+    "engine",
+    "transport",
+]

@@ -1,0 +1,218 @@
+"""Shared-memory result transport for sweep workers.
+
+A parallel sweep's result traffic used to ride the pickle pipe: every
+worker serialized its full result — at scale-out volumes, latency sample
+arrays with 10⁵–10⁶ entries per point — through the
+``ProcessPoolExecutor`` connection, and the parent deserialized a boxed
+copy.  HyperLoop's thesis is that the data path should move bytes
+without per-operation CPU involvement; the measurement harness now
+practices the same discipline:
+
+* The parent preallocates one ``multiprocessing.shared_memory`` segment
+  per sweep — an :class:`ShmArena` of fixed-stride **int64 slabs**, one
+  slab per sweep point (the point's index is its slot, so workers never
+  contend for offsets no matter how the pool chunks the grid).
+* A worker deposits its samples with one buffer-protocol slice
+  assignment (a ``memcpy`` into the mapped segment) plus one header
+  word (the sample count), and sends back only a tiny ``("shm", slot,
+  count, name)`` handle next to its summary row.
+* The parent reconstructs a full :class:`~repro.sim.stats.LatencyRecorder`
+  by **attaching** a ``memoryview`` slice of the same mapping — zero
+  copies, zero deserialization
+  (:meth:`LatencyRecorder.attach_shared`).
+
+Every failure shape degrades gracefully to the pickle path the sweep
+always had: no ``/dev/shm`` (sandboxes), a slab too small for a point's
+samples, or an attach failure inside a worker all fall back to raw-bytes
+handles with identical reconstructed values — the transport is a pure
+wall-clock optimization and ``tests/experiments/test_parallel.py`` pins
+it result-invariant.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import TYPE_CHECKING, Optional, Union
+
+from ...sim.stats import LatencyRecorder
+
+if TYPE_CHECKING:
+    from array import array
+    from multiprocessing import shared_memory
+
+__all__ = ["ShmArena", "MAX_ARENA_BYTES"]
+
+#: One int64 header word per slab: the deposited sample count.
+_HEADER = 1
+
+#: Refuse to create arenas beyond this size — a grid that big should
+#: lower its ``samples_hint`` (oversized points fall back per-point).
+MAX_ARENA_BYTES = 1 << 31
+
+
+def _shm_open(name: Optional[str],
+              size: int) -> "shared_memory.SharedMemory":
+    """Create (``name=None``) or attach a segment, quietly.
+
+    Two CPython sharp edges are filed off here:
+
+    * Before 3.13 (``track=False``), *attaching* registers the segment
+      with the resource tracker exactly like creating it does.  Under
+      ``fork`` the tracker process is shared, so a worker's registration
+      dedups against the parent's — and any attempt to unregister it
+      later removes the parent's too (tracker ``KeyError`` at unlink).
+      Attachments therefore suppress registration entirely instead of
+      registering-then-unregistering: cleanup belongs to the creator
+      alone.
+    * ``SharedMemory.__del__`` calls ``close()``, which raises
+      ``BufferError`` if zero-copy recorder views are still alive at
+      interpreter teardown (harmless — the OS reclaims the mapping at
+      process exit).  The subclass swallows exactly that case.
+    """
+    from multiprocessing import resource_tracker, shared_memory
+
+    class _QuietSharedMemory(shared_memory.SharedMemory):
+        def close(self) -> None:
+            try:
+                super().close()
+            except BufferError:  # pragma: no cover - teardown-order noise
+                pass
+
+    if name is None:
+        return _QuietSharedMemory(create=True, size=size)
+    original_register = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None  # type: ignore[assignment]
+    try:
+        return _QuietSharedMemory(name=name)
+    finally:
+        resource_tracker.register = original_register
+
+
+class ShmArena:
+    """A preallocated shared segment of fixed-stride int64 sample slabs.
+
+    Layout: ``slots`` slabs of ``capacity + 1`` int64s each; word 0 of a
+    slab is the deposited sample count, words ``1..count`` the samples.
+    The segment is zero-filled at creation, so an unwritten slab reads
+    as an empty deposit.
+
+    The parent constructs with :meth:`create` (and owns ``unlink``);
+    pool workers construct with :meth:`attach` using the arena's
+    ``name`` and never unlink.
+    """
+
+    __slots__ = ("slots", "capacity", "_stride", "_shm", "_view",
+                 "_owner", "_unlinked", "_closed")
+
+    def __init__(self, slots: int, capacity: int,
+                 name: Optional[str] = None) -> None:
+        if slots <= 0:
+            raise ValueError(f"arena needs at least one slot, got {slots}")
+        if capacity <= 0:
+            raise ValueError(f"slab capacity must be positive, got {capacity}")
+        self.slots = slots
+        self.capacity = capacity
+        self._stride = capacity + _HEADER
+        nbytes = slots * self._stride * 8
+        if nbytes > MAX_ARENA_BYTES:
+            raise ValueError(
+                f"arena of {slots} x {capacity} int64 samples would need "
+                f"{nbytes} bytes (cap {MAX_ARENA_BYTES}); lower samples_hint")
+        self._owner = name is None
+        self._shm = _shm_open(name, nbytes)
+        self._view: memoryview = self._shm.buf.cast("q")
+        self._unlinked = False
+        self._closed = False
+
+    @classmethod
+    def create(cls, slots: int, capacity: int) -> "ShmArena":
+        return cls(slots, capacity)
+
+    @classmethod
+    def attach(cls, name: str, slots: int, capacity: int) -> "ShmArena":
+        return cls(slots, capacity, name=name)
+
+    @property
+    def name(self) -> str:
+        """Segment name workers pass to :meth:`attach`."""
+        return self._shm.name
+
+    @property
+    def nbytes(self) -> int:
+        return self.slots * self._stride * 8
+
+    def _base(self, slot: int) -> int:
+        if not 0 <= slot < self.slots:
+            raise IndexError(f"slot {slot} outside arena of {self.slots}")
+        return slot * self._stride
+
+    def write(self, slot: int, samples: "Union[array[int], memoryview]") \
+            -> bool:
+        """Deposit ``samples`` into ``slot``; False if they don't fit.
+
+        One buffer-to-buffer slice assignment (memcpy) plus the count
+        header — no per-sample Python involvement.
+        """
+        n = len(samples)
+        if n > self.capacity:
+            return False
+        base = self._base(slot)
+        if n:
+            self._view[base + _HEADER:base + _HEADER + n] = samples
+        self._view[base] = n
+        return True
+
+    def count(self, slot: int) -> int:
+        return int(self._view[self._base(slot)])
+
+    def view(self, slot: int) -> memoryview:
+        """Zero-copy int64 view of a slab's deposited samples."""
+        base = self._base(slot)
+        n = int(self._view[base])
+        return self._view[base + _HEADER:base + _HEADER + n]
+
+    def recorder(self, slot: int, name: str = "") -> LatencyRecorder:
+        """Reconstruct a recorder reading a slab in place (zero-copy).
+
+        The recorder holds a reference back to this arena, keeping the
+        mapping alive for as long as any reconstructed recorder reads
+        from it.
+        """
+        return LatencyRecorder.attach_shared(self.view(slot), name=name,
+                                             source=self)
+
+    def unlink(self) -> None:
+        """Remove the segment's name (owner only; memory lives while
+        mapped, so already-attached recorders stay valid)."""
+        if self._owner and not self._unlinked:
+            self._unlinked = True
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - double unlink
+                pass
+
+    def close(self) -> None:
+        """Release the local mapping.  Invalidates views — only call
+        once no attached recorder can read this arena again."""
+        if not self._closed:
+            self._closed = True
+            try:
+                self._view.release()
+                self._shm.close()
+            except BufferError:  # a recorder still holds a view slice
+                self._closed = False
+
+    def retire(self, keep_mapped: bool) -> None:
+        """End-of-sweep cleanup: always drop the name; optionally keep
+        the mapping alive because reconstructed recorders still read it
+        (the arena is then released when the last recorder dies)."""
+        self.unlink()
+        if not keep_mapped:
+            self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing varies
+        try:
+            self.unlink()
+            self.close()
+        except Exception:
+            pass

@@ -13,32 +13,74 @@ Samples live in a compact ``array('q')`` rather than a list — at the
 scale-out experiments' volumes (10⁵ clients × several ops each, per sweep
 point) that is 8 bytes per sample instead of a ~28-byte boxed int plus
 pointer, with identical append/extend behaviour.
+
+Two performance modes layer on top of that storage without changing a
+single reported number:
+
+* **Shared-memory attachment** (:meth:`LatencyRecorder.attach_shared`) —
+  a recorder can wrap an int64 ``memoryview`` into a
+  ``multiprocessing.shared_memory`` slab written by a sweep worker
+  process, so the parent reconstructs the full distribution zero-copy
+  instead of unpickling a million-entry list.  Attached recorders are
+  read-only until mutated: the first :meth:`record`/:meth:`merge`
+  copies the view into an owned ``array('q')`` (copy-on-write).
+* **Vectorized summaries** — when numpy is importable and the recorder
+  holds at least :data:`NUMPY_MIN_SAMPLES` samples, sorting and summing
+  go through numpy.  The percentile formula itself stays the shared
+  pure-Python :func:`_percentile` (values are coerced back to Python
+  ints before any float arithmetic), so both paths are **bit-identical**
+  — ``tests/sim/test_stats.py`` pins them equal at float tolerance 0.
 """
 
 from __future__ import annotations
 
 import math
 from array import array
-from typing import Dict, Optional, Sequence
+from typing import Any, Dict, Optional, Sequence, Union
 
 from .units import to_us
 
-__all__ = ["LatencyRecorder", "Counter", "UtilizationTracker", "summarize_us"]
+try:  # numpy is a declared dependency, but the fallback keeps the
+    import numpy as _numpy  # recorders usable in stripped environments.
+except ImportError:  # pragma: no cover - exercised via monkeypatch
+    _numpy = None  # type: ignore[assignment]
+
+__all__ = [
+    "LatencyRecorder",
+    "Counter",
+    "UtilizationTracker",
+    "summarize_us",
+    "NUMPY_MIN_SAMPLES",
+]
+
+#: Sample-count crossover below which ``sorted()`` beats the round-trip
+#: into an ndarray.  Module-level (not per-instance) so tests can force
+#: either path; the two paths are pinned bit-identical regardless.
+NUMPY_MIN_SAMPLES = 2048
+
+#: Raw samples: an owned ``array('q')`` or an attached int64 memoryview.
+Samples = Union["array[int]", memoryview]
 
 
-def _percentile(sorted_samples: Sequence[int], pct: float) -> float:
-    """Linear-interpolated percentile of pre-sorted samples."""
-    if not sorted_samples:
+def _percentile(sorted_samples: "Sequence[int]", pct: float) -> float:
+    """Linear-interpolated percentile of pre-sorted samples.
+
+    Accepts any int64 sequence (``array``, ``memoryview``, ndarray);
+    indexed values are coerced to Python ints *before* the float
+    arithmetic so the result is bit-identical across storage backends.
+    """
+    if not len(sorted_samples):
         raise ValueError("no samples recorded")
     if len(sorted_samples) == 1:
-        return sorted_samples[0]
+        return int(sorted_samples[0])
     rank = (pct / 100.0) * (len(sorted_samples) - 1)
     low = math.floor(rank)
     high = math.ceil(rank)
     if low == high:
-        return sorted_samples[low]
+        return int(sorted_samples[low])
     frac = rank - low
-    return sorted_samples[low] * (1 - frac) + sorted_samples[high] * frac
+    return int(sorted_samples[low]) * (1 - frac) + \
+        int(sorted_samples[high]) * frac
 
 
 class LatencyRecorder:
@@ -50,51 +92,115 @@ class LatencyRecorder:
     percentile accessors — is unchanged from the list-backed version.
     The sorted view is computed lazily and cached; any mutation
     (:meth:`record` or :meth:`merge`) invalidates the cache.
+
+    A recorder may instead *attach* to an int64 ``memoryview`` over a
+    shared-memory slab (:meth:`attach_shared`) — same read surface, zero
+    copies; the first mutation converts it to an owned array.
     """
 
-    __slots__ = ("name", "samples", "_sorted")
+    __slots__ = ("name", "samples", "_sorted", "_source")
 
     def __init__(self, name: str = "") -> None:
         self.name = name
-        self.samples: array = array("q")
-        self._sorted: Optional[array] = None
+        self.samples: Samples = array("q")
+        self._sorted: Optional[Any] = None
+        # Keeps the object owning an attached view's memory (e.g. a
+        # transport arena) alive for as long as the recorder reads it.
+        self._source: Optional[object] = None
+
+    @classmethod
+    def attach_shared(cls, view: memoryview, name: str = "",
+                      source: Optional[object] = None) -> "LatencyRecorder":
+        """A recorder reading samples zero-copy from ``view`` (int64).
+
+        ``source`` is any object whose liveness keeps the view's backing
+        memory mapped (the sweep transport passes its arena).  The view
+        is read-only from the recorder's perspective; mutating calls
+        transparently copy it into an owned ``array('q')`` first.
+        """
+        if view.format != "q":
+            raise ValueError(
+                f"attach_shared needs an int64 ('q') view, got "
+                f"format {view.format!r}")
+        recorder = cls(name)
+        recorder.samples = view
+        recorder._source = source
+        return recorder
+
+    @property
+    def is_shared(self) -> bool:
+        """True while samples still live in an attached (foreign) view."""
+        return not isinstance(self.samples, array)
+
+    def _own(self) -> "array[int]":
+        """Copy-on-write: materialize attached views into an owned array."""
+        if not isinstance(self.samples, array):
+            self.samples = array("q", self.samples)
+            self._source = None
+        return self.samples
 
     def record(self, latency_ns: int) -> None:
         if latency_ns < 0:
             raise ValueError(f"negative latency sample: {latency_ns}")
-        self.samples.append(latency_ns)
+        self._own().append(latency_ns)
         self._sorted = None
 
     def merge(self, other: "LatencyRecorder") -> None:
         """Append ``other``'s samples (one memcpy-like extend)."""
-        self.samples.extend(other.samples)
+        self._own().extend(other.samples)
         self._sorted = None
 
     def __len__(self) -> int:
         return len(self.samples)
 
-    def _ensure_sorted(self) -> array:
+    def _use_numpy(self) -> bool:
+        return _numpy is not None and len(self.samples) >= NUMPY_MIN_SAMPLES
+
+    def _ensure_sorted(self) -> "Sequence[int]":
         if self._sorted is None:
-            self._sorted = array("q", sorted(self.samples))
-        return self._sorted
+            if self._use_numpy():
+                # One C memcpy out of the buffer, one C sort.  Sorting
+                # dominates summary cost at scale-out sample counts; the
+                # values (and hence every percentile) are identical to
+                # the sorted() path — only the algorithm changes.
+                self._sorted = _numpy.sort(
+                    _numpy.frombuffer(self.samples, dtype=_numpy.int64))
+            else:
+                self._sorted = array("q", sorted(self.samples))
+        return self._sorted  # type: ignore[no-any-return]
 
     @property
     def count(self) -> int:
         return len(self.samples)
 
     def mean(self) -> float:
-        if not self.samples:
+        if not len(self.samples):
             raise ValueError("no samples recorded")
-        return sum(self.samples) / len(self.samples)
+        return self._exact_sum() / len(self.samples)
+
+    def _exact_sum(self) -> int:
+        """Integer sample sum, vectorized when provably overflow-free.
+
+        ``numpy.sum`` accumulates in int64; Python's ``sum`` is exact at
+        any magnitude.  Samples are non-negative (``record`` enforces
+        it), so ``count * max <= 2**62`` guarantees the int64 path can't
+        wrap and both paths return the same integer.
+        """
+        if self._use_numpy():
+            arr = _numpy.frombuffer(self.samples, dtype=_numpy.int64)
+            peak = int(arr.max())
+            if peak >= 0 and len(arr) * max(peak, 1) <= (1 << 62):
+                return int(arr.sum())
+        return sum(self.samples)
 
     def percentile(self, pct: float) -> float:
         return _percentile(self._ensure_sorted(), pct)
 
     def min(self) -> int:
-        return self._ensure_sorted()[0]
+        return int(self._ensure_sorted()[0])
 
     def max(self) -> int:
-        return self._ensure_sorted()[-1]
+        return int(self._ensure_sorted()[-1])
 
     def mean_us(self) -> float:
         return to_us(self.mean())

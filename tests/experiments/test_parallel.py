@@ -1,19 +1,27 @@
-"""Parallel sweep correctness: jobs=N must not change any row.
+"""Sweep-engine correctness: nothing is allowed to change any row.
 
 Every sweep point owns its simulator and seed, so fanning points out
 over worker processes is pure scheduling — the rows must come back in
-point order and byte-identical to a serial run.  This is the regression
-gate for ``--jobs``: a parallel sweep that changes results is worse
-than no parallel sweep at all.
+point order and byte-identical to a serial run.  The same invariant
+extends to every engine mode: shared-memory transport on or off, cache
+cold or warm, full grid or resumed partial grid.  A sweep optimization
+that changes results is worse than no optimization at all, so this file
+pins the whole matrix.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+from pathlib import Path
 
-from repro.experiments import fig8
-from repro.experiments.parallel import default_jobs, sweep
+import pytest
+
+from repro.experiments import fig8, fig_shards
+from repro.experiments.parallel import (SweepOptions, default_jobs,
+                                        last_stats, publish_recorder, sweep)
+from repro.experiments.parallel import engine, transport
+from repro.sim.stats import LatencyRecorder
 
 
 def _square(point):
@@ -29,6 +37,26 @@ def _crash_in_pool_worker(point):
     if multiprocessing.parent_process() is not None:
         os._exit(1)
     return point * 10
+
+
+def _marking_row(point):
+    """Cacheable row that leaves a file per execution, so tests can
+    prove a warm cache ran zero workers (not just claimed to)."""
+    base, scale, mark_dir = point
+    (Path(mark_dir) / f"{base}x{scale}").touch()
+    return {"base": base, "value": base * scale,
+            "mean": base / max(1, scale)}
+
+
+def _publishing_row(point):
+    """Worker that hands its full distribution to the result transport."""
+    index, count = point
+    recorder = LatencyRecorder(f"pub-{index}")
+    for i in range(count):
+        recorder.record(index * 1_000 + i * 7)
+    publish_recorder(recorder)
+    return {"index": index, "count": recorder.count,
+            "p99_us": recorder.percentile_us(99)}
 
 
 class TestSweep:
@@ -56,13 +84,217 @@ class TestSweep:
         assert sweep([1, 2, 3], _crash_in_pool_worker, jobs=2) == [10, 20, 30]
         assert "running serially" in capsys.readouterr().err
 
-    def test_default_jobs_env(self, monkeypatch):
+    def test_default_jobs_env(self, monkeypatch, capsys):
         monkeypatch.setenv("REPRO_JOBS", "3")
         assert default_jobs() == 3
+        assert capsys.readouterr().err == ""
         monkeypatch.setenv("REPRO_JOBS", "garbage")
         assert default_jobs() == 1
+        err = capsys.readouterr().err
+        assert "malformed REPRO_JOBS" in err and "'garbage'" in err
         monkeypatch.delenv("REPRO_JOBS")
         assert default_jobs() == 1
+        assert capsys.readouterr().err == ""
+
+
+class TestSweepCache:
+    """Resumable config-hash cache: same rows, zero recomputation."""
+
+    @staticmethod
+    def _setup(tmp_path):
+        marks = tmp_path / "marks"
+        marks.mkdir()
+        points = [(i, 3, str(marks)) for i in range(4)]
+        opts = SweepOptions(cache_dir=str(tmp_path / "cache"), resume=True)
+        return marks, points, opts
+
+    def test_warm_cache_identical_rows_zero_workers(self, tmp_path):
+        marks, points, opts = self._setup(tmp_path)
+        cold = sweep(points, _marking_row, jobs=1, sweep_options=opts)
+        assert last_stats().computed == 4
+        assert last_stats().journaled == 4
+        assert len(list(marks.iterdir())) == 4
+        warm = sweep(points, _marking_row, jobs=1, sweep_options=opts)
+        assert warm == cold
+        assert last_stats().cache_hits == 4
+        assert last_stats().computed == 0
+        # The real proof: no worker left a new mark.
+        assert len(list(marks.iterdir())) == 4
+
+    def test_cache_dir_without_resume_journals_but_recomputes(self, tmp_path):
+        marks, points, _ = self._setup(tmp_path)
+        opts = SweepOptions(cache_dir=str(tmp_path / "cache"), resume=False)
+        first = sweep(points, _marking_row, jobs=1, sweep_options=opts)
+        assert last_stats().journaled == 4
+        second = sweep(points, _marking_row, jobs=1, sweep_options=opts)
+        assert second == first
+        assert last_stats().cache_hits == 0
+        assert last_stats().computed == 4
+
+    def test_grown_grid_computes_only_new_points(self, tmp_path):
+        marks, points, opts = self._setup(tmp_path)
+        cold = sweep(points, _marking_row, jobs=1, sweep_options=opts)
+        grown = points + [(9, 3, str(marks)), (10, 3, str(marks))]
+        rows = sweep(grown, _marking_row, jobs=1, sweep_options=opts)
+        assert rows[:4] == cold
+        assert last_stats().cache_hits == 4
+        assert last_stats().computed == 2
+
+    def test_changed_point_tuple_misses(self, tmp_path):
+        marks, points, opts = self._setup(tmp_path)
+        sweep(points, _marking_row, jobs=1, sweep_options=opts)
+        changed = [(base, 5, mark) for base, _scale, mark in points]
+        sweep(changed, _marking_row, jobs=1, sweep_options=opts)
+        assert last_stats().cache_hits == 0
+        assert last_stats().computed == 4
+
+    def test_changed_salt_invalidates(self, tmp_path):
+        marks, points, opts = self._setup(tmp_path)
+        sweep(points, _marking_row, jobs=1, sweep_options=opts)
+        salted = SweepOptions(cache_dir=opts.cache_dir, resume=True,
+                              salt="v2")
+        sweep(points, _marking_row, jobs=1, sweep_options=salted)
+        assert last_stats().cache_hits == 0
+        assert last_stats().computed == 4
+        # ... and the original salt still hits.
+        sweep(points, _marking_row, jobs=1, sweep_options=opts)
+        assert last_stats().cache_hits == 4
+
+    def test_corrupt_journal_lines_recompute_not_crash(self, tmp_path,
+                                                       capsys):
+        marks, points, opts = self._setup(tmp_path)
+        cold = sweep(points, _marking_row, jobs=1, sweep_options=opts)
+        journals = list((tmp_path / "cache").glob("*.jsonl"))
+        assert len(journals) == 1
+        # Torn write, wrong shape, and plain garbage — every malformation
+        # must be skipped, keeping the valid lines usable.
+        with journals[0].open("a") as fh:
+            fh.write('{"key": "abc123", "row": {"tru\n')
+            fh.write('{"row": {"no": "key"}}\n')
+            fh.write("not json at all\n")
+        warm = sweep(points, _marking_row, jobs=1, sweep_options=opts)
+        assert warm == cold
+        assert last_stats().computed == 0
+        assert "skip" in capsys.readouterr().err
+        # A journal that is pure garbage recomputes everything.
+        journals[0].write_text("garbage\n")
+        rows = sweep(points, _marking_row, jobs=1, sweep_options=opts)
+        assert rows == cold
+        assert last_stats().computed == 4
+
+    def test_warm_parallel_mix_keeps_slots_and_recorders(self, tmp_path):
+        points = [(i, 40) for i in range(3)]
+        opts = SweepOptions(cache_dir=str(tmp_path / "cache"), resume=True)
+        cold_recs = []
+        cold = sweep(points, _publishing_row, jobs=1, recorders=cold_recs,
+                     sweep_options=opts)
+        grown = points + [(7, 40), (8, 40)]
+        recs = []
+        rows = sweep(grown, _publishing_row, jobs=2, recorders=recs,
+                     samples_hint=64, sweep_options=opts)
+        assert rows[:3] == cold
+        assert last_stats().cache_hits == 3
+        assert last_stats().computed == 2
+        # The journal stores rows only: cache hits come back without
+        # recorders, computed points with their full distributions.
+        assert [rec is None for rec in recs] == [True, True, True,
+                                                 False, False]
+        assert [list(rec.samples) for rec in recs[3:]] == \
+            [[base * 1_000 + i * 7 for i in range(40)] for base in (7, 8)]
+
+
+class TestShmTransport:
+    """Shared-memory result transport: a pure wall-clock optimization."""
+
+    POINTS = [(i, 50) for i in range(6)]
+
+    def _baseline(self):
+        recorders = []
+        rows = sweep(self.POINTS, _publishing_row, jobs=1,
+                     recorders=recorders)
+        return rows, [list(rec.samples) for rec in recorders]
+
+    def test_rows_and_samples_identical_shm_on_off(self):
+        rows, samples = self._baseline()
+        for shm, expected in ((True, "shm"), (False, "pickle")):
+            recorders = []
+            got = sweep(self.POINTS, _publishing_row, jobs=3,
+                        recorders=recorders, samples_hint=64,
+                        sweep_options=SweepOptions(shm=shm))
+            stats = last_stats()
+            assert got == rows
+            assert [list(rec.samples) for rec in recorders] == samples
+            if stats.transport != "serial":  # pool actually started
+                assert stats.transport == expected
+                assert (stats.shm_deposits == 6) == shm
+                assert (stats.raw_deposits == 6) == (not shm)
+
+    def test_slab_overflow_falls_back_per_point(self):
+        rows, samples = self._baseline()
+        recorders = []
+        got = sweep(self.POINTS, _publishing_row, jobs=2,
+                    recorders=recorders, samples_hint=8,
+                    sweep_options=SweepOptions(shm=True))
+        assert got == rows
+        assert [list(rec.samples) for rec in recorders] == samples
+        if last_stats().transport != "serial":
+            assert last_stats().raw_deposits == 6
+
+    def test_shm_create_failure_falls_back_to_pickle(self, monkeypatch,
+                                                     capsys):
+        def boom(slots, capacity):
+            raise OSError("no shared memory here")
+
+        monkeypatch.setattr(transport.ShmArena, "create", staticmethod(boom))
+        rows, samples = self._baseline()
+        recorders = []
+        got = sweep(self.POINTS, _publishing_row, jobs=2,
+                    recorders=recorders, samples_hint=64,
+                    sweep_options=SweepOptions(shm=True))
+        assert got == rows
+        assert [list(rec.samples) for rec in recorders] == samples
+        assert "falling back to pickled results" in capsys.readouterr().err
+        assert last_stats().shm_deposits == 0
+
+    def test_no_shm_ambient_option(self, monkeypatch):
+        monkeypatch.setattr(engine, "_options", SweepOptions())
+        assert engine.configure(shm=False).shm is False  # --no-shm path
+        rows, samples = self._baseline()
+        recorders = []
+        got = sweep(self.POINTS, _publishing_row, jobs=2,
+                    recorders=recorders, samples_hint=64)
+        assert got == rows
+        assert [list(rec.samples) for rec in recorders] == samples
+        assert last_stats().shm_deposits == 0
+
+    def test_publish_outside_sweep_is_noop(self):
+        recorder = LatencyRecorder("standalone")
+        recorder.record(5)
+        publish_recorder(recorder)  # must not raise
+
+    def test_arena_roundtrip_overflow_and_teardown(self):
+        try:
+            arena = transport.ShmArena.create(2, 16)
+        except OSError:
+            pytest.skip("no usable shared memory in this environment")
+        try:
+            from array import array
+            payload = array("q", range(10))
+            assert arena.write(1, payload)
+            assert arena.count(1) == 10
+            assert arena.count(0) == 0  # unwritten slab reads empty
+            recorder = arena.recorder(1, name="slab")
+            assert recorder.is_shared
+            assert list(recorder.samples) == list(range(10))
+            assert not arena.write(0, array("q", range(17)))  # over capacity
+            with pytest.raises(IndexError):
+                arena.write(2, payload)
+            # Mutation copies out of the mapping, so teardown is safe.
+            recorder.record(99)
+            assert not recorder.is_shared
+        finally:
+            arena.retire(keep_mapped=False)
+        assert list(recorder.samples) == list(range(10)) + [99]
 
 
 class TestFig8Parallel:
@@ -73,3 +305,37 @@ class TestFig8Parallel:
         serial = fig8.run(jobs=1, **kwargs)
         parallel = fig8.run(jobs=2, **kwargs)
         assert serial == parallel
+
+    def test_row_matrix_byte_identical(self, tmp_path, monkeypatch):
+        """The full engine-mode matrix on a real figure sweep: jobs x
+        shm x cache state all reproduce the jobs=1 rows exactly."""
+        kwargs = dict(op="gwrite", sizes=[256], count=60, seed=3)
+        baseline = fig8.run(jobs=1, **kwargs)
+        cache_dir = str(tmp_path / "cache")
+        matrix = [
+            SweepOptions(shm=True),
+            SweepOptions(shm=False),
+            SweepOptions(cache_dir=cache_dir, resume=True),  # cold
+            SweepOptions(cache_dir=cache_dir, resume=True),  # warm
+        ]
+        for variant in matrix:
+            monkeypatch.setattr(engine, "_options", variant)
+            recorders = []
+            assert fig8.run(jobs=2, recorders=recorders, **kwargs) == baseline
+        assert last_stats().computed == 0  # the warm pass replayed rows
+
+
+class TestFigShardsResume:
+    def test_warm_rerun_executes_zero_point_workers(self, tmp_path,
+                                                    monkeypatch):
+        monkeypatch.setattr(
+            engine, "_options",
+            SweepOptions(cache_dir=str(tmp_path), resume=True))
+        kwargs = dict(shard_counts=[1, 2], clients=24, ops_per_client=2,
+                      seed=5)
+        cold = fig_shards.run(jobs=1, **kwargs)
+        assert last_stats().computed == 2
+        warm = fig_shards.run(jobs=1, **kwargs)
+        assert warm == cold
+        assert last_stats().computed == 0
+        assert last_stats().cache_hits == 2

@@ -1,9 +1,12 @@
 """Tests for latency recorders, counters and utilization tracking."""
 
+from array import array
+
 import numpy
 import pytest
 from hypothesis import given, strategies as st
 
+from repro.sim import stats
 from repro.sim.stats import (
     Counter,
     LatencyRecorder,
@@ -104,6 +107,117 @@ class TestLatencyRecorder:
         a.merge(b)
         assert a.percentile(99) == merged.percentile(99)
         assert a.mean() == merged.mean()
+
+
+def _summary_tuple(recorder):
+    return (recorder.mean(), recorder.min(), recorder.max(),
+            tuple(recorder.percentile(p)
+                  for p in (0, 25, 50, 90, 95, 99, 99.9, 100)))
+
+
+class TestNumpyParity:
+    """The vectorized path must be *bit-identical* to pure Python —
+    the golden determinism tests pin exact floats, so even one ULP of
+    drift from summing or interpolating in float64 arrays would break
+    reproducibility depending on whether numpy is installed."""
+
+    SAMPLE_SETS = [
+        [7],
+        [13, 5, 7, 99, 1, 42, 42, 8, 77, 23],
+        list(range(0, 5000, 3)) + [2 ** 53 + 1, 2 ** 60],
+        [(i * 2654435761) % (10 ** 9) for i in range(3000)],
+    ]
+
+    @pytest.mark.parametrize("samples", SAMPLE_SETS)
+    def test_numpy_and_pure_identical_at_zero_tolerance(self, samples,
+                                                        monkeypatch):
+        pure = LatencyRecorder("pure")
+        for sample in samples:
+            pure.record(sample)
+        vec = LatencyRecorder("vec")
+        for sample in samples:
+            vec.record(sample)
+        monkeypatch.setattr(stats, "NUMPY_MIN_SAMPLES", 0)
+        assert vec._use_numpy()
+        vectorized = _summary_tuple(vec)
+        monkeypatch.setattr(stats, "_numpy", None)
+        assert not pure._use_numpy()
+        assert _summary_tuple(pure) == vectorized  # tolerance: exactly 0
+
+    def test_crossover_threshold_respected(self):
+        recorder = LatencyRecorder()
+        for sample in (3, 1, 2):
+            recorder.record(sample)
+        assert not recorder._use_numpy()  # below NUMPY_MIN_SAMPLES
+        recorder.percentile(50)
+        assert isinstance(recorder._sorted, array)
+
+    def test_large_recorder_uses_ndarray_cache(self):
+        recorder = LatencyRecorder()
+        for i in range(stats.NUMPY_MIN_SAMPLES):
+            recorder.record(i)
+        assert recorder._use_numpy()
+        assert recorder.percentile(50) == (stats.NUMPY_MIN_SAMPLES - 1) / 2
+        assert isinstance(recorder._sorted, numpy.ndarray)
+
+
+class TestAttachShared:
+    """Zero-copy attachment to a foreign int64 buffer (the sweep
+    transport's arena slabs) with copy-on-write mutation."""
+
+    @staticmethod
+    def _attached(values, **kwargs):
+        backing = array("q", values)
+        return backing, LatencyRecorder.attach_shared(
+            memoryview(backing), **kwargs)
+
+    def test_reads_are_zero_copy_and_identical(self):
+        values = [13, 5, 7, 99, 1]
+        _backing, attached = self._attached(values, name="slab")
+        owned = LatencyRecorder("owned")
+        for value in values:
+            owned.record(value)
+        assert attached.is_shared
+        assert attached.count == 5
+        assert _summary_tuple(attached) == _summary_tuple(owned)
+        assert attached.summary_us() == owned.summary_us()
+
+    def test_record_copies_on_write(self):
+        backing, attached = self._attached([1, 2, 3])
+        attached.record(4)
+        assert not attached.is_shared
+        assert list(attached.samples) == [1, 2, 3, 4]
+        assert list(backing) == [1, 2, 3]  # the foreign buffer is untouched
+
+    def test_merge_copies_on_write(self):
+        backing, attached = self._attached([10, 20])
+        other = LatencyRecorder()
+        other.record(30)
+        attached.merge(other)
+        assert not attached.is_shared
+        assert list(attached.samples) == [10, 20, 30]
+        assert list(backing) == [10, 20]
+
+    def test_merge_from_attached_source(self):
+        _backing, attached = self._attached([10, 20])
+        target = LatencyRecorder()
+        target.record(5)
+        target.merge(attached)
+        assert list(target.samples) == [5, 10, 20]
+        assert attached.is_shared  # reading never converts
+
+    def test_source_dropped_after_ownership(self):
+        sentinel = object()
+        backing = array("q", [1, 2])
+        attached = LatencyRecorder.attach_shared(memoryview(backing),
+                                                 source=sentinel)
+        assert attached._source is sentinel
+        attached.record(3)
+        assert attached._source is None
+
+    def test_rejects_non_int64_views(self):
+        with pytest.raises(ValueError, match="int64"):
+            LatencyRecorder.attach_shared(memoryview(b"\x00" * 8))
 
 
 class TestCounter:

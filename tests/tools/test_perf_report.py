@@ -141,8 +141,10 @@ class TestAppendTarget:
         reports the problem and records into a fresh entry list."""
         out = tmp_path / "out.json"
         out.write_text("definitely not json")
-        monkeypatch.setattr(perf_report, "measure",
-                            lambda quick: {"kernel": {}, "figures": {}})
+        monkeypatch.setattr(
+            perf_report, "measure",
+            lambda quick, transport="both": {"kernel": {}, "figures": {},
+                                             "sweep": {}})
         rc = perf_report.main(["--out", str(out), "--append",
                                "--label", "after-corruption"])
         assert rc == 0
@@ -153,8 +155,10 @@ class TestAppendTarget:
     def test_append_extends_valid_file(self, tmp_path, monkeypatch):
         out = write_json(tmp_path / "out.json",
                          {"schema": 1, "entries": [good_entry()]})
-        monkeypatch.setattr(perf_report, "measure",
-                            lambda quick: {"kernel": {}, "figures": {}})
+        monkeypatch.setattr(
+            perf_report, "measure",
+            lambda quick, transport="both": {"kernel": {}, "figures": {},
+                                             "sweep": {}})
         assert perf_report.main(["--out", str(out), "--append",
                                  "--label", "second"]) == 0
         data = json.loads(out.read_text())
