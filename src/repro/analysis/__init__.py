@@ -15,6 +15,14 @@ invisible to the type checker and too structural for generic linters:
   remote work-request manipulation cannot be short-circuited from
   core/backends.
 
+On top of the per-file rules, :mod:`repro.analysis.flow` (simflow) adds
+whole-program analyses — static race detection (RC0x), interprocedural
+ownership taint (WQ1x) and yield-protocol propagation (KP1x) — backed by a
+picklable project index that also powers the content-hash incremental
+cache (:mod:`.cache`), the multiprocess runner, the ``--fix`` engine
+(:mod:`.fixes`), baselines (:mod:`.baseline`) and SARIF output
+(:mod:`.sarif`).
+
 ``scripts/simlint.py`` is the CLI; ``tests/analysis`` pins every rule with
 positive/negative fixtures and asserts the live tree stays clean.
 
@@ -26,19 +34,35 @@ See :mod:`repro.analysis.core` for the rule model and
 :mod:`repro.analysis.runner` for the file-walking front end.
 """
 
-from .core import Rule, RuleContext, Violation, all_rules, get_rule, rule_codes
+from .core import (
+    Edit,
+    FlowRule,
+    Rule,
+    RuleContext,
+    Violation,
+    all_rules,
+    get_rule,
+    rule_codes,
+)
 from .runner import (
     LintReport,
     format_human,
     format_json,
     lint_paths,
     lint_source,
+    lint_sources,
 )
+from .fixes import FixResult, apply_edits, fix_text
+from .sarif import format_sarif
 
-# Importing the rule modules registers their rules.
+# Importing the rule modules registers their rules (flow registers the
+# interprocedural RC/WQ1x/KP1x families).
 from . import determinism, ownership, protocol  # noqa: F401  isort: skip
+from . import flow  # noqa: F401  isort: skip
 
 __all__ = [
+    "Edit",
+    "FlowRule",
     "Rule",
     "RuleContext",
     "Violation",
@@ -48,6 +72,11 @@ __all__ = [
     "LintReport",
     "lint_paths",
     "lint_source",
+    "lint_sources",
     "format_human",
     "format_json",
+    "format_sarif",
+    "FixResult",
+    "apply_edits",
+    "fix_text",
 ]

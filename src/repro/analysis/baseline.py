@@ -1,0 +1,75 @@
+"""Baseline files: adopt simlint on a tree with known debt.
+
+A baseline is a checked-in JSON file listing violations the team has seen
+and deliberately deferred.  A run with ``--baseline`` subtracts them from
+the report, so CI stays green on old debt while every *new* violation
+still fails the build; ``--write-baseline`` snapshots the current report.
+
+Matching is on ``(path, code, message)`` with an occurrence budget per
+key — line numbers are deliberately excluded so unrelated edits above a
+baselined violation don't resurrect it, while a *second* instance of the
+same violation in the same file is still reported.  The repo's own
+baseline (``simlint-baseline.json``) is empty and must stay empty: the
+tree is pinned at zero, and the file exists so adopters have the wiring.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from .core import Violation
+
+__all__ = ["load_baseline", "write_baseline", "apply_baseline"]
+
+_BaselineKey = Tuple[str, str, str]
+
+
+def _key(violation: Violation) -> _BaselineKey:
+    return (violation.path, violation.code, violation.message)
+
+
+def load_baseline(path: str) -> Counter:
+    """Read a baseline file into an occurrence-budget counter."""
+    raw = json.loads(Path(path).read_text(encoding="utf-8"))
+    entries = raw.get("violations", []) if isinstance(raw, dict) else raw
+    budget: Counter = Counter()
+    for entry in entries:
+        budget[(entry["path"], entry["code"], entry["message"])] += 1
+    return budget
+
+
+def write_baseline(path: str, violations: Sequence[Violation]) -> int:
+    """Snapshot ``violations`` as a baseline file; returns entry count."""
+    entries: List[Dict[str, object]] = [
+        {
+            "path": violation.path,
+            "code": violation.code,
+            "message": violation.message,
+            # Informational only — matching ignores it.
+            "line": violation.line,
+        }
+        for violation in sorted(violations, key=Violation.key)
+    ]
+    payload = {"version": 1, "violations": entries}
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True)
+                          + "\n", encoding="utf-8")
+    return len(entries)
+
+
+def apply_baseline(violations: Sequence[Violation],
+                   budget: Counter) -> Tuple[List[Violation], int]:
+    """Filter baselined violations; returns (kept, suppressed_count)."""
+    remaining = Counter(budget)
+    kept: List[Violation] = []
+    suppressed = 0
+    for violation in violations:
+        key = _key(violation)
+        if remaining[key] > 0:
+            remaining[key] -= 1
+            suppressed += 1
+        else:
+            kept.append(violation)
+    return kept, suppressed

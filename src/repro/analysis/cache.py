@@ -1,0 +1,98 @@
+"""Content-hash incremental cache for simlint runs.
+
+One entry per analyzed file, keyed by the SHA-256 of its *contents* — not
+its mtime — so touching a file without changing it stays a cache hit, and
+reverting a change re-hits the original entry.  An entry stores both
+per-file results:
+
+* the per-file violations (post-pragma, pre-baseline), and
+* the picklable :class:`~repro.analysis.flow.index.ModuleSummary`,
+
+so a warm run re-analyzes **zero** unchanged files while the whole-program
+flow rules still see every module: they recompute from summaries, which is
+pure dict-walking and costs milliseconds.
+
+Entries live under ``<cache_dir>/<generation>/`` where the generation key
+hashes everything that could change results without the file changing: the
+cache format version, the interpreter version, and the code + source of
+every registered rule.  Editing a rule therefore invalidates the whole
+cache automatically; two configs can share a cache directory without
+poisoning each other.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import pickle
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from .core import Violation, all_rules
+from .flow.index import ModuleSummary
+
+__all__ = ["LintCache", "content_hash"]
+
+#: Bump when the pickle payload shape changes.
+_FORMAT_VERSION = 1
+
+
+def content_hash(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def _generation_key() -> str:
+    """Hash of everything that affects results besides file contents."""
+    import sys
+    digest = hashlib.sha256()
+    digest.update(f"simlint-cache-v{_FORMAT_VERSION}".encode())
+    digest.update(sys.version.encode())
+    for rule in all_rules():
+        digest.update(rule.code.encode())
+        try:
+            digest.update(inspect.getsource(type(rule)).encode())
+        except (OSError, TypeError):      # pragma: no cover - frozen envs
+            digest.update(type(rule).__qualname__.encode())
+    return digest.hexdigest()[:16]
+
+
+class LintCache:
+    """Pickle-per-file cache; safe to delete at any time."""
+
+    def __init__(self, cache_dir: str) -> None:
+        self.root = Path(cache_dir) / _generation_key()
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _entry(self, path: str, source: bytes) -> Path:
+        # The reported path is baked into cached Violation records, so a
+        # rename must miss: key on (path, contents) together.
+        digest = content_hash(path.encode("utf-8") + b"\0" + source)
+        return self.root / f"{digest}.pkl"
+
+    def get(self, path: str, source: bytes) \
+            -> Optional[Tuple[List[Violation], Optional[ModuleSummary]]]:
+        """Cached (violations, summary) for this exact content, or None."""
+        entry = self._entry(path, source)
+        try:
+            with entry.open("rb") as handle:
+                payload = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, path: str, source: bytes, violations: List[Violation],
+            summary: Optional[ModuleSummary]) -> None:
+        entry = self._entry(path, source)
+        tmp = entry.with_suffix(".tmp")
+        try:
+            with tmp.open("wb") as handle:
+                pickle.dump((violations, summary), handle,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+            tmp.replace(entry)            # Atomic on POSIX.
+        except OSError:                   # pragma: no cover - disk issues
+            tmp.unlink(missing_ok=True)

@@ -1,0 +1,137 @@
+"""The simlint ``--fix`` engine: safe, verified application of edits.
+
+Fixable rules attach :class:`~repro.analysis.core.Edit` tuples to their
+violations (built with :func:`~repro.analysis.core.source_span_edit`).
+This module turns them into new file contents under a strict safety
+contract — an edit is **refused**, never fudged, when:
+
+* its span crosses a line boundary (single-line spans only; rules already
+  return no fix for multiline nodes, this is the second line of defence);
+* the text currently in the span differs from ``Edit.original`` — the
+  file drifted since analysis, or two fixes target overlapping spans;
+* the span overlaps a string token (including f-strings — rewriting an
+  expression the tokenizer sees as part of a literal changes runtime
+  formatting, not code);
+* it overlaps an edit already applied in the same pass.
+
+Application is idempotent: re-running ``--fix`` on fixed output finds no
+fixable violations, so the second pass is a no-op.
+"""
+
+from __future__ import annotations
+
+import io
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from .core import Edit, Violation
+
+__all__ = ["FixResult", "apply_edits", "fixable_violations", "fix_text"]
+
+#: Token types whose spans must not be rewritten (f-strings included —
+#: on 3.12+ they tokenize as FSTRING_START/MIDDLE/END).
+_STRING_TOKEN_NAMES = {"STRING", "FSTRING_START", "FSTRING_MIDDLE",
+                       "FSTRING_END"}
+
+
+@dataclass(slots=True)
+class FixResult:
+    """Outcome of applying a batch of edits to one source text."""
+
+    source: str
+    applied: List[Edit] = field(default_factory=list)
+    #: (edit, reason) pairs for everything the engine declined to touch.
+    refused: List[Tuple[Edit, str]] = field(default_factory=list)
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.applied)
+
+
+def _string_spans(source: str) -> List[Tuple[int, int, int, int]]:
+    """(line, col, end_line, end_col) spans of every string-ish token."""
+    spans: List[Tuple[int, int, int, int]] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if tokenize.tok_name[token.type] in _STRING_TOKEN_NAMES:
+                spans.append((*token.start, *token.end))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        # Untokenizable source: treat everything as off-limits by
+        # returning a whole-file span; callers refuse all edits.
+        last_line = source.count("\n") + 1
+        spans.append((1, 0, last_line + 1, 0))
+    return spans
+
+
+def _overlaps_string(edit: Edit,
+                     spans: List[Tuple[int, int, int, int]]) -> bool:
+    for line, col, end_line, end_col in spans:
+        # Before the token ends and after it starts (positions are
+        # (line, col) tuples; tuple comparison gives document order).
+        if (edit.line, edit.col) < (end_line, end_col) \
+                and (edit.end_line, edit.end_col) > (line, col):
+            return True
+    return False
+
+
+def apply_edits(source: str, edits: Sequence[Edit]) -> FixResult:
+    """Apply non-overlapping verified edits; refuse everything unsafe."""
+    result = FixResult(source=source)
+    if not edits:
+        return result
+    lines = source.splitlines(keepends=True)
+    strings = _string_spans(source)
+    # Right-to-left application keeps earlier spans' coordinates valid.
+    ordered = sorted(set(edits),
+                     key=lambda e: (e.line, e.col, e.end_col), reverse=True)
+    last_start: Tuple[int, int] = (len(lines) + 2, 0)
+    for edit in ordered:
+        if edit.end_line != edit.line:
+            result.refused.append((edit, "multiline span"))
+            continue
+        if not (1 <= edit.line <= len(lines)):
+            result.refused.append((edit, "line out of range"))
+            continue
+        if (edit.end_line, edit.end_col) > last_start:
+            result.refused.append((edit, "overlaps an applied edit"))
+            continue
+        if _overlaps_string(edit, strings):
+            result.refused.append((edit, "span inside a string/f-string"))
+            continue
+        text = lines[edit.line - 1]
+        current = text.rstrip("\r\n")[edit.col:edit.end_col]
+        if current != edit.original:
+            result.refused.append(
+                (edit, f"source drift: expected {edit.original!r}, "
+                       f"found {current!r}"))
+            continue
+        newline = text[len(text.rstrip("\r\n")):]
+        body = text.rstrip("\r\n")
+        lines[edit.line - 1] = (body[:edit.col] + edit.replacement
+                                + body[edit.end_col:] + newline)
+        result.applied.append(edit)
+        last_start = (edit.line, edit.col)
+    result.source = "".join(lines)
+    result.applied.reverse()
+    return result
+
+
+def fixable_violations(violations: Sequence[Violation]) \
+        -> Dict[str, List[Violation]]:
+    """Group fixable violations by path, preserving report order."""
+    by_path: Dict[str, List[Violation]] = {}
+    for violation in violations:
+        if violation.fixable:
+            by_path.setdefault(violation.path, []).append(violation)
+    return by_path
+
+
+def fix_text(source: str, violations: Sequence[Violation]) -> FixResult:
+    """Apply every fix carried by ``violations`` to one source text."""
+    edits: List[Edit] = []
+    for violation in violations:
+        if violation.fix:
+            edits.extend(violation.fix)
+    return apply_edits(source, edits)

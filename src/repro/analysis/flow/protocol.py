@@ -1,0 +1,174 @@
+"""Interprocedural kernel-protocol rules (KP1x family).
+
+The per-file KP01/KP04 rules only fire inside generators they can classify
+as simulation processes *from one file*: registered in the same module, or
+carrying a recognisable kernel-wait yield.  Two escape hatches remained:
+
+* a helper generator with only bare/literal yields, consumed by a real
+  process via ``yield from`` — its yields go straight to the kernel with
+  the process's credentials, but per-file analysis sees an innocent data
+  generator (KP11 closes this);
+
+* a plain helper function calling ``time.sleep()``/``open()`` one level
+  below a process generator — the blocking happens inside the event loop
+  all the same (KP12 closes this).
+
+Both rules anchor their *source* on the process side (the consuming
+generator's ``def``, or the reaching root's ``def``) so a pragma there
+suppresses every finding the process causes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from ..core import FlowRule, Violation, register
+from .index import FuncKey, ProjectIndex
+
+__all__ = ["YieldFromDiscipline", "ReachableBlockingCall"]
+
+
+def _local_reg_roots(project: ProjectIndex) -> Dict[FuncKey, bool]:
+    """Root key -> was it registered from its own module (per-file rules
+    already classified it there)."""
+    return {root.key: root.local_reg for root in project.roots}
+
+
+def _consumer_of(project: ProjectIndex, key: FuncKey) \
+        -> Optional[Tuple[str, int, str]]:
+    """The process-side anchor for a helper generator ``key``.
+
+    Prefer a process-reachable ``yield from`` consumer (its path, def line
+    and qualname); fall back to a cross-module registration site.
+    """
+    for caller in sorted(project.table):
+        fact = project.table[caller]
+        if not project.is_process_reachable(caller):
+            continue
+        for call in fact.calls:
+            if not call.yield_from:
+                continue
+            target = project.resolve(caller[0], fact.cls, call.kind,
+                                     call.name, call.recv)
+            if target == key:
+                summary = project.summaries[caller[0]]
+                return (summary.path, fact.line, fact.qualname)
+    for module, site in project.reg_sites.get(key, []):
+        if module != key[0]:
+            summary = project.summaries[module]
+            return (summary.path, site.def_line or site.line,
+                    f"registration at {summary.module}:{site.line}")
+    return None
+
+
+@register
+class YieldFromDiscipline(FlowRule):
+    """Helpers consumed via ``yield from`` inherit yield discipline."""
+
+    code = "KP11"
+    name = "yield-from-discipline"
+    family = "kernel-protocol"
+    description = ("A helper generator delegated to with 'yield from' by a "
+                   "sim process forwards its yields straight to the kernel; "
+                   "bare 'yield' or literal payloads die with "
+                   "SimulationError even though the helper looks like an "
+                   "innocent data generator per-file.")
+    fixit = ("Yield an Event or a non-negative int delay from the helper, "
+             "or return values to the consumer instead of yielding them "
+             "(make it a plain function, or collect and 'return').")
+
+    def check_project(self, project: ProjectIndex) -> Iterator[Violation]:
+        local_roots = _local_reg_roots(project)
+        for key in sorted(project.table):
+            fact = project.table[key]
+            if not fact.is_generator or fact.has_marker:
+                continue            # Per-file KP01 owns marker generators.
+            if local_roots.get(key, False):
+                continue            # Registered in its own module: per-file.
+            if not project.is_process_reachable(key):
+                continue
+            bad = [(line, col, kind, detail)
+                   for line, col, kind, detail in fact.yields
+                   if kind in ("bare", "literal")]
+            if not bad:
+                continue
+            anchor = _consumer_of(project, key)
+            source_path, source_line, consumer = anchor if anchor else \
+                (project.summaries[key[0]].path, fact.line, "a sim process")
+            for line, col, kind, detail in bad:
+                what = "bare 'yield' (sends None)" if kind == "bare" \
+                    else f"yields a {detail}"
+                yield Violation(
+                    code=self.code, name=self.name,
+                    path=project.summaries[key[0]].path,
+                    line=line, col=col,
+                    message=(
+                        f"helper generator '{fact.qualname}' is consumed "
+                        f"via 'yield from' by {consumer} but {what} — "
+                        "kernel yield discipline applies transitively"),
+                    fixit=self.fixit,
+                    source_path=source_path, source_line=source_line)
+
+
+@register
+class ReachableBlockingCall(FlowRule):
+    """Host-blocking calls anywhere reachable from a process context."""
+
+    code = "KP12"
+    name = "reachable-blocking-call"
+    family = "kernel-protocol"
+    description = ("time.sleep()/file I/O in *any* function reachable from "
+                   "a sim process stalls the event loop in real time — "
+                   "hiding the call one helper down changes nothing.")
+    fixit = ("Model the delay in the process (yield sim.timeout/int) and "
+             "hoist real I/O out of the simulation into setup/report code.")
+
+    def check_project(self, project: ProjectIndex) -> Iterator[Violation]:
+        for key in sorted(project.table):
+            fact = project.table[key]
+            if not fact.blocking or not project.is_process_reachable(key):
+                continue
+            if self._per_file_covered(project, key):
+                continue
+            root_name = self._reaching_root(project, key)
+            source_path, source_line = self._root_anchor(project, key)
+            for line, col, description in fact.blocking:
+                yield Violation(
+                    code=self.code, name=self.name,
+                    path=project.summaries[key[0]].path,
+                    line=line, col=col,
+                    message=(
+                        f"blocking call {description} in "
+                        f"'{fact.qualname}', reachable from sim process "
+                        f"{root_name}"),
+                    fixit=self.fixit,
+                    source_path=source_path, source_line=source_line)
+
+    @staticmethod
+    def _per_file_covered(project: ProjectIndex, key: FuncKey) -> bool:
+        """Would per-file KP04 already flag blocking calls in ``key``?"""
+        fact = project.table[key]
+        if not fact.is_generator:
+            return False
+        if fact.has_marker:
+            return True
+        summary = project.summaries[key[0]]
+        return any(site.name == fact.name for site in summary.registrations)
+
+    @staticmethod
+    def _reaching_root(project: ProjectIndex, key: FuncKey) -> str:
+        contexts = sorted(project.contexts_of(key))
+        if not contexts:
+            return "a sim process"
+        root = project.roots[contexts[0]]
+        return f"'{project.table[root.key].qualname}'"
+
+    @staticmethod
+    def _root_anchor(project: ProjectIndex, key: FuncKey) -> Tuple[str, int]:
+        contexts = sorted(project.contexts_of(key))
+        if not contexts:
+            fact = project.table[key]
+            return (project.summaries[key[0]].path, fact.line)
+        root = project.roots[contexts[0]]
+        return (project.summaries[root.key[0]].path,
+                project.table[root.key].line)

@@ -1,0 +1,115 @@
+"""Static race rules (RC family) — interprocedural, index-driven.
+
+In a cooperative discrete-event kernel every instruction sequence between
+two yields is atomic, so data races cannot hide in arbitrary interleavings
+— they live *exactly at yield points*.  That makes them statically
+checkable: a read-modify-write of shared state is racy iff a yield sits
+between the read and the write-back (RC01), and iterating shared state is
+racy iff the loop body yields while another simulated process can mutate
+the container (RC02).
+
+"Shared" is a whole-program property: the index computes which process
+roots (registered generators, marker generators) reach each method, and a
+``self.<attr>`` is shared when its writers can run as two or more
+concurrent process instances — two distinct roots, or one root registered
+in a loop (``for i in range(n): sim.process(self.client(i))``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from ..core import FlowRule, Violation, register
+from .index import FuncKey, ProjectIndex
+
+__all__ = ["YieldSpanningRMW", "SharedIterationYield"]
+
+
+def _writer_names(project: ProjectIndex, writers: List[FuncKey],
+                  skip: FuncKey) -> str:
+    others = [f"{key[1]}()" for key in writers if key != skip]
+    if not others:
+        return "another instance of this process"
+    return ", ".join(others[:3])
+
+
+@register
+class YieldSpanningRMW(FlowRule):
+    """Shared state read before a yield and written back stale after it."""
+
+    code = "RC01"
+    name = "yield-spanning-rmw"
+    family = "race"
+    description = ("A value read from shared per-object state before a "
+                   "yield and written back after it loses every update a "
+                   "concurrent process instance made during the wait — the "
+                   "cooperative-kernel equivalent of a data race.")
+    fixit = ("Re-read the attribute after the yield (compute from fresh "
+             "state), or make the handoff kernel-ordered: park mutators on "
+             "an event / queue submit while this process owns the value.")
+
+    def check_project(self, project: ProjectIndex) -> Iterator[Violation]:
+        for key in sorted(project.table):
+            fact = project.table[key]
+            if not fact.rmw or not fact.cls \
+                    or not project.is_process_reachable(key):
+                continue
+            for attr, local, read_line, write_line, write_col in fact.rmw:
+                writers = project.attr_writers(fact.cls, attr)
+                if not project.concurrent_contexts(
+                        writers, project.contexts_of(key)):
+                    continue
+                summary = project.summaries[key[0]]
+                yield Violation(
+                    code=self.code, name=self.name, path=summary.path,
+                    line=write_line, col=write_col,
+                    message=(
+                        f"'{local}' snapshots shared "
+                        f"'{fact.cls}.{attr}' at line {read_line}, yields, "
+                        f"then writes the stale value back — updates by "
+                        f"{_writer_names(project, writers, key)} during the "
+                        f"wait are lost"),
+                    fixit=self.fixit,
+                    source_path=summary.path, source_line=fact.line)
+
+
+@register
+class SharedIterationYield(FlowRule):
+    """Yield inside a loop that iterates shared mutable state directly."""
+
+    code = "RC02"
+    name = "shared-iter-yield"
+    family = "race"
+    description = ("A loop iterating self.<attr> directly (no snapshot) "
+                   "that yields in its body resumes against a container "
+                   "another process instance may have mutated — a "
+                   "RuntimeError for dicts, silently skipped or doubled "
+                   "elements for lists.")
+    fixit = ("Iterate a snapshot — sorted(self.attr) or list(self.attr) — "
+             "or drain mutators (event wait / queue submit / driver grant) "
+             "before entering the loop.")
+
+    def check_project(self, project: ProjectIndex) -> Iterator[Violation]:
+        for key in sorted(project.table):
+            fact = project.table[key]
+            if not fact.loop_yields or not fact.cls \
+                    or not project.is_process_reachable(key):
+                continue
+            for attr, line, col, yield_line in fact.loop_yields:
+                writers = project.attr_writers(fact.cls, attr)
+                if not writers:
+                    continue
+                if not project.concurrent_contexts(
+                        writers, project.contexts_of(key)):
+                    continue
+                summary = project.summaries[key[0]]
+                yield Violation(
+                    code=self.code, name=self.name, path=summary.path,
+                    line=line, col=col,
+                    message=(
+                        f"loop iterates shared '{fact.cls}.{attr}' directly "
+                        f"and yields at line {yield_line}; "
+                        f"{_writer_names(project, writers, key)} can mutate "
+                        f"it during the wait"),
+                    fixit=self.fixit,
+                    source_path=summary.path, source_line=fact.line)

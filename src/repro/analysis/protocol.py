@@ -22,6 +22,7 @@ from .core import (
     literal_constant_kind,
     own_nodes,
     register,
+    source_span_edit,
 )
 
 __all__ = ["YieldDiscipline", "EventAttrStash", "SlotsRequired", "BlockingCall"]
@@ -120,7 +121,9 @@ class YieldDiscipline(Rule):
                     yield self.violation(
                         ctx, node,
                         f"bare 'yield' in process {func.name!r} sends None "
-                        "to the kernel")
+                        "to the kernel",
+                        fix=source_span_edit(ctx, node,
+                                             replacement="yield 0"))
                     continue
                 kind = literal_constant_kind(node.value)
                 if kind is not None:

@@ -23,11 +23,18 @@ def repro_src_root() -> Path:
 
 def run_lint(paths: Optional[Sequence[str]] = None,
              select: Optional[Sequence[str]] = None,
-             disable: Optional[Sequence[str]] = None) -> LintReport:
-    """Lint the given paths (default: the whole live ``repro`` package)."""
+             disable: Optional[Sequence[str]] = None,
+             jobs: int = 1,
+             cache_dir: Optional[str] = None) -> LintReport:
+    """Lint the given paths (default: the whole live ``repro`` package).
+
+    Runs per-file *and* whole-program (simflow) rules, exactly like the
+    CLI; ``jobs``/``cache_dir`` pass through to the runner.
+    """
     if paths is None:
         paths = [str(repro_src_root())]
-    return lint_paths(paths, select=select, disable=disable)
+    return lint_paths(paths, select=select, disable=disable,
+                      jobs=jobs, cache_dir=cache_dir)
 
 
 def assert_tree_clean(paths: Optional[Sequence[str]] = None,

@@ -1,9 +1,28 @@
 """The simlint front end: file walking, rule dispatch, report formatting.
 
-``lint_source`` checks one in-memory module (what the fixture tests use);
-``lint_paths`` walks files and directories.  Both honour ``# simlint:``
-pragmas and return violations sorted by (path, line, col, code) so output
-is stable and diffable.
+``lint_source`` checks one in-memory module (what the single-file fixture
+tests use); ``lint_sources`` checks a set of in-memory modules *together*
+so the whole-program flow rules see cross-file effects; ``lint_paths``
+walks the filesystem and is what the CLI calls.
+
+``lint_paths`` layers production machinery on the same per-file core:
+
+* **flow rules** — every file also yields a picklable
+  :class:`~repro.analysis.flow.index.ModuleSummary`; the summaries are
+  aggregated into a :class:`~repro.analysis.flow.index.ProjectIndex` and
+  the registered :class:`~repro.analysis.core.FlowRule` subclasses run
+  over it.  Interprocedural findings honour pragmas at the sink line and
+  at the source function's ``def`` line.
+* **incremental cache** — with ``cache_dir`` set, per-file results
+  (violations + summary) are keyed by content hash; a warm run re-analyzes
+  zero unchanged files (``LintReport.files_analyzed``) while flow rules
+  recompute from cached summaries.
+* **parallel analysis** — ``jobs > 1`` fans per-file analysis out to a
+  process pool.  Results are merged in input order and sorted, so output
+  is byte-identical to a serial run.
+
+All paths honour ``# simlint:`` pragmas and return violations sorted by
+(path, line, col, code) so output is stable and diffable.
 """
 
 from __future__ import annotations
@@ -11,9 +30,10 @@ from __future__ import annotations
 import ast
 import json
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence, Set
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
 from .core import (
+    FlowRule,
     Rule,
     RuleContext,
     Violation,
@@ -21,11 +41,13 @@ from .core import (
     canonical_module,
     get_rule,
 )
+from .flow.index import ModuleSummary, ProjectIndex, summarize_module
 from .pragmas import parse_pragmas
 
 __all__ = [
     "LintReport",
     "lint_source",
+    "lint_sources",
     "lint_paths",
     "format_human",
     "format_json",
@@ -38,11 +60,19 @@ PARSE_ERROR_CODE = "E000"
 class LintReport:
     """Violations plus bookkeeping for a whole run."""
 
-    __slots__ = ("violations", "files_checked")
+    __slots__ = ("violations", "files_checked", "files_analyzed",
+                 "baseline_suppressed")
 
-    def __init__(self, violations: List[Violation], files_checked: int):
+    def __init__(self, violations: List[Violation], files_checked: int,
+                 files_analyzed: Optional[int] = None,
+                 baseline_suppressed: int = 0):
         self.violations = violations
         self.files_checked = files_checked
+        #: Files actually parsed this run (cache misses); equals
+        #: ``files_checked`` when no cache is in play.
+        self.files_analyzed = files_checked if files_analyzed is None \
+            else files_analyzed
+        self.baseline_suppressed = baseline_suppressed
 
     @property
     def clean(self) -> bool:
@@ -74,12 +104,21 @@ def _resolve_codes(tokens: Sequence[str]) -> Set[str]:
 def lint_source(source: str, path: str = "<string>",
                 module: Optional[str] = None,
                 rules: Optional[Sequence[Rule]] = None) -> List[Violation]:
-    """Lint one module given as text.
+    """Lint one module given as text (per-file rules only).
 
     ``module`` overrides the canonical path used for rule scoping — fixture
     tests pass e.g. ``repro/core/evil.py`` to exercise allow-lists without
-    touching the filesystem.
+    touching the filesystem.  Flow rules need a whole program; use
+    :func:`lint_sources` to run them over in-memory fixtures.
     """
+    violations, _summary = _analyze_module(source, path, module, rules)
+    return violations
+
+
+def _analyze_module(source: str, path: str, module: Optional[str],
+                    rules: Optional[Sequence[Rule]]) \
+        -> Tuple[List[Violation], Optional[ModuleSummary]]:
+    """Per-file rules + flow summary for one module text."""
     if module is None:
         module = canonical_module(path)
     try:
@@ -88,7 +127,7 @@ def lint_source(source: str, path: str = "<string>",
         return [Violation(
             code=PARSE_ERROR_CODE, name="parse-error", path=path,
             line=exc.lineno or 1, col=(exc.offset or 1) - 1,
-            message=f"cannot parse: {exc.msg}")]
+            message=f"cannot parse: {exc.msg}")], None
     ctx = RuleContext(path=path, module=module, source=source, tree=tree)
     pragmas = parse_pragmas(source)
     found: List[Violation] = []
@@ -98,7 +137,47 @@ def lint_source(source: str, path: str = "<string>",
                                       violation.name):
                 found.append(violation)
     found.sort(key=Violation.key)
+    return found, summarize_module(path, source, tree, module=module)
+
+
+def _run_flow_rules(summaries: Sequence[Optional[ModuleSummary]],
+                    rules: Sequence[Rule]) -> List[Violation]:
+    flow_rules = [rule for rule in rules if isinstance(rule, FlowRule)]
+    if not flow_rules:
+        return []
+    project = ProjectIndex([s for s in summaries if s is not None])
+    found: List[Violation] = []
+    for rule in flow_rules:
+        for violation in rule.check_project(project):
+            if not project.suppressed(
+                    violation.path, violation.line, violation.code,
+                    violation.name, violation.source_path,
+                    violation.source_line):
+                found.append(violation)
     return found
+
+
+def lint_sources(modules: Sequence[Tuple[str, str]],
+                 select: Optional[Sequence[str]] = None,
+                 disable: Optional[Sequence[str]] = None) -> List[Violation]:
+    """Lint several in-memory modules as one program.
+
+    ``modules`` is ``[(path, source), ...]``; each path doubles as the
+    canonical module path, so fixtures can pretend to live anywhere in the
+    tree (``repro/core/evil.py``).  Runs per-file *and* flow rules — this
+    is the entry point for interprocedural fixture tests.
+    """
+    rules = _select_rules(select, disable)
+    violations: List[Violation] = []
+    summaries: List[Optional[ModuleSummary]] = []
+    for path, source in modules:
+        found, summary = _analyze_module(source, path, module=path,
+                                         rules=rules)
+        violations.extend(found)
+        summaries.append(summary)
+    violations.extend(_run_flow_rules(summaries, rules))
+    violations.sort(key=Violation.key)
+    return violations
 
 
 def _python_files(paths: Iterable[str]) -> List[Path]:
@@ -120,19 +199,77 @@ def _python_files(paths: Iterable[str]) -> List[Path]:
     return unique
 
 
+def _worker_analyze(task: Tuple[str, str, Optional[Tuple[str, ...]]]) \
+        -> Tuple[List[Violation], Optional[ModuleSummary]]:
+    """Process-pool entry point: analyze one file from its text."""
+    path, source, codes = task
+    rules = all_rules() if codes is None else \
+        [rule for rule in all_rules() if rule.code in codes]
+    return _analyze_module(source, path, module=None, rules=rules)
+
+
 def lint_paths(paths: Iterable[str],
                select: Optional[Sequence[str]] = None,
-               disable: Optional[Sequence[str]] = None) -> LintReport:
-    """Lint files and directory trees; directories are walked recursively."""
+               disable: Optional[Sequence[str]] = None,
+               jobs: int = 1,
+               cache_dir: Optional[str] = None) -> LintReport:
+    """Lint files and directory trees; directories are walked recursively.
+
+    ``jobs > 1`` parallelizes per-file analysis over a process pool;
+    ``cache_dir`` enables the content-hash incremental cache.  Neither
+    changes the report: output is byte-identical to a serial, cold run.
+    """
     rules = _select_rules(select, disable)
-    violations: List[Violation] = []
+    codes: Optional[Tuple[str, ...]] = None
+    if select or disable:
+        codes = tuple(rule.code for rule in rules)
     files = _python_files(paths)
-    for path in files:
-        source = path.read_text(encoding="utf-8")
-        violations.extend(
-            lint_source(source, path=str(path), rules=rules))
+
+    cache = None
+    if cache_dir is not None:
+        from .cache import LintCache
+        cache = LintCache(cache_dir)
+
+    results: List[Optional[
+        Tuple[List[Violation], Optional[ModuleSummary]]]] = [None] * len(files)
+    pending: List[Tuple[int, str, str]] = []
+    raw_bytes: List[bytes] = []
+    for position, path in enumerate(files):
+        raw = path.read_bytes()
+        source = raw.decode("utf-8")
+        if cache is not None:
+            hit = cache.get(str(path), raw)
+            if hit is not None:
+                results[position] = hit
+                continue
+        pending.append((position, str(path), source))
+        raw_bytes.append(raw)
+
+    if pending:
+        tasks = [(path, source, codes) for _, path, source in pending]
+        if jobs > 1 and len(tasks) > 1:
+            import multiprocessing
+            with multiprocessing.Pool(processes=min(jobs, len(tasks))) \
+                    as pool:
+                analyzed = pool.map(_worker_analyze, tasks)
+        else:
+            analyzed = [_worker_analyze(task) for task in tasks]
+        for (position, path, _source), raw, outcome in zip(
+                pending, raw_bytes, analyzed):
+            results[position] = outcome
+            if cache is not None:
+                cache.put(path, raw, outcome[0], outcome[1])
+
+    violations: List[Violation] = []
+    summaries: List[Optional[ModuleSummary]] = []
+    for outcome in results:
+        assert outcome is not None
+        violations.extend(outcome[0])
+        summaries.append(outcome[1])
+    violations.extend(_run_flow_rules(summaries, rules))
     violations.sort(key=Violation.key)
-    return LintReport(violations, files_checked=len(files))
+    return LintReport(violations, files_checked=len(files),
+                      files_analyzed=len(pending))
 
 
 def format_human(report: LintReport, verbose_fixits: bool = True) -> str:
@@ -142,19 +279,34 @@ def format_human(report: LintReport, verbose_fixits: bool = True) -> str:
         lines.append(
             f"{violation.path}:{violation.line}:{violation.col + 1}: "
             f"{violation.code}[{violation.name}] {violation.message}")
+        if violation.source_path and (
+                violation.source_path != violation.path
+                or violation.source_line != violation.line):
+            lines.append(
+                f"    source: {violation.source_path}:"
+                f"{violation.source_line}")
         if verbose_fixits and violation.fixit:
             lines.append(f"    fix: {violation.fixit}")
     tally = len(report.violations)
-    lines.append(
+    fixable = sum(1 for violation in report.violations if violation.fixable)
+    summary = (
         f"simlint: {report.files_checked} file(s) checked, "
-        f"{tally} violation(s)" if tally else
-        f"simlint: {report.files_checked} file(s) checked, clean")
+        + (f"{tally} violation(s)" if tally else "clean"))
+    if report.files_analyzed != report.files_checked:
+        summary += (f" ({report.files_analyzed} analyzed, "
+                    f"{report.files_checked - report.files_analyzed} cached)")
+    if fixable:
+        summary += f"; {fixable} fixable with --fix"
+    if report.baseline_suppressed:
+        summary += f"; {report.baseline_suppressed} baselined"
+    lines.append(summary)
     return "\n".join(lines)
 
 
 def format_json(report: LintReport) -> str:
     payload = {
         "files_checked": report.files_checked,
+        "files_analyzed": report.files_analyzed,
         "violation_count": len(report.violations),
         "violations": [
             {
@@ -165,6 +317,9 @@ def format_json(report: LintReport) -> str:
                 "col": violation.col,
                 "message": violation.message,
                 "fixit": violation.fixit,
+                "fixable": violation.fixable,
+                "source_path": violation.source_path,
+                "source_line": violation.source_line,
             }
             for violation in report.violations
         ],

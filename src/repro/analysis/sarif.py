@@ -1,0 +1,92 @@
+"""SARIF 2.1.0 output for simlint (``--output sarif``).
+
+SARIF (Static Analysis Results Interchange Format) is the schema code
+hosts ingest for inline PR annotations.  The emitter maps:
+
+* each registered rule → ``tool.driver.rules[]`` (id, short/full
+  description, help text from the rule's ``fixit``);
+* each violation → a ``result`` with the physical location, and — for
+  interprocedural findings — a ``relatedLocations`` entry pointing at the
+  *source* function's ``def`` line, so reviewers see both ends of a
+  cross-file finding without opening the second file.
+
+Only the fields the spec marks required (plus the universally-supported
+optional ones) are emitted; the output validates against the 2.1.0 schema
+shape that GitHub code scanning accepts.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Dict, List
+
+from .core import Rule, all_rules
+
+if TYPE_CHECKING:                            # pragma: no cover
+    from .runner import LintReport
+
+__all__ = ["format_sarif"]
+
+_SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                 "master/Schemata/sarif-schema-2.1.0.json")
+
+
+def _rule_descriptor(rule: Rule) -> Dict[str, object]:
+    descriptor: Dict[str, object] = {
+        "id": rule.code,
+        "name": rule.name,
+        "shortDescription": {"text": rule.name},
+        "fullDescription": {"text": rule.description},
+        "properties": {"family": rule.family},
+    }
+    if rule.fixit:
+        descriptor["help"] = {"text": rule.fixit}
+    return descriptor
+
+
+def _location(path: str, line: int, col: int) -> Dict[str, object]:
+    return {
+        "physicalLocation": {
+            "artifactLocation": {"uri": path.replace("\\", "/")},
+            "region": {"startLine": max(line, 1),
+                       "startColumn": col + 1},
+        }
+    }
+
+
+def format_sarif(report: "LintReport") -> str:
+    """Serialize a :class:`~repro.analysis.runner.LintReport` as SARIF."""
+    rules = all_rules()
+    rule_index = {rule.code: position for position, rule in enumerate(rules)}
+    results: List[Dict[str, object]] = []
+    for violation in report.violations:
+        result: Dict[str, object] = {
+            "ruleId": violation.code,
+            "level": "error",
+            "message": {"text": violation.message},
+            "locations": [_location(violation.path, violation.line,
+                                    violation.col)],
+        }
+        if violation.code in rule_index:
+            result["ruleIndex"] = rule_index[violation.code]
+        if violation.source_path:
+            source = _location(violation.source_path,
+                               violation.source_line, 0)
+            source["message"] = {"text": "source function of this "
+                                         "interprocedural finding"}
+            result["relatedLocations"] = [source]
+        if violation.fixable:
+            result["properties"] = {"fixable": True}
+        results.append(result)
+    payload = {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "simlint",
+                "rules": [_rule_descriptor(rule) for rule in rules],
+            }},
+            "results": results,
+        }],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

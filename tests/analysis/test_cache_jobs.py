@@ -1,0 +1,120 @@
+"""Incremental cache and multiprocess runner: correctness + determinism.
+
+The contracts under test:
+
+* a warm cached run re-analyzes **zero** files and reports identically;
+* editing one file re-analyzes exactly that file, and cross-file (flow)
+  findings still update — summaries come from the cache, the project
+  index is rebuilt every run;
+* ``jobs=N`` produces byte-identical reports to serial, cold or warm.
+"""
+
+from pathlib import Path
+
+from repro.analysis import format_human, format_json, lint_paths
+
+CLEAN = "def helper(x):\n    return x + 1\n"
+DIRTY = "import time\n\ndef stamp():\n    return time.time()\n"
+FLOW_HELPER = '''def fill(memory, addr):
+    memory.write(addr, b"x")
+'''
+FLOW_CALLER = '''from repro.core.helpers import fill
+
+class Writer:
+    def run(self, sim):
+        yield sim.timeout(1)
+        addr = self.queue.slot_address(0)
+        fill(self.memory, addr)
+'''
+
+
+def make_tree(root: Path) -> Path:
+    pkg = root / "repro" / "core"
+    pkg.mkdir(parents=True)
+    (pkg / "clean.py").write_text(CLEAN)
+    (pkg / "dirty.py").write_text(DIRTY)
+    (pkg / "helpers.py").write_text(FLOW_HELPER)
+    (pkg / "writer.py").write_text(FLOW_CALLER)
+    return root / "repro"
+
+
+def test_warm_run_analyzes_zero_files(tmp_path):
+    tree = make_tree(tmp_path / "proj")
+    cache = str(tmp_path / "cache")
+    cold = lint_paths([str(tree)], cache_dir=cache)
+    assert cold.files_analyzed == cold.files_checked == 4
+    warm = lint_paths([str(tree)], cache_dir=cache)
+    assert warm.files_analyzed == 0
+    assert warm.files_checked == 4
+    assert format_json(cold).replace('"files_analyzed": 4',
+                                     '"files_analyzed": 0') \
+        == format_json(warm)
+
+
+def test_cached_run_still_reports_flow_findings(tmp_path):
+    tree = make_tree(tmp_path / "proj")
+    cache = str(tmp_path / "cache")
+    cold = lint_paths([str(tree)], cache_dir=cache)
+    warm = lint_paths([str(tree)], cache_dir=cache)
+    for report in (cold, warm):
+        codes = [v.code for v in report.violations]
+        assert "DET02" in codes     # per-file, in dirty.py
+        assert "WQ11" in codes      # cross-file: helpers.py <- writer.py
+
+
+def test_editing_one_file_reanalyzes_only_it(tmp_path):
+    tree = make_tree(tmp_path / "proj")
+    cache = str(tmp_path / "cache")
+    lint_paths([str(tree)], cache_dir=cache)
+    (tree / "core" / "dirty.py").write_text(CLEAN)
+    touched = lint_paths([str(tree)], cache_dir=cache)
+    assert touched.files_analyzed == 1
+    assert "DET02" not in [v.code for v in touched.violations]
+    # Reverting restores a full cache hit (content hash, not mtime).
+    (tree / "core" / "dirty.py").write_text(DIRTY)
+    reverted = lint_paths([str(tree)], cache_dir=cache)
+    assert reverted.files_analyzed == 0
+
+
+def test_flow_finding_updates_through_cache(tmp_path):
+    tree = make_tree(tmp_path / "proj")
+    cache = str(tmp_path / "cache")
+    assert any(v.code == "WQ11" for v in
+               lint_paths([str(tree)], cache_dir=cache).violations)
+    # Remove the tainted call from the (cached) caller; helpers.py itself
+    # is untouched, yet the cross-file finding must disappear.
+    (tree / "core" / "writer.py").write_text(
+        FLOW_CALLER.replace("        fill(self.memory, addr)\n", ""))
+    after = lint_paths([str(tree)], cache_dir=cache)
+    assert after.files_analyzed == 1
+    assert not any(v.code == "WQ11" for v in after.violations)
+
+
+def test_jobs_output_byte_identical(tmp_path):
+    tree = make_tree(tmp_path / "proj")
+    serial = lint_paths([str(tree)])
+    parallel = lint_paths([str(tree)], jobs=3)
+    assert format_human(serial) == format_human(parallel)
+    assert format_json(serial) == format_json(parallel)
+    assert parallel.violations  # the comparison is not vacuous
+
+
+def test_jobs_with_cache(tmp_path):
+    tree = make_tree(tmp_path / "proj")
+    cache = str(tmp_path / "cache")
+    cold = lint_paths([str(tree)], jobs=3, cache_dir=cache)
+    warm = lint_paths([str(tree)], jobs=3, cache_dir=cache)
+    assert warm.files_analyzed == 0
+    assert [v.key() for v in cold.violations] \
+        == [v.key() for v in warm.violations]
+
+
+def test_corrupt_cache_entry_is_a_miss(tmp_path):
+    tree = make_tree(tmp_path / "proj")
+    cache_dir = tmp_path / "cache"
+    lint_paths([str(tree)], cache_dir=str(cache_dir))
+    for entry in cache_dir.rglob("*.pkl"):
+        entry.write_bytes(b"not a pickle")
+    report = lint_paths([str(tree)], cache_dir=str(cache_dir))
+    assert report.files_analyzed == 4        # all misses, no crash
+    assert any(v.code == "DET02" for v in report.violations)

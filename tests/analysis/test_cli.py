@@ -108,3 +108,108 @@ def test_syntax_error_reported_as_violation(tmp_path):
     result = run_cli(str(target))
     assert result.returncode == 1
     assert "E000" in result.stdout
+
+
+HASH_ORDER_SOURCE = "for x in {3, 1, 2}:\n    print(x)\n"
+
+
+def test_fix_applies_and_exits_clean(tmp_path):
+    target = tmp_path / "fixme.py"
+    target.write_text(HASH_ORDER_SOURCE)
+    result = run_cli(str(target), "--fix")
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "fixed 1 violation(s)" in result.stderr
+    assert target.read_text() == "for x in sorted({3, 1, 2}):\n    print(x)\n"
+    # Idempotent: a second --fix run touches nothing.
+    again = run_cli(str(target), "--fix")
+    assert again.returncode == 0
+    assert "fixed" not in again.stderr
+
+
+def test_sarif_output(tmp_path):
+    target = tmp_path / "dirty.py"
+    target.write_text(DIRTY_SOURCE)
+    result = run_cli(str(target), "--output", "sarif")
+    assert result.returncode == 1
+    payload = json.loads(result.stdout)
+    assert payload["version"] == "2.1.0"
+    [run] = payload["runs"]
+    assert run["tool"]["driver"]["name"] == "simlint"
+    [finding] = run["results"]
+    assert finding["ruleId"] == "DET02"
+    assert finding["locations"][0]["physicalLocation"]["region"][
+        "startLine"] == 4
+    rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+    assert {"RC01", "WQ11", "KP11"} <= rule_ids
+
+
+def test_baseline_roundtrip(tmp_path):
+    target = tmp_path / "dirty.py"
+    target.write_text(DIRTY_SOURCE)
+    baseline = tmp_path / "baseline.json"
+    wrote = run_cli(str(target), "--write-baseline", str(baseline))
+    assert wrote.returncode == 0
+    assert "wrote 1 baseline entry" in wrote.stderr
+    # With the baseline the same tree is green…
+    masked = run_cli(str(target), "--baseline", str(baseline))
+    assert masked.returncode == 0
+    assert "1 baselined" in masked.stdout
+    # …but a *new* violation still fails.
+    target.write_text(DIRTY_SOURCE + "\nimport os\nseed = os.urandom(4)\n")
+    fresh = run_cli(str(target), "--baseline", str(baseline))
+    assert fresh.returncode == 1
+    assert "DET02" in fresh.stdout
+
+
+def test_repo_baseline_is_checked_in_and_empty():
+    baseline = REPO_ROOT / "simlint-baseline.json"
+    payload = json.loads(baseline.read_text())
+    assert payload["violations"] == []
+
+
+def test_cache_warm_run_reports_cached_files(tmp_path):
+    target = tmp_path / "dirty.py"
+    target.write_text(DIRTY_SOURCE)
+    cache = tmp_path / "cache"
+    run_cli(str(target), "--cache-dir", str(cache))
+    warm = run_cli(str(target), "--cache-dir", str(cache))
+    assert "(0 analyzed, 1 cached)" in warm.stdout
+
+
+def test_jobs_flag_matches_serial(tmp_path):
+    target = tmp_path / "dirty.py"
+    target.write_text(DIRTY_SOURCE)
+    serial = run_cli(str(target))
+    parallel = run_cli(str(target), "--jobs", "2")
+    assert serial.stdout == parallel.stdout
+    assert "--jobs" not in serial.stdout
+
+
+def test_bad_jobs_is_usage_error(tmp_path):
+    target = tmp_path / "clean.py"
+    target.write_text(CLEAN_SOURCE)
+    result = run_cli(str(target), "--jobs", "0")
+    assert result.returncode == 2
+
+
+def test_cross_file_finding_via_cli(tmp_path):
+    # A taint source and its sink in different files: only whole-program
+    # analysis connects them, and the report names both ends.
+    pkg = tmp_path / "repro" / "core"
+    pkg.mkdir(parents=True)
+    (pkg / "helpers.py").write_text(
+        "def fill(memory, addr):\n"
+        "    memory.write(addr, b'x')\n")
+    (pkg / "writer.py").write_text(
+        "from repro.core.helpers import fill\n\n"
+        "class Writer:\n"
+        "    def run(self, sim):\n"
+        "        yield sim.timeout(1)\n"
+        "        addr = self.queue.slot_address(0)\n"
+        "        fill(self.memory, addr)\n")
+    result = run_cli(str(tmp_path / "repro"))
+    assert result.returncode == 1
+    assert "WQ11" in result.stdout
+    assert "helpers.py:2:" in result.stdout       # sink
+    assert "source:" in result.stdout             # cross-file anchor
+    assert "writer.py:4" in result.stdout

@@ -1,0 +1,146 @@
+"""The ``--fix`` engine: safe application, refusals, idempotence."""
+
+from textwrap import dedent
+
+from repro.analysis import lint_source
+from repro.analysis.core import Edit
+from repro.analysis.fixes import apply_edits, fix_text
+
+DET03_SOURCE = dedent('''
+    def order(peers):
+        for peer in {1, 2, 3}:
+            print(peer)
+        return [p for p in set(peers)]
+''')
+
+KP01_SOURCE = dedent('''
+    def proc(sim):
+        yield sim.timeout(1)
+        yield
+''')
+
+
+def fixes_of(source, module="repro/core/fixture.py"):
+    return [v for v in lint_source(source, module=module) if v.fixable]
+
+
+class TestRuleFixes:
+    def test_det03_wraps_in_sorted(self):
+        fixable = fixes_of(DET03_SOURCE)
+        assert len(fixable) == 2
+        result = fix_text(DET03_SOURCE, fixable)
+        assert not result.refused
+        assert "for peer in sorted({1, 2, 3}):" in result.source
+        assert "for p in sorted(set(peers))" in result.source
+
+    def test_kp01_bare_yield_becomes_yield_zero(self):
+        fixable = fixes_of(KP01_SOURCE)
+        assert len(fixable) == 1
+        result = fix_text(KP01_SOURCE, fixable)
+        assert "    yield 0\n" in result.source
+
+    def test_fixed_output_lints_clean(self):
+        for source in (DET03_SOURCE, KP01_SOURCE):
+            result = fix_text(source, fixes_of(source))
+            assert fixes_of(result.source) == []
+            assert lint_source(result.source,
+                               module="repro/core/fixture.py") == []
+
+    def test_fix_preserves_behavior(self):
+        # The DET03 fix changes iteration order, not the value set.
+        scope = {}
+        exec(DET03_SOURCE, scope)
+        before = sorted(scope["order"]([3, 1, 2]))
+        result = fix_text(DET03_SOURCE, fixes_of(DET03_SOURCE))
+        scope = {}
+        exec(result.source, scope)
+        after = scope["order"]([3, 1, 2])
+        assert after == sorted(before) == [1, 2, 3]
+
+    def test_idempotent(self):
+        once = fix_text(DET03_SOURCE, fixes_of(DET03_SOURCE)).source
+        twice = fix_text(once, fixes_of(once)).source
+        assert twice == once
+
+
+class TestEngineSafety:
+    def test_refuses_multiline_span(self):
+        source = "value = (1 +\n         2)\n"
+        edit = Edit(line=1, col=8, end_line=2, end_col=11,
+                    original="(1 +\n         2)", replacement="3")
+        result = apply_edits(source, [edit])
+        assert result.source == source
+        assert [reason for _, reason in result.refused] == ["multiline span"]
+
+    def test_refuses_on_source_drift(self):
+        source = "items = {1, 2}\n"
+        edit = Edit(line=1, col=8, end_line=1, end_col=14,
+                    original="{9, 9}", replacement="sorted({9, 9})")
+        result = apply_edits(source, [edit])
+        assert result.source == source
+        assert "source drift" in result.refused[0][1]
+
+    def test_refuses_span_inside_fstring(self):
+        source = 'label = f"peers: {sorted_peers}"\n'
+        edit = Edit(line=1, col=18, end_line=1, end_col=30,
+                    original="sorted_peers", replacement="peers")
+        result = apply_edits(source, [edit])
+        assert result.source == source
+        assert "f-string" in result.refused[0][1]
+
+    def test_refuses_span_inside_plain_string(self):
+        source = 'note = "do not touch {1, 2}"\n'
+        edit = Edit(line=1, col=21, end_line=1, end_col=27,
+                    original="{1, 2}", replacement="sorted({1, 2})")
+        result = apply_edits(source, [edit])
+        assert result.refused
+
+    def test_skips_overlapping_edits(self):
+        source = "for x in {1, 2}:\n    pass\n"
+        wrap = Edit(line=1, col=9, end_line=1, end_col=15,
+                    original="{1, 2}", replacement="sorted({1, 2})")
+        inner = Edit(line=1, col=10, end_line=1, end_col=11,
+                     original="1", replacement="9")
+        result = apply_edits(source, [wrap, inner])
+        # Exactly one of the overlapping pair lands; the other is refused.
+        assert len(result.applied) == 1
+        assert len(result.refused) == 1
+        assert result.refused[0][1] == "overlaps an applied edit"
+
+    def test_multiple_disjoint_edits_on_one_line(self):
+        source = "pair = ({1}, {2})\n"
+        first = Edit(line=1, col=8, end_line=1, end_col=11,
+                     original="{1}", replacement="sorted({1})")
+        second = Edit(line=1, col=13, end_line=1, end_col=16,
+                      original="{2}", replacement="sorted({2})")
+        result = apply_edits(source, [first, second])
+        assert result.source == "pair = (sorted({1}), sorted({2}))\n"
+        assert not result.refused
+
+    def test_preserves_line_endings(self):
+        source = "for x in {1}:\r\n    pass\r\n"
+        edit = Edit(line=1, col=9, end_line=1, end_col=12,
+                    original="{1}", replacement="sorted({1})")
+        result = apply_edits(source, [edit])
+        assert result.source == "for x in sorted({1}):\r\n    pass\r\n"
+
+    def test_no_edits_is_noop(self):
+        assert apply_edits("x = 1\n", []).source == "x = 1\n"
+
+    def test_multiline_set_literal_gets_no_fix(self):
+        # Rule side: source_span_edit refuses multiline nodes outright.
+        source = "for x in {1,\n          2}:\n    pass\n"
+        assert fixes_of(source) == []
+        assert any(v.code == "DET03"
+                   for v in lint_source(source,
+                                        module="repro/core/fixture.py"))
+
+    def test_set_inside_fstring_not_fixed(self):
+        # DET03 does not fire inside f-string format specs, but if a rule
+        # ever hands the engine a span overlapping a string, it refuses.
+        source = 'x = f"{list({1, 2})}"\n'
+        fixable = fixes_of(source)
+        if fixable:
+            result = fix_text(source, fixable)
+            assert result.source == source
+            assert result.refused

@@ -1,0 +1,116 @@
+"""Pragma placement for interprocedural (simflow) findings.
+
+A cross-file finding has two anchors: the *sink* line the violation is
+reported on, and the ``def`` line of the *source* function that causes it.
+A ``# simlint: disable=RULE`` pragma on either one suppresses the finding
+— the sink side says "this code is allowed to do this", the source side
+says "everything this process causes is understood".
+"""
+
+from repro.analysis import lint_sources
+
+HELPER = '''
+def fill(memory, addr):
+    memory.write(addr, b"x" * 8)
+'''
+CALLER = '''
+from repro.core.helpers import fill
+
+class Writer:
+    def run(self, sim):
+        yield sim.timeout(1)
+        addr = self.queue.slot_address(0)
+        fill(self.memory, addr)
+'''
+
+
+def run(helper=HELPER, caller=CALLER):
+    return [v.code for v in lint_sources([
+        ("repro/core/helpers.py", helper),
+        ("repro/core/writer.py", caller),
+    ])]
+
+
+def test_unsuppressed_baseline():
+    assert run() == ["WQ11"]
+
+
+def test_sink_line_pragma_suppresses():
+    helper = HELPER.replace(
+        'memory.write(addr, b"x" * 8)',
+        'memory.write(addr, b"x" * 8)  # simlint: disable=WQ11')
+    assert run(helper=helper) == []
+
+
+def test_sink_pragma_by_name():
+    helper = HELPER.replace(
+        'memory.write(addr, b"x" * 8)',
+        'memory.write(addr, b"x" * 8)  # simlint: disable=descriptor-taint')
+    assert run(helper=helper) == []
+
+
+def test_source_def_pragma_suppresses():
+    caller = CALLER.replace(
+        "def run(self, sim):",
+        "def run(self, sim):  # simlint: disable=WQ11")
+    assert run(caller=caller) == []
+
+
+def test_pragma_elsewhere_in_source_file_does_not_suppress():
+    # A pragma on the *call* line is neither the sink nor the source def:
+    # the finding must survive.
+    caller = CALLER.replace(
+        "fill(self.memory, addr)",
+        "fill(self.memory, addr)  # simlint: disable=WQ11")
+    assert run(caller=caller) == ["WQ11"]
+
+
+def test_file_pragma_in_sink_module_suppresses():
+    helper = "# simlint: disable-file=WQ11\n" + HELPER
+    assert run(helper=helper) == []
+
+
+def test_file_pragma_in_source_module_suppresses():
+    caller = "# simlint: disable-file=WQ11\n" + CALLER
+    assert run(caller=caller) == []
+
+
+def test_unrelated_pragma_does_not_suppress():
+    helper = HELPER.replace(
+        'memory.write(addr, b"x" * 8)',
+        'memory.write(addr, b"x" * 8)  # simlint: disable=RC01')
+    assert run(helper=helper) == ["WQ11"]
+
+
+class TestKP11Anchors:
+    HELPER = '''
+def pacing():
+    yield
+'''
+    PROCESS = '''
+from repro.core.pacing import pacing
+
+def loop(sim):
+    yield sim.timeout(1)
+    yield from pacing()
+'''
+
+    def run(self, helper=None, process=None):
+        return [v.code for v in lint_sources([
+            ("repro/core/pacing.py", helper or self.HELPER),
+            ("repro/core/loop.py", process or self.PROCESS),
+        ])]
+
+    def test_baseline(self):
+        assert self.run() == ["KP11"]
+
+    def test_sink_yield_line_pragma(self):
+        helper = self.HELPER.replace(
+            "    yield", "    yield  # simlint: disable=KP11")
+        assert self.run(helper=helper) == []
+
+    def test_consumer_def_pragma(self):
+        process = self.PROCESS.replace(
+            "def loop(sim):",
+            "def loop(sim):  # simlint: disable=KP11")
+        assert self.run(process=process) == []

@@ -24,8 +24,17 @@ def test_src_root_points_at_repro_package():
 
 def test_all_rule_families_registered():
     families = {rule.family for rule in all_rules()}
-    assert families == {"determinism", "kernel-protocol", "wqe-ownership"}
-    assert len(all_rules()) == 11
+    assert families == {"determinism", "kernel-protocol", "wqe-ownership",
+                        "race"}
+    assert len(all_rules()) == 17
+
+
+def test_tests_tree_is_clean_too():
+    # The CI lint gate runs ``simlint src tests``; pin both halves here so
+    # a deliberate-misuse test without its justifying pragma fails fast.
+    tests_root = repro_src_root().parent.parent / "tests"
+    assert tests_root.is_dir()
+    assert_tree_clean([str(tests_root)])
 
 
 def test_rules_resolvable_by_code_and_name():

@@ -291,7 +291,7 @@ class TestSimulatorRun:
 
     def test_yield_non_event_errors_process(self, sim):
         def proc(sim):
-            yield "not an event"
+            yield "not an event"  # simlint: disable=KP01 (deliberate misuse under test)
 
         process = sim.process(proc(sim))
         with pytest.raises(SimulationError):
@@ -301,7 +301,7 @@ class TestSimulatorRun:
     def test_yield_non_event_can_be_caught(self, sim):
         def proc(sim):
             try:
-                yield "not an event"
+                yield "not an event"  # simlint: disable=KP01 (deliberate misuse under test)
             except SimulationError:
                 return "recovered"
 
