@@ -72,7 +72,8 @@ from repro.sim.engine import Simulator
 from repro.sim.stats import LatencyRecorder
 
 __all__ = ["WORKLOADS", "SHORT_DELAY_WORKLOADS", "run_workload",
-           "sweep_overhead", "sweep_overhead_compare", "main"]
+           "sweep_overhead", "sweep_overhead_compare", "traffic_overhead",
+           "main"]
 
 # Concurrent processes in the fan-out workloads.  Chosen to match the
 # multi-tenant regime from the paper's figure 8/9 setups (hundreds of
@@ -377,6 +378,103 @@ def sweep_overhead_compare(samples: int = 200_000, points: int = 8,
 
 
 # ----------------------------------------------------------------------
+# Admission-path overhead at zero contention.
+#
+# Also not a kernel workload: it measures the traffic layer *around* the
+# kernel — what an uncontended op pays for passing through a bounded
+# AdmissionQueue (one extra event, one dispatcher handoff) relative to
+# issuing the same replicated write directly.  The admission arm must
+# stay within a few percent of direct issue, or the "admission is free
+# until you need it" premise of the overload experiments breaks.
+# ``scripts/perf_report.py`` records it in a separate ``traffic``
+# section, outside the events/sec regression gate.
+# ----------------------------------------------------------------------
+def _traffic_closed_loop(ops: int, window: int,
+                         use_admission: bool) -> float:
+    """Wall seconds for ``ops`` closed-loop gWRITEs at ``window`` depth."""
+    from repro.core.group import GroupConfig, HyperLoopGroup
+    from repro.host import Cluster
+    from repro.traffic import AdmissionConfig, AdmissionQueue
+
+    cluster = Cluster(seed=7)
+    client = cluster.add_host("to-client")
+    replicas = cluster.add_hosts(3, prefix="to-replica")
+    group = HyperLoopGroup(client, replicas,
+                           GroupConfig(slots=max(64, 2 * window),
+                                       region_size=1 << 16))
+    sim = cluster.sim
+    group.write_local(0, b"\xCD" * 64)
+    admission = None
+    if use_admission:
+        # Depth covers every op and the window matches the client's, so
+        # nothing ever queues or sheds: the cost measured is pure
+        # pass-through machinery.
+        admission = AdmissionQueue(
+            sim, AdmissionConfig(depth=ops + window, window=window))
+
+    def submit():
+        if admission is None:
+            return group.gwrite(0, 64)
+        return admission.offer(lambda: group.gwrite(0, 64))
+
+    state = {"issued": 0, "done": 0}
+    finished = sim.event()
+
+    def on_done(_event):
+        state["done"] += 1
+        if state["done"] == ops:
+            finished.succeed()
+        elif state["issued"] < ops:
+            state["issued"] += 1
+            submit().add_callback(on_done)
+
+    def driver():
+        for _ in range(min(window, ops)):
+            state["issued"] += 1
+            submit().add_callback(on_done)
+        yield finished
+
+    sim.process(driver())
+    started = time.perf_counter()
+    # Cluster hosts keep background processes scheduled forever, so run
+    # to the completion event rather than draining the schedule.
+    while not finished.triggered:
+        sim.step()
+    elapsed = time.perf_counter() - started
+    assert state["done"] == ops
+    if admission is not None:
+        assert admission.shed == 0 and admission.completed == ops
+    return elapsed
+
+
+def traffic_overhead(ops: int = 4_000, window: int = 16,
+                     repeats: int = 3) -> Dict[str, float]:
+    """Best-of-``repeats`` direct vs admission-wrapped closed loop.
+
+    Returns both arms' wall seconds plus ``overhead`` — the fractional
+    wall-clock cost of the admission pass-through at zero contention.
+    The arms are interleaved per repeat so background-load drift on a
+    shared machine biases both equally instead of whichever ran second.
+    """
+    direct = float("inf")
+    admitted = float("inf")
+    for _ in range(repeats):
+        direct = min(direct,
+                     _traffic_closed_loop(ops, window, use_admission=False))
+        admitted = min(admitted,
+                       _traffic_closed_loop(ops, window, use_admission=True))
+    return {
+        "ops": ops,
+        "window": window,
+        "direct_s": direct,
+        "admission_s": admitted,
+        "direct_kops": ops / direct / 1e3,
+        "admission_kops": ops / admitted / 1e3,
+        "overhead": admitted / direct - 1.0,
+    }
+
+
+# ----------------------------------------------------------------------
 # pytest-benchmark integration (same harness as the figure benches).
 # ----------------------------------------------------------------------
 def test_kernel_timeout_chain(benchmark):
@@ -419,9 +517,17 @@ if __name__ == "__main__":
     parser.add_argument("--sweep-overhead", action="store_true",
                         help="measure the sweep engine's result transport "
                              "(shm vs pickle) instead of kernel workloads")
+    parser.add_argument("--traffic-overhead", action="store_true",
+                        help="measure the admission queue's pass-through "
+                             "cost at zero contention")
     cli = parser.parse_args()
     if cli.sweep_overhead:
         sweep_overhead_compare()
+    elif cli.traffic_overhead:
+        r = traffic_overhead()
+        print(f"traffic_overhead      direct {r['direct_kops']:6.1f} kops/s"
+              f"  admission {r['admission_kops']:6.1f} kops/s"
+              f"  overhead {r['overhead'] * 100:+.1f}%")
     elif cli.compare:
         compare(cli.n, repeats=cli.repeats)
     else:

@@ -10,7 +10,11 @@ discrete-event kernel, so this script records two things:
   latency sweep) — the end-to-end cost a contributor actually feels;
 * **sweep result-transport throughput** (MB/s of latency samples moved
   from pool workers back to the parent) for the shared-memory and the
-  pickled transport — ``--transport {pickle,shm,both}`` selects which.
+  pickled transport — ``--transport {pickle,shm,both}`` selects which;
+* **admission pass-through overhead** (the traffic layer's bounded
+  queue wrapped around an uncontended closed-loop gWRITE driver,
+  relative to direct issue) — recorded in a ``traffic`` section,
+  outside the events/sec gate.
 
 Usage::
 
@@ -155,7 +159,18 @@ def measure(quick: bool, transport: str = "both") -> dict:
     if len(sweep) == 2:
         ratio = sweep["pickle"]["elapsed_s"] / sweep["shm"]["elapsed_s"]
         print(f"sweep transport speedup shm vs pickle: {ratio:.2f}x")
-    return {"kernel": kernel, "figures": figures, "sweep": sweep}
+
+    # Admission pass-through cost at zero contention: what the traffic
+    # layer's bounded queue adds to an uncontended replicated write.
+    # Recorded (not gated) — the premise the overload experiments rest
+    # on is that this stays within a few percent.
+    traffic = bench_kernel.traffic_overhead(
+        ops=1_500 if quick else 4_000, repeats=3)
+    print(f"traffic/admission       direct {traffic['direct_kops']:6.1f} "
+          f"kops/s  admission {traffic['admission_kops']:6.1f} kops/s  "
+          f"overhead {traffic['overhead'] * 100:+.1f}%")
+    return {"kernel": kernel, "figures": figures, "sweep": sweep,
+            "traffic": traffic}
 
 
 def make_entry(label: str, quick: bool, results: dict) -> dict:

@@ -57,6 +57,9 @@ class GroupBase:
         self._drain_waiters: List[Event] = []
         self._submit_queue: Deque = deque()
         self._submit_kick: Optional[Event] = None
+        # Transient service stall (fault injection / overload scenarios):
+        # the submitter refuses to claim new slots before this timestamp.
+        self._stall_until = 0
 
     # ------------------------------------------------------------------
     # Public API (Table 1)
@@ -198,6 +201,41 @@ class GroupBase:
         return self._next_slot - self._acked
 
     # ------------------------------------------------------------------
+    # Queue hooks (traffic layer / fault injection)
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Operations submitted but not yet claimed by the submitter.
+
+        Together with :attr:`in_flight` this is the load signal the
+        traffic layer (:mod:`repro.traffic`) reads: admission control
+        bounds *its own* queue in front of the group precisely so that
+        this internal one stays shallow.
+        """
+        return len(self._submit_queue)
+
+    def stall(self, duration_ns: int) -> None:
+        """Transiently halt op service for ``duration_ns`` from now.
+
+        Models a replica-side brownout (GC pause, NIC reset, a straggler
+        taking the chain hostage): queued and newly submitted operations
+        are *not* failed — they wait, exactly like a real stall — but no
+        new operation is claimed by the submitter until the stall
+        expires.  Operations already claimed keep flowing.  Overlapping
+        stalls extend each other (the latest deadline wins).
+        """
+        if duration_ns < 0:
+            raise ValueError(f"stall duration must be >= 0, "
+                             f"got {duration_ns}")
+        self._stall_until = max(self._stall_until,
+                                self.sim.now + duration_ns)
+
+    @property
+    def stalled(self) -> bool:
+        """True while a :meth:`stall` window is active."""
+        return self.sim.now < self._stall_until
+
+    # ------------------------------------------------------------------
     # Recovery hooks
     # ------------------------------------------------------------------
     def abort_in_flight(self, reason: Exception) -> int:
@@ -244,6 +282,11 @@ class GroupBase:
             self._submit_kick = sim.event()
             yield self._submit_kick
         op, done, issue = self._submit_queue.popleft()
+        # Transient service stall: hold the op (don't fail it) until the
+        # stall window passes.  Re-check after waking — overlapping
+        # stalls may have pushed the deadline out.
+        while sim.now < self._stall_until:
+            yield sim.timeout(self._stall_until - sim.now)
         # Flow control: never exceed the pipeline depth.
         while self.in_flight >= self.config.slots:
             waiter = sim.event()

@@ -62,6 +62,7 @@ from .. import backend as backend_registry
 from ..backend.api import ReplicationBackend
 from ..host import Cluster, Host, HostParams
 from ..sim.engine import Event, Simulator
+from ..traffic.admission import AdmissionConfig, AdmissionQueue
 from .placement import PLACEMENTS, Assignment, PlacementPolicy, make_placement
 from .router import DEFAULT_VNODES, HashRing
 
@@ -103,6 +104,8 @@ class ShardedConfig:
     records_per_shard: int = 4096    # Key-slot capacity per shard.
     host_tenants: int = 0            # CPU-bound tenant threads per pool host.
     tenant_kind: str = "bursty"      # Tenant load profile.
+    admission_depth: int = 0         # Per-shard admission queue; 0 = none.
+    admission_window: int = 32       # Concurrent dispatches per shard.
     backend_kwargs: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -118,6 +121,12 @@ class ShardedConfig:
                 f"got {self.record_size}")
         if self.records_per_shard < 1:
             raise ValueError("records_per_shard must be >= 1")
+        if self.admission_depth < 0:
+            raise ValueError(
+                f"admission_depth must be >= 0, got {self.admission_depth}")
+        if self.admission_depth and self.admission_window < 1:
+            raise ValueError(
+                f"admission_window must be >= 1, got {self.admission_window}")
         known = backend_registry.names()
         if self.backend not in known:
             raise ValueError(
@@ -155,12 +164,13 @@ class GroupHandle:
     """
 
     __slots__ = ("shard_id", "group", "assignment", "keys", "record_size",
-                 "capacity", "state", "ops", "_next_record", "_free",
-                 "_resume_waiters", "sim")
+                 "capacity", "state", "ops", "admission", "_next_record",
+                 "_free", "_resume_waiters", "sim")
 
     def __init__(self, shard_id: int, group: ReplicationBackend,
                  assignment: Assignment, record_size: int,
-                 capacity: int, sim: Simulator) -> None:
+                 capacity: int, sim: Simulator,
+                 admission: Optional[AdmissionQueue] = None) -> None:
         self.shard_id = shard_id
         self.group = group
         self.assignment = assignment
@@ -170,6 +180,9 @@ class GroupHandle:
         self.keys: Dict[int, int] = {}   # key -> record index
         self.state = "serving"           # "serving" | "draining"
         self.ops = 0                     # Routed ops accepted (stats).
+        # Optional bounded load-leveling queue in front of the shard;
+        # survives group swaps (it belongs to the shard, not the chain).
+        self.admission = admission
         self._next_record = 0
         self._free: List[int] = []       # Slots freed by migrations out.
         self._resume_waiters: List[Event] = []
@@ -261,9 +274,16 @@ class ShardedDeployment:
         group = backend_registry.create(
             config.backend, assignment.client, assignment.replicas,
             group_name=f"shard{shard_id}", **kwargs)
+        admission = None
+        if config.admission_depth:
+            admission = AdmissionQueue(
+                self.sim,
+                AdmissionConfig(depth=config.admission_depth,
+                                window=config.admission_window),
+                name=f"shard{shard_id}-admission")
         return GroupHandle(shard_id, group, assignment,
                            config.record_size, config.records_per_shard,
-                           self.sim)
+                           self.sim, admission=admission)
 
     @property
     def sim(self) -> Simulator:
@@ -294,6 +314,11 @@ class ShardedDeployment:
         and — once the ring flips — *forwards* to the key's new owner;
         the returned event completes either way, so callers never
         observe the move beyond added latency.
+
+        With ``admission_depth`` configured, the write first passes the
+        owning shard's bounded :class:`~repro.traffic.admission.AdmissionQueue`
+        and may come back already failed with
+        :class:`~repro.traffic.admission.ShedError`.
         """
         if self._closed:
             raise RuntimeError("deployment is closed")
@@ -302,6 +327,20 @@ class ShardedDeployment:
             raise ValueError(
                 f"write of {size} bytes exceeds record_size "
                 f"{self.config.record_size}")
+        handle = self.handles[self.ring.lookup(key)]
+        if handle.admission is None:
+            return self._issue_write(key, size, durable, payload)
+        # Per-shard load leveling: the write reaches the group (and its
+        # payload is materialized) only at dispatch; beyond the queue's
+        # depth the returned event is already failed with ShedError.  The
+        # thunk re-resolves the ring at dispatch time, so ops queued
+        # across an epoch flip chase the key to its new owner.
+        return handle.admission.offer(
+            lambda: self._issue_write(key, size, durable, payload))
+
+    def _issue_write(self, key: int, size: int, durable: bool,
+                     payload: Optional[bytes]) -> Event:
+        """Land a routed write on the key's current owner (post-admission)."""
         handle = self.handles[self.ring.lookup(key)]
         if handle.state == "serving":
             handle.ops += 1
@@ -313,7 +352,7 @@ class ShardedDeployment:
         done = self.sim.event()
 
         def forward(_waiter: Event) -> None:
-            inner = self.submit_write(key, size, durable, payload)
+            inner = self._issue_write(key, size, durable, payload)
             inner.add_callback(
                 lambda event: done.succeed(event.value) if event.ok
                 else done.fail(event.value))
@@ -481,13 +520,20 @@ class ShardedDeployment:
 
     def shard_rows(self) -> List[Dict[str, Any]]:
         """Per-shard summary rows (experiments print these)."""
-        return [{
-            "shard": shard_id,
-            "state": self.handles[shard_id].state,
-            "keys": len(self.handles[shard_id].keys),
-            "ops": self.handles[shard_id].ops,
-            "hosts": ",".join(self.handles[shard_id].assignment.host_names()),
-        } for shard_id in sorted(self.handles)]
+        rows = []
+        for shard_id in sorted(self.handles):
+            handle = self.handles[shard_id]
+            admission = handle.admission
+            rows.append({
+                "shard": shard_id,
+                "state": handle.state,
+                "keys": len(handle.keys),
+                "ops": handle.ops,
+                "admitted": admission.admitted if admission else handle.ops,
+                "shed": admission.shed if admission else 0,
+                "hosts": ",".join(handle.assignment.host_names()),
+            })
+        return rows
 
     # ------------------------------------------------------------------
     # Lifecycle

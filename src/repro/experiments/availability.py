@@ -50,7 +50,12 @@ def run(bucket_ms: int = 10, buckets: int = 60, crash_bucket: int = 15,
     acked_payloads: Dict[int, bytes] = {}
 
     def bucket_of(now: int) -> int:
-        return min(buckets - 1, now // ms(bucket_ms))
+        # The run is given two grace windows past the measured horizon so
+        # in-flight work can drain; completions landing there are dropped
+        # (bucket -1), NOT clamped into the final bucket — clamping would
+        # inflate it with up to two windows' worth of post-horizon ops.
+        index = now // ms(bucket_ms)
+        return index if index < buckets else -1
 
     def writer():
         sequence = 0
@@ -71,7 +76,9 @@ def run(bucket_ms: int = 10, buckets: int = 60, crash_bucket: int = 15,
             except ChainFailure:
                 continue  # Unacked — the retry loop covers it.
             acked_payloads[offset] = payload
-            completed[bucket_of(sim.now)] += 1
+            bucket = bucket_of(sim.now)
+            if bucket >= 0:
+                completed[bucket] += 1
             sequence += 1
 
     def crasher():
@@ -103,6 +110,11 @@ def run(bucket_ms: int = 10, buckets: int = 60, crash_bucket: int = 15,
         "crash_bucket": crash_bucket,
         "outage_ms": (state["repaired_at"] - state["crashed_at"]) / 1e6
         if state["repaired_at"] else None,
+        # Detection latency (heartbeat misses until the supervisor notices)
+        # reported separately from the total outage: the remainder is
+        # rebuild + catch-up, and the two respond to different knobs.
+        "detection_ms": (state["detected_at"] - state["crashed_at"]) / 1e6
+        if state["detected_at"] else None,
         "outage_buckets": outage_buckets,
         "repairs": supervisor.repairs_completed,
         "lost_acked_writes": state["lost_acked_writes"],
@@ -120,8 +132,11 @@ def main(backend: str = "hyperloop") -> Dict:
             if index % 5 == 0 or index == result["crash_bucket"]]
     print(format_table(rows, title="Availability — ops completed per "
                                    f"{result['bucket_ms']} ms bucket"))
-    print(f"outage: {result['outage_ms']:.1f} ms "
-          f"(detection + rebuild + catch-up), repairs: {result['repairs']}, "
+    print(f"outage: {result['outage_ms']:.1f} ms total "
+          f"(detection: {result['detection_ms']:.1f} ms, "
+          f"rebuild + catch-up: "
+          f"{result['outage_ms'] - result['detection_ms']:.1f} ms), "
+          f"repairs: {result['repairs']}, "
           f"ACKed writes lost: {result['lost_acked_writes']}")
     return result
 

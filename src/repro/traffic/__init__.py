@@ -1,0 +1,30 @@
+"""Production-traffic layer: quotas, admission control, retries, SLOs.
+
+Sits between workload generators and replication groups so experiments
+can model traffic that *misbehaves* — retry storms, quota-busting
+bursts, shifting hotspots — instead of the polite closed/open loops the
+figure experiments use.  See INTERNALS.md §13 for the layering
+(limiter → admission queue → group) and the determinism contract, and
+:mod:`repro.experiments.fig_overload` for the scenarios built on top.
+"""
+
+from .admission import AdmissionConfig, AdmissionQueue, ShedError
+from .limiter import TokenBucket
+from .retry import ExponentialBackoff, ImmediateRetry, NoRetry, RetryPolicy
+from .shaper import TenantQuota, TrafficShaper
+from .slo import SLOTracker, TenantStats
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionQueue",
+    "ShedError",
+    "TokenBucket",
+    "RetryPolicy",
+    "NoRetry",
+    "ImmediateRetry",
+    "ExponentialBackoff",
+    "TenantQuota",
+    "TrafficShaper",
+    "SLOTracker",
+    "TenantStats",
+]

@@ -1,0 +1,179 @@
+"""Bounded admission queue: load leveling with explicit shed accounting.
+
+Admission control is the difference between a system that *degrades* and
+one that goes *metastable*.  An unbounded queue in front of a saturated
+group keeps accepting work; queueing delay grows without bound, every
+request blows its latency budget, clients retry, and the retries keep
+the backlog full long after the original overload trigger has cleared.
+A bounded queue sheds the excess **at arrival time** — a cheap, explicit
+failure the client can back off from — so queueing delay stays below the
+budget for the work that is admitted, and goodput recovers as soon as
+offered load does.
+
+:class:`AdmissionQueue` implements the bounded variant: at most
+``depth`` operations wait, at most ``window`` are dispatched into the
+group at once, and everything beyond that fails fast with
+:class:`ShedError` (reason ``"queue-full"``).  Shed, admitted and
+dispatched counts are first-class — the overload experiments report them
+per tenant and per shard.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Generator, List, Optional, Tuple
+
+from ..sim.engine import Event, Simulator
+
+__all__ = ["ShedError", "AdmissionConfig", "AdmissionQueue"]
+
+
+class ShedError(RuntimeError):
+    """An operation rejected before reaching the replication group.
+
+    ``reason`` distinguishes the two edges that can reject work:
+    ``"queue-full"`` (admission queue at depth) and ``"throttled"``
+    (per-tenant token bucket empty).  Clients treat both as retryable.
+    """
+
+    __slots__ = ("reason",)
+
+    def __init__(self, reason: str, message: str = "") -> None:
+        super().__init__(message or reason)
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Sizing for one admission queue.
+
+    ``depth`` bounds the waiting line; it is the load-leveling buffer and
+    must be sized so that ``depth / service_rate`` stays under the SLO
+    budget — a deeper queue trades shed for latency.  ``window`` bounds
+    concurrent dispatches into the group, keeping the group's own
+    internal submit queue shallow so *its* latency accounting reflects
+    service, not queueing.
+    """
+
+    depth: int = 64
+    window: int = 32
+
+    def __post_init__(self) -> None:
+        if self.depth < 1:
+            raise ValueError(f"depth must be >= 1, got {self.depth}")
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window}")
+
+
+class AdmissionQueue:
+    """A bounded queue of thunks dispatched into a replication group.
+
+    Work arrives as ``issue`` thunks — zero-argument callables returning
+    the group's completion :class:`Event` — rather than pre-issued
+    events, so an op sheds *before* it touches the group (no slot
+    claimed, no payload written) and dispatch order fixes submission
+    order (the acked-write oracle in the overload experiments depends on
+    that FIFO property).
+    """
+
+    __slots__ = ("sim", "config", "name", "_queue", "_outstanding",
+                 "_kick", "_slot_waiters", "admitted", "shed",
+                 "dispatched", "completed", "peak_depth")
+
+    def __init__(self, sim: Simulator, config: Optional[AdmissionConfig]
+                 = None, name: str = "admission") -> None:
+        self.sim = sim
+        self.config = config or AdmissionConfig()
+        self.name = name
+        self._queue: Deque[Tuple[Callable[[], Event], Event]] = deque()
+        self._outstanding = 0
+        self._kick: Optional[Event] = None
+        self._slot_waiters: List[Event] = []
+        self.admitted = 0
+        self.shed = 0
+        self.dispatched = 0
+        self.completed = 0
+        self.peak_depth = 0
+        sim.process(self._dispatcher(), name=f"{name}-dispatch")
+
+    # ------------------------------------------------------------------
+    # Intake
+    # ------------------------------------------------------------------
+    def offer(self, issue: Callable[[], Event]) -> Event:
+        """Admit ``issue`` or shed it; returns the op's completion event.
+
+        On shed the returned event is already failed with
+        :class:`ShedError` (``reason == "queue-full"``) — callers can
+        check ``done.triggered and not done.ok`` synchronously instead
+        of paying a yield.
+        """
+        done = self.sim.event()
+        if len(self._queue) >= self.config.depth:
+            self.shed += 1
+            done.fail(ShedError(
+                "queue-full",
+                f"{self.name}: queue at depth {self.config.depth}"))
+            return done
+        self.admitted += 1
+        self._queue.append((issue, done))
+        if len(self._queue) > self.peak_depth:
+            self.peak_depth = len(self._queue)
+        if self._kick is not None and not self._kick.triggered:
+            kick, self._kick = self._kick, None
+            kick.succeed()
+        return done
+
+    @property
+    def depth(self) -> int:
+        """Operations admitted and still waiting for dispatch."""
+        return len(self._queue)
+
+    @property
+    def outstanding(self) -> int:
+        """Operations dispatched into the group and not yet complete."""
+        return self._outstanding
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _dispatcher(self) -> Generator[Event, None, None]:
+        sim = self.sim
+        while True:
+            while not self._queue:
+                self._kick = sim.event()
+                yield self._kick
+            while self._outstanding >= self.config.window:
+                waiter = sim.event()
+                self._slot_waiters.append(waiter)
+                yield waiter
+            issue, done = self._queue.popleft()
+            self._outstanding += 1
+            self.dispatched += 1
+            try:
+                inner = issue()
+            except Exception as exc:
+                self._settle(done, ok=False, value=exc)
+                continue
+            inner.add_callback(
+                lambda ev, done=done: self._settle(done, ok=ev.ok,
+                                                   value=ev.value))
+
+    def _settle(self, done: Event, ok: bool, value: object) -> None:
+        self._outstanding -= 1
+        self.completed += 1
+        if self._slot_waiters:
+            waiters, self._slot_waiters = self._slot_waiters, []
+            for waiter in waiters:
+                waiter.succeed()
+        if not done.triggered:
+            if ok:
+                done.succeed(value)
+            else:
+                assert isinstance(value, BaseException)
+                done.fail(value)
+
+    def __repr__(self) -> str:
+        return (f"<AdmissionQueue {self.name} depth={len(self._queue)}/"
+                f"{self.config.depth} outstanding={self._outstanding}/"
+                f"{self.config.window} shed={self.shed}>")

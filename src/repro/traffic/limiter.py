@@ -1,0 +1,78 @@
+"""Per-tenant token-bucket rate limiting with burst credit.
+
+The paper's multi-tenant claim (§6.3) is about *infrastructure*
+isolation: replication work never touches replica CPUs, so one tenant's
+replication cannot slow another's database.  A production frontend needs
+the complementary *traffic* isolation: a tenant that exceeds its
+provisioned rate must be throttled at the edge before its excess load
+reaches the shared admission queue and replication groups.
+
+:class:`TokenBucket` is the classic shaping primitive: tokens accrue at
+the provisioned rate up to ``burst`` (the burst credit — short spikes
+above the rate pass as long as credit lasts), and each admitted request
+spends one token.  All state advances lazily from integer simulated-time
+nanoseconds, so refill arithmetic is a pure function of the call sequence
+— deterministic run to run, which the overload experiments
+(:mod:`repro.experiments.fig_overload`) rely on.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TokenBucket"]
+
+
+class TokenBucket:
+    """A token bucket refilled continuously at ``rate_per_sec``.
+
+    ``burst`` is the bucket capacity in tokens (ops): the maximum credit
+    a quiescent tenant accumulates, and therefore the largest
+    back-to-back burst admitted at one instant.  Fractional tokens are
+    kept so slow refill rates are not rounded away.
+    """
+
+    __slots__ = ("rate_per_sec", "burst", "_tokens", "_refilled_ns")
+
+    def __init__(self, rate_per_sec: float, burst: float = 16.0) -> None:
+        if rate_per_sec <= 0:
+            raise ValueError(f"rate must be positive, got {rate_per_sec}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1 token, got {burst}")
+        self.rate_per_sec = rate_per_sec
+        self.burst = burst
+        self._tokens = burst          # Start full: cold tenants get credit.
+        self._refilled_ns = 0
+
+    def _refill(self, now_ns: int) -> None:
+        if now_ns > self._refilled_ns:
+            gained = (now_ns - self._refilled_ns) * self.rate_per_sec / 1e9
+            self._tokens = min(self.burst, self._tokens + gained)
+            self._refilled_ns = now_ns
+
+    def available(self, now_ns: int) -> float:
+        """Tokens available at ``now_ns`` (refills as a side effect)."""
+        self._refill(now_ns)
+        return self._tokens
+
+    def try_acquire(self, now_ns: int, tokens: float = 1.0) -> bool:
+        """Spend ``tokens`` if available; False (and no spend) otherwise."""
+        self._refill(now_ns)
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return True
+        return False
+
+    def next_available_ns(self, now_ns: int, tokens: float = 1.0) -> int:
+        """Nanoseconds until ``tokens`` could be acquired (0 if now).
+
+        Callers that prefer delaying to shedding (not the default policy
+        in this tree) can sleep this long and retry.
+        """
+        self._refill(now_ns)
+        deficit = tokens - self._tokens
+        if deficit <= 0:
+            return 0
+        return max(1, int(deficit * 1e9 / self.rate_per_sec))
+
+    def __repr__(self) -> str:
+        return (f"<TokenBucket rate={self.rate_per_sec:g}/s "
+                f"burst={self.burst:g} tokens={self._tokens:.2f}>")

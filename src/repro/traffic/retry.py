@@ -1,0 +1,118 @@
+"""Pluggable client retry policies.
+
+How clients react to shed, throttled, or timed-out requests decides
+whether an overloaded system recovers or goes *metastable*: immediate
+retries multiply offered load exactly when capacity is scarcest (the
+sustaining feedback loop of a retry storm), while capped exponential
+backoff with jitter spreads the reissue pressure until the backlog
+drains.
+
+Every policy is a pure function of ``(attempt, rng)``: the jitter source
+is a named :class:`random.Random` stream from the experiment's
+:class:`~repro.sim.rng.RandomStreams` family, never wall-clock or OS
+entropy, so a retry schedule replays identically run to run.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+__all__ = ["RetryPolicy", "NoRetry", "ImmediateRetry", "ExponentialBackoff"]
+
+
+class RetryPolicy:
+    """Decides whether — and after how long — a client reissues an op.
+
+    ``backoff_ns(attempt, rng)`` is called after attempt number
+    ``attempt`` (1-based) failed or timed out; it returns the delay in
+    nanoseconds before the next attempt, or ``None`` to give up.
+    """
+
+    __slots__ = ("max_attempts",)
+
+    #: Short name used in experiment rows and CLI output.
+    name = "none"
+
+    def __init__(self, max_attempts: int = 1) -> None:
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, "
+                             f"got {max_attempts}")
+        self.max_attempts = max_attempts
+
+    def backoff_ns(self, attempt: int,
+                   rng: random.Random) -> Optional[int]:
+        if attempt < 1:
+            raise ValueError(f"attempt is 1-based, got {attempt}")
+        if attempt >= self.max_attempts:
+            return None
+        return self._delay(attempt, rng)
+
+    def _delay(self, attempt: int, rng: random.Random) -> int:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} max_attempts={self.max_attempts}>"
+
+
+class NoRetry(RetryPolicy):
+    """One attempt; failures are final."""
+
+    __slots__ = ()
+    name = "none"
+
+    def __init__(self) -> None:
+        super().__init__(max_attempts=1)
+
+    def _delay(self, attempt: int, rng: random.Random) -> int:
+        raise AssertionError("NoRetry never retries")
+
+
+class ImmediateRetry(RetryPolicy):
+    """Reissue instantly, up to ``max_attempts`` — the storm-maker.
+
+    This is what naive client libraries do, and it is the policy under
+    which overload becomes self-sustaining: every timeout immediately
+    adds another request to the very queue that caused the timeout.
+    """
+
+    __slots__ = ()
+    name = "immediate"
+
+    def __init__(self, max_attempts: int = 4) -> None:
+        super().__init__(max_attempts=max_attempts)
+
+    def _delay(self, attempt: int, rng: random.Random) -> int:
+        return 0
+
+
+class ExponentialBackoff(RetryPolicy):
+    """Capped exponential backoff with deterministic full-range jitter.
+
+    Attempt ``k`` waits ``base_ns * 2**(k-1)`` (capped at ``cap_ns``),
+    scaled by a jittered factor in ``[1 - jitter, 1]`` drawn from the
+    supplied RNG stream.  Jitter decorrelates clients that failed at the
+    same instant — without it the whole cohort reissues in one
+    thundering herd exactly one backoff period later.
+    """
+
+    __slots__ = ("base_ns", "cap_ns", "jitter")
+    name = "backoff"
+
+    def __init__(self, base_ns: int = 500_000, cap_ns: int = 20_000_000,
+                 max_attempts: int = 5, jitter: float = 0.5) -> None:
+        super().__init__(max_attempts=max_attempts)
+        if base_ns <= 0:
+            raise ValueError(f"base_ns must be positive, got {base_ns}")
+        if cap_ns < base_ns:
+            raise ValueError(f"cap_ns {cap_ns} < base_ns {base_ns}")
+        if not 0 <= jitter <= 1:
+            raise ValueError(f"jitter must be in [0, 1], got {jitter}")
+        self.base_ns = base_ns
+        self.cap_ns = cap_ns
+        self.jitter = jitter
+
+    def _delay(self, attempt: int, rng: random.Random) -> int:
+        raw = min(self.cap_ns, self.base_ns << (attempt - 1))
+        factor = 1.0 - self.jitter * rng.random()
+        return max(1, int(raw * factor))

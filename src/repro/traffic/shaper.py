@@ -1,0 +1,153 @@
+"""The traffic front door: quota → admission → group, plus client retries.
+
+:class:`TrafficShaper` is what a tenant's client library talks to
+instead of a replication group directly.  The layering, in order:
+
+1. **Quota** (:class:`~repro.traffic.limiter.TokenBucket` per tenant) —
+   a tenant over its provisioned rate is throttled at the edge; the
+   request never touches shared state.
+2. **Admission** (:class:`~repro.traffic.admission.AdmissionQueue`) —
+   a bounded waiting line in front of the group; excess load is shed
+   with an explicit, immediately-failed event.
+3. **The group** — only admitted, in-quota work reaches it, so its
+   internal pipeline stays shallow and its latency reflects service.
+
+Work flows through as *thunks* (zero-arg callables returning the
+group's completion event) so rejected ops cost nothing group-side and
+payloads are written at dispatch time, preserving FIFO submission order
+for the acked-write oracle.
+
+:meth:`TrafficShaper.perform` is the whole client loop for one logical
+op: attempt with a timeout, consult the retry policy, back off, repeat.
+A timed-out attempt is *abandoned, not cancelled* — the group still
+does the work, exactly the wasted-work amplification that makes retry
+storms self-sustaining.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Generator, Optional
+
+from ..sim.engine import Event, Simulator
+from .admission import AdmissionQueue, ShedError
+from .limiter import TokenBucket
+from .retry import RetryPolicy
+from .slo import SLOTracker
+
+__all__ = ["TenantQuota", "TrafficShaper"]
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Provisioned rate for one tenant (ops/s plus burst credit)."""
+
+    rate_ops_per_sec: float
+    burst: float = 16.0
+
+
+class TrafficShaper:
+    """Per-tenant quota enforcement + admission in front of one group."""
+
+    __slots__ = ("sim", "admission", "slo", "name", "_buckets")
+
+    def __init__(self, sim: Simulator, *,
+                 admission: Optional[AdmissionQueue] = None,
+                 quotas: Optional[Dict[str, TenantQuota]] = None,
+                 slo: Optional[SLOTracker] = None,
+                 name: str = "shaper") -> None:
+        self.sim = sim
+        self.admission = admission
+        self.slo = slo
+        self.name = name
+        self._buckets: Dict[str, TokenBucket] = {}
+        if quotas:
+            for tenant in sorted(quotas):
+                quota = quotas[tenant]
+                self._buckets[tenant] = TokenBucket(
+                    quota.rate_ops_per_sec, quota.burst)
+
+    # ------------------------------------------------------------------
+    # One attempt
+    # ------------------------------------------------------------------
+    def submit(self, tenant: str,
+               issue: Callable[[], Event]) -> Event:
+        """Run one attempt through quota and admission.
+
+        Returns the op's completion event.  Rejections come back as an
+        already-failed event carrying :class:`ShedError`; both edges are
+        recorded against the tenant in the SLO tracker.
+        """
+        now = self.sim.now
+        bucket = self._buckets.get(tenant)
+        if bucket is not None and not bucket.try_acquire(now):
+            if self.slo is not None:
+                self.slo.record_shed(tenant, now, "throttled")
+            done = self.sim.event()
+            done.fail(ShedError(
+                "throttled", f"{self.name}: tenant {tenant} over quota"))
+            return done
+        if self.admission is None:
+            return issue()
+        done = self.admission.offer(issue)
+        if done.triggered and not done.ok and self.slo is not None:
+            self.slo.record_shed(tenant, now, "queue-full")
+        return done
+
+    # ------------------------------------------------------------------
+    # Full client loop
+    # ------------------------------------------------------------------
+    def perform(self, tenant: str, issue: Callable[[], Event], *,
+                retry: RetryPolicy, rng: random.Random,
+                timeout_ns: Optional[int] = None,
+                ) -> Generator[Event, None, str]:
+        """Generator: one logical op, retried per policy; returns outcome.
+
+        Outcomes: ``"ok"`` (an attempt completed — latency is judged
+        against the SLO budget by the tracker, from *first* arrival) or
+        ``"failed"`` (retry budget exhausted).  ``timeout_ns`` bounds
+        each attempt; a timed-out attempt is abandoned in flight.
+        """
+        sim = self.sim
+        offered_ns = sim.now
+        if self.slo is not None:
+            self.slo.record_offered(tenant, offered_ns)
+        attempt = 0
+        while True:
+            attempt += 1
+            if self.slo is not None:
+                self.slo.record_attempt(tenant, attempt)
+            done = self.submit(tenant, issue)
+            race = self._race(done, timeout_ns)
+            yield race
+            if race.value == "ok":
+                if self.slo is not None:
+                    self.slo.record_done(tenant, offered_ns, sim.now)
+                return "ok"
+            delay = retry.backoff_ns(attempt, rng)
+            if delay is None:
+                if self.slo is not None:
+                    self.slo.record_failed(tenant)
+                return "failed"
+            if delay:
+                yield sim.timeout(delay)
+
+    def _race(self, done: Event, timeout_ns: Optional[int]) -> Event:
+        """An event firing with "ok"/"shed"/"timeout" — never failing,
+        so client processes can branch instead of catching."""
+        sim = self.sim
+        race = sim.event()
+
+        def on_done(ev: Event, race: Event = race) -> None:
+            if not race.triggered:
+                race.succeed("ok" if ev.ok else "shed")
+
+        def on_deadline(race: Event = race) -> None:
+            if not race.triggered:
+                race.succeed("timeout")
+
+        done.add_callback(on_done)
+        if timeout_ns is not None:
+            sim.call_at(sim.now + timeout_ns, on_deadline)
+        return race

@@ -16,8 +16,12 @@ from .runner import (
     ShardedAdapter,
     YCSBRunner,
 )
+from .tenants import Surge, TenantSpec, tenant_arrivals
 
 __all__ = [
+    "Surge",
+    "TenantSpec",
+    "tenant_arrivals",
     "WORKLOAD_MIXES",
     "OpType",
     "WorkloadMix",

@@ -19,7 +19,20 @@ from ..sim.stats import LatencyRecorder
 from ..sim.units import seconds
 
 __all__ = ["OpenLoopConfig", "OpenLoopResult", "open_loop_gwrite",
-           "load_sweep"]
+           "load_sweep", "span_throughput"]
+
+
+def span_throughput(count: int, first_ns, last_ns) -> float:
+    """Ops/sec of ``count`` completions over [first issue, last completion].
+
+    The span runs from the earliest *issue* among the counted samples to
+    the latest *completion* — the full wall interval the measured work
+    occupied.  Returns 0.0 when there are no samples (or no span
+    endpoints, which only happens together).
+    """
+    if not count or first_ns is None or last_ns is None:
+        return 0.0
+    return count / (max(1, last_ns - first_ns) / 1e9)
 
 
 @dataclass
@@ -60,16 +73,25 @@ def open_loop_gwrite(group, config: OpenLoopConfig,
     mean_gap_ns = 1e9 / config.rate_ops_per_sec
     warmup = int(config.operations * config.warmup_fraction)
     state = {"issued": 0, "done": 0, "shed": 0,
-             "first": None, "last": None}
+             "first": None, "last": None,
+             "all_first": None, "all_last": None}
     group.write_local(0, b"\xEE" * config.payload_bytes)
     finished = sim.event()
 
     def complete(result, index):
         state["done"] += 1
+        # Completions can land out of order (slots ACK independently of
+        # arrival order under retransmit/fan-out), so the span's start is
+        # the *minimum* issue time over the counted samples — not the
+        # issue time of whichever completion happened to arrive first.
+        issued_at = sim.now - result.latency_ns
+        if state["all_first"] is None or issued_at < state["all_first"]:
+            state["all_first"] = issued_at
+        state["all_last"] = sim.now
         if index >= warmup:
             recorder.record(result.latency_ns)
-            if state["first"] is None:
-                state["first"] = sim.now - result.latency_ns
+            if state["first"] is None or issued_at < state["first"]:
+                state["first"] = issued_at
             state["last"] = sim.now
         if (state["done"] + state["shed"] == config.operations
                 and not finished.triggered):
@@ -98,8 +120,14 @@ def open_loop_gwrite(group, config: OpenLoopConfig,
     if not finished.triggered:
         raise RuntimeError(
             f"open-loop run stalled: {state['done']}/{config.operations}")
-    span = max(1, (state["last"] or sim.now) - (state["first"] or 0))
-    achieved = recorder.count / (span / 1e9) if recorder.count else 0.0
+    achieved = span_throughput(recorder.count, state["first"],
+                               state["last"])
+    if not recorder.count and state["done"]:
+        # Every completion fell inside warmup (tiny runs / large warmup
+        # fractions): fall back to the all-completions span rather than
+        # reporting zero throughput for work that demonstrably finished.
+        achieved = span_throughput(state["done"], state["all_first"],
+                                   state["all_last"])
     return OpenLoopResult(
         offered_ops_per_sec=config.rate_ops_per_sec,
         achieved_ops_per_sec=achieved,

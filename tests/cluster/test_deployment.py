@@ -108,6 +108,70 @@ class TestRouting:
             deployment.submit_write(1)
 
 
+class TestAdmission:
+    def test_default_is_unbounded(self):
+        deployment = _deployment(shards=1)
+        assert deployment.handles[0].admission is None
+        deployment.close()
+
+    def test_bounded_shard_sheds_past_depth(self):
+        from repro.traffic import ShedError
+        deployment = _deployment(shards=1, admission_depth=4,
+                                 admission_window=2)
+
+        def driver():
+            events = [deployment.write_record(key, seq=1)
+                      for key in range(64)]
+            # all_of would re-raise the first ShedError; gate on a count
+            # instead so shed (failed) events settle without raising.
+            gate = deployment.sim.event()
+            left = {"n": len(events)}
+
+            def settle(_event):
+                left["n"] -= 1
+                if left["n"] == 0 and not gate.triggered:
+                    gate.succeed()
+
+            for event in events:
+                event.add_callback(settle)
+            yield gate
+            ok = [e for e in events if e.ok]
+            shed = [e for e in events if not e.ok]
+            assert shed, "expected the tiny admission queue to shed"
+            assert all(isinstance(e.value, ShedError) for e in shed)
+            return len(ok), len(shed)
+
+        ok_count, shed_count = _drive(deployment, driver())
+        assert ok_count + shed_count == 64
+        handle = deployment.handles[0]
+        assert handle.admission.shed == shed_count
+        assert handle.admission.admitted == ok_count
+        # Every admitted-and-ACKed record is durable on every replica;
+        # shed writes were refused *before* touching the chain.
+        assert deployment.verify_records() == []
+        deployment.close()
+
+    def test_shard_rows_carry_admission_columns(self):
+        deployment = _deployment(shards=2, admission_depth=64,
+                                 admission_window=8)
+
+        def driver():
+            yield deployment.sim.all_of(
+                [deployment.write_record(key, seq=1) for key in range(16)])
+
+        _drive(deployment, driver())
+        rows = deployment.shard_rows()
+        assert sum(row["admitted"] for row in rows) == 16
+        assert all(row["shed"] == 0 for row in rows)
+        deployment.close()
+
+    def test_admission_config_validation(self):
+        for bad in (dict(admission_depth=-1),
+                    dict(admission_depth=4, admission_window=0)):
+            with pytest.raises(ValueError):
+                _deployment(**bad)
+
+
 class TestDrainHook:
     def test_idle_group_drains_immediately(self):
         deployment = _deployment(shards=1)

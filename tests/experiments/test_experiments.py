@@ -138,3 +138,22 @@ class TestAvailability:
         assert result["repairs"] == 1
         assert result["lost_acked_writes"] == 0
         assert result["outage_ms"] is not None
+        # Detection latency (crash -> supervisor notices) is surfaced
+        # separately and is a strict part of the total outage.
+        assert result["detection_ms"] is not None
+        assert 0 < result["detection_ms"] <= result["outage_ms"]
+
+    def test_final_bucket_not_inflated_by_drain_window(self):
+        """Post-horizon completions are dropped, not clamped.
+
+        The run gives the sim two grace windows past the measured
+        horizon; clamping those completions into the last bucket used to
+        roughly triple it relative to steady state.
+        """
+        from repro.experiments import availability
+        result = availability.run(bucket_ms=5, buckets=12, crash_bucket=4,
+                                  ops_per_bucket_target=40, seed=92)
+        timeline = result["timeline"]
+        assert len(timeline) == 12
+        steady = max(timeline[1:result["crash_bucket"]])
+        assert timeline[-1] <= steady * 1.5

@@ -1,0 +1,251 @@
+"""Tests for the production-traffic layer (quota/admission/retry/SLO)."""
+
+import random
+
+import pytest
+
+from repro.traffic import (
+    AdmissionConfig,
+    AdmissionQueue,
+    ExponentialBackoff,
+    ImmediateRetry,
+    NoRetry,
+    ShedError,
+    SLOTracker,
+    TenantQuota,
+    TokenBucket,
+    TrafficShaper,
+)
+
+
+class TestTokenBucket:
+    def test_starts_full_and_spends(self):
+        bucket = TokenBucket(rate_per_sec=1000, burst=4)
+        assert bucket.available(0) == 4
+        for _ in range(4):
+            assert bucket.try_acquire(0)
+        assert not bucket.try_acquire(0)
+
+    def test_refills_at_rate(self):
+        bucket = TokenBucket(rate_per_sec=1000, burst=4)
+        for _ in range(4):
+            bucket.try_acquire(0)
+        # 1000 tokens/s == 1 token/ms.
+        assert not bucket.try_acquire(500_000)
+        assert bucket.try_acquire(1_000_000)
+
+    def test_burst_credit_caps(self):
+        bucket = TokenBucket(rate_per_sec=1000, burst=2)
+        assert bucket.available(10**12) == 2  # Long idle != infinite credit.
+
+    def test_next_available_ns(self):
+        bucket = TokenBucket(rate_per_sec=1000, burst=1)
+        bucket.try_acquire(0)
+        assert bucket.next_available_ns(0) == 1_000_000
+        assert bucket.next_available_ns(1_000_000) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate_per_sec=0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate_per_sec=10, burst=0.5)
+
+
+class TestRetryPolicies:
+    def test_no_retry_gives_up_immediately(self):
+        rng = random.Random(1)
+        assert NoRetry().backoff_ns(1, rng) is None
+
+    def test_immediate_retry_zero_delay_then_stops(self):
+        rng = random.Random(1)
+        policy = ImmediateRetry(max_attempts=3)
+        assert policy.backoff_ns(1, rng) == 0
+        assert policy.backoff_ns(2, rng) == 0
+        assert policy.backoff_ns(3, rng) is None
+
+    def test_backoff_grows_and_caps(self):
+        policy = ExponentialBackoff(base_ns=1000, cap_ns=4000,
+                                    max_attempts=10, jitter=0.0)
+        rng = random.Random(1)
+        assert policy.backoff_ns(1, rng) == 1000
+        assert policy.backoff_ns(2, rng) == 2000
+        assert policy.backoff_ns(3, rng) == 4000
+        assert policy.backoff_ns(4, rng) == 4000  # Capped.
+
+    def test_jitter_is_deterministic_per_seed(self):
+        policy = ExponentialBackoff(base_ns=1000, cap_ns=64_000,
+                                    max_attempts=8, jitter=0.5)
+        a = [policy.backoff_ns(k, random.Random(7)) for k in range(1, 6)]
+        b = [policy.backoff_ns(k, random.Random(7)) for k in range(1, 6)]
+        assert a == b
+        low = ExponentialBackoff(base_ns=1000, cap_ns=64_000,
+                                 max_attempts=8, jitter=1.0)
+        for attempt in range(1, 6):
+            delay = low.backoff_ns(attempt, random.Random(3))
+            assert 1 <= delay <= 1000 << (attempt - 1)
+
+
+class TestAdmissionQueue:
+    def _service(self, sim, latency_ns=1000):
+        """An issue thunk completing after ``latency_ns``."""
+        def issue():
+            done = sim.event()
+            sim.call_at(sim.now + latency_ns, lambda: done.succeed("ok"))
+            return done
+        return issue
+
+    def test_admits_and_completes(self, sim):
+        queue = AdmissionQueue(sim, AdmissionConfig(depth=4, window=2))
+        events = [queue.offer(self._service(sim)) for _ in range(3)]
+        sim.run(until=100_000)
+        assert all(ev.triggered and ev.ok for ev in events)
+        assert queue.admitted == 3 and queue.shed == 0
+        assert queue.completed == 3
+
+    def test_sheds_past_depth_synchronously(self, sim):
+        queue = AdmissionQueue(sim, AdmissionConfig(depth=2, window=1))
+        events = [queue.offer(self._service(sim)) for _ in range(6)]
+        shed = [ev for ev in events if ev.triggered and not ev.ok]
+        assert len(shed) == 4 and queue.shed == 4
+        for ev in shed:
+            assert isinstance(ev.value, ShedError)
+            assert ev.value.reason == "queue-full"
+        sim.run(until=100_000)
+        assert sum(1 for ev in events if ev.ok) == 2
+
+    def test_window_bounds_outstanding(self, sim):
+        queue = AdmissionQueue(sim, AdmissionConfig(depth=64, window=2))
+        for _ in range(8):
+            queue.offer(self._service(sim, latency_ns=1000))
+        peak = {"value": 0}
+
+        def probe():
+            while queue.outstanding or queue.depth:
+                peak["value"] = max(peak["value"], queue.outstanding)
+                yield 100
+        sim.process(probe())
+        sim.run(until=100_000)
+        assert peak["value"] <= 2
+        assert queue.completed == 8
+
+    def test_failed_issue_propagates(self, sim):
+        queue = AdmissionQueue(sim, AdmissionConfig(depth=4, window=1))
+
+        def bad_issue():
+            raise RuntimeError("no slots")
+        done = queue.offer(bad_issue)
+        sim.run(until=10_000)
+        assert done.triggered and not done.ok
+        assert isinstance(done.value, RuntimeError)
+
+
+class TestSLOTracker:
+    def test_good_vs_late_and_ratio(self):
+        slo = SLOTracker(budget_ns=1000, bucket_ns=1000, buckets=4)
+        slo.record_offered("a", 0)
+        slo.record_done("a", 0, 500)       # Within budget.
+        slo.record_offered("a", 100)
+        slo.record_done("a", 100, 2100)    # 2000 ns — late.
+        row = slo.tenant_rows()[0]
+        assert row["good"] == 1 and row["late"] == 1
+        assert row["goodput_ratio"] == 0.5
+
+    def test_post_horizon_samples_dropped_not_clamped(self):
+        slo = SLOTracker(budget_ns=1000, bucket_ns=1000, buckets=2)
+        slo.record_offered("a", 500)
+        slo.record_done("a", 500, 900)
+        slo.record_offered("a", 5000)      # Past the 2000 ns horizon.
+        slo.record_done("a", 5000, 5400)
+        timeline = slo.timeline()
+        assert [row["done"] for row in timeline] == [1, 0]
+        assert slo.dropped > 0
+
+    def test_violation_windows(self):
+        slo = SLOTracker(budget_ns=100, bucket_ns=1000, buckets=3,
+                         goodput_floor=0.9)
+        for t in (0, 10, 20):              # Bucket 0: all good.
+            slo.record_offered("a", t)
+            slo.record_done("a", t, t + 50)
+        slo.record_offered("a", 1500)      # Bucket 1: late -> violation.
+        slo.record_done("a", 1500, 1900)
+        row = slo.tenant_rows()[0]
+        assert row["violation_ms"] == pytest.approx(1000 / 1e6)
+
+    def test_shed_reasons_split(self):
+        slo = SLOTracker(budget_ns=100, bucket_ns=1000, buckets=1)
+        slo.record_shed("a", 0, "queue-full")
+        slo.record_shed("a", 0, "throttled")
+        row = slo.tenant_rows()[0]
+        assert row["shed"] == 1 and row["throttled"] == 1
+
+
+class TestTrafficShaper:
+    def test_quota_throttles_at_edge(self, sim):
+        shaper = TrafficShaper(
+            sim, quotas={"a": TenantQuota(1000.0, burst=2.0)})
+        calls = {"issued": 0}
+
+        def issue():
+            calls["issued"] += 1
+            done = sim.event()
+            done.succeed("ok")
+            return done
+
+        results = [shaper.submit("a", issue) for _ in range(5)]
+        throttled = [ev for ev in results
+                     if ev.triggered and not ev.ok]
+        assert len(throttled) == 3          # Burst credit of 2.
+        assert calls["issued"] == 2         # Rejections never issue.
+        assert all(ev.value.reason == "throttled" for ev in throttled)
+
+    def test_perform_retries_until_ok(self, sim):
+        from repro.traffic import RetryPolicy
+
+        class _Flaky:
+            attempts = 0
+
+            def issue(self):
+                _Flaky.attempts += 1
+                done = sim.event()
+                if _Flaky.attempts < 3:
+                    done.fail(ShedError("queue-full"))
+                else:
+                    sim.call_at(sim.now + 10, lambda: done.succeed("ok"))
+                return done
+
+        slo = SLOTracker(budget_ns=10**6, bucket_ns=10**6, buckets=4)
+        shaper = TrafficShaper(sim, slo=slo)
+        policy = ExponentialBackoff(base_ns=100, cap_ns=1000,
+                                    max_attempts=5, jitter=0.0)
+        outcome = {}
+
+        def client():
+            outcome["result"] = yield from shaper.perform(
+                "a", _Flaky().issue, retry=policy,
+                rng=random.Random(5), timeout_ns=10**5)
+        sim.process(client())
+        sim.run(until=10**6)
+        assert outcome["result"] == "ok"
+        row = slo.tenant_rows()[0]
+        assert row["attempts"] == 3 and row["retries"] == 2
+        assert row["good"] == 1
+        assert isinstance(policy, RetryPolicy)
+
+    def test_perform_gives_up_after_budget(self, sim):
+        slo = SLOTracker(budget_ns=10**6, bucket_ns=10**6, buckets=4)
+        shaper = TrafficShaper(sim, slo=slo)
+
+        def never_completes():
+            return sim.event()
+
+        outcome = {}
+
+        def client():
+            outcome["result"] = yield from shaper.perform(
+                "a", never_completes, retry=ImmediateRetry(max_attempts=2),
+                rng=random.Random(5), timeout_ns=1000)
+        sim.process(client())
+        sim.run(until=10**6)
+        assert outcome["result"] == "failed"
+        row = slo.tenant_rows()[0]
+        assert row["failed"] == 1 and row["attempts"] == 2

@@ -1,7 +1,8 @@
 """Tests for the open-loop load generator."""
 
 from repro.core.group import GroupConfig, HyperLoopGroup
-from repro.workloads.openloop import OpenLoopConfig, load_sweep, open_loop_gwrite
+from repro.workloads.openloop import (OpenLoopConfig, load_sweep,
+                                      open_loop_gwrite, span_throughput)
 
 
 def make_group(cluster, slots=256):
@@ -9,6 +10,20 @@ def make_group(cluster, slots=256):
     replicas = cluster.add_hosts(3, prefix="ol-replica")
     return HyperLoopGroup(client, replicas,
                           GroupConfig(slots=slots, region_size=1 << 20))
+
+
+class TestSpanThroughput:
+    def test_basic_rate(self):
+        # 100 ops over 1 ms -> 100 kops/s.
+        assert span_throughput(100, 0, 1_000_000) == 100_000.0
+
+    def test_no_samples_is_zero(self):
+        assert span_throughput(0, None, None) == 0.0
+        assert span_throughput(0, 0, 1_000_000) == 0.0
+
+    def test_zero_span_does_not_divide_by_zero(self):
+        # Degenerate single-instant span clamps to 1 ns.
+        assert span_throughput(5, 1000, 1000) == 5e9
 
 
 class TestOpenLoop:
@@ -51,6 +66,49 @@ class TestOpenLoop:
         assert result.saturated
         # Completed + shed account for every arrival.
         assert result.recorder.count <= 400 - result.shed
+
+    def test_termination_when_final_arrivals_shed(self, cluster):
+        """The run finishes even if the *last* arrivals are all shed.
+
+        Termination counts done + shed against total operations; before
+        that accounting, a tail of shed arrivals left the completion
+        event forever untriggered and the run raised a stall error.
+        """
+        group = make_group(cluster, slots=4)
+        result = open_loop_gwrite(group, OpenLoopConfig(
+            rate_ops_per_sec=5_000_000, operations=300,
+            max_outstanding=2))
+        assert result.shed > 0
+        assert result.saturated
+        assert result.recorder.count + result.shed <= 300
+        # Every arrival is accounted for exactly once.
+        assert result.recorder.count <= 300 - result.shed
+
+    def test_achieved_nonzero_when_all_samples_in_warmup(self, cluster):
+        """Regression: tiny runs used to report 0.0 achieved throughput.
+
+        With warmup_fraction=1.0 every completion lands inside warmup, so
+        the recorder holds no samples; the fix falls back to the
+        all-completions span instead of dividing zero by the horizon.
+        """
+        group = make_group(cluster)
+        result = open_loop_gwrite(group, OpenLoopConfig(
+            rate_ops_per_sec=50_000, operations=50, warmup_fraction=1.0))
+        assert result.recorder.count == 0
+        assert result.achieved_ops_per_sec > 0
+        # Still in the right ballpark of the offered rate.
+        assert abs(result.achieved_ops_per_sec - 50_000) < 25_000
+
+    def test_achieved_uses_issue_to_completion_span(self, cluster):
+        """Achieved throughput reflects measured samples only, over the
+        earliest-issue..latest-completion span — not the whole run."""
+        group = make_group(cluster)
+        result = open_loop_gwrite(group, OpenLoopConfig(
+            rate_ops_per_sec=40_000, operations=400))
+        # 360 measured samples at ~40 kops/s occupy ~9 ms; an
+        # issue/completion-span mixup under-counts by the warmup span
+        # (~1 ms here) which would push the figure beyond Poisson noise.
+        assert 0.6 * 40_000 < result.achieved_ops_per_sec < 1.4 * 40_000
 
     def test_sweep_rows(self, cluster):
         calls = {"count": 0}

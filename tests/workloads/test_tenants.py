@@ -1,0 +1,82 @@
+"""Tests for tenant-tagged open-loop arrival processes."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.units import ms
+from repro.workloads import Surge, TenantSpec, tenant_arrivals
+
+
+def _collect(spec, horizon_ns, seed=7):
+    sim = Simulator()
+    import random
+    rng = random.Random(seed)
+    stamps = []
+    sim.process(tenant_arrivals(sim, spec, rng, horizon_ns,
+                                lambda s, now: stamps.append(now)))
+    sim.run(until=horizon_ns + 1)
+    return stamps
+
+
+class TestTenantSpec:
+    def test_rate_at_base(self):
+        spec = TenantSpec("t0", rate_ops_per_sec=1000.0)
+        assert spec.rate_at(0) == 1000.0
+        assert spec.next_boundary(0) is None
+
+    def test_surge_multiplies_rate(self):
+        spec = TenantSpec("t0", rate_ops_per_sec=1000.0,
+                          surges=(Surge(ms(1), ms(2), 10.0),))
+        assert spec.rate_at(0) == 1000.0
+        assert spec.rate_at(ms(1)) == 10_000.0
+        assert spec.rate_at(ms(2)) == 10_000.0
+        assert spec.rate_at(ms(3)) == 1000.0
+
+    def test_overlapping_surges_compound(self):
+        spec = TenantSpec("t0", rate_ops_per_sec=100.0,
+                          surges=(Surge(0, ms(4), 2.0),
+                                  Surge(ms(1), ms(1), 3.0)))
+        assert spec.rate_at(ms(1) + 1) == pytest.approx(600.0)
+        assert spec.rate_at(ms(3)) == pytest.approx(200.0)
+
+    def test_next_boundary_walks_edges(self):
+        spec = TenantSpec("t0", rate_ops_per_sec=100.0,
+                          surges=(Surge(ms(1), ms(2), 5.0),))
+        assert spec.next_boundary(0) == ms(1)
+        assert spec.next_boundary(ms(1)) == ms(3)
+        assert spec.next_boundary(ms(3)) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TenantSpec("t0", rate_ops_per_sec=0.0)
+        with pytest.raises(ValueError):
+            Surge(0, 0, 2.0)
+        with pytest.raises(ValueError):
+            Surge(0, ms(1), 0.0)
+
+
+class TestTenantArrivals:
+    def test_mean_rate_tracks_spec(self):
+        spec = TenantSpec("t0", rate_ops_per_sec=50_000.0)
+        stamps = _collect(spec, ms(20))
+        # ~1000 expected arrivals; Poisson noise is a few percent.
+        assert 800 <= len(stamps) <= 1200
+        assert all(0 < t <= ms(20) for t in stamps)
+
+    def test_surge_window_is_denser(self):
+        spec = TenantSpec("t0", rate_ops_per_sec=20_000.0,
+                          surges=(Surge(ms(10), ms(10), 8.0),))
+        stamps = _collect(spec, ms(30))
+        before = sum(1 for t in stamps if t < ms(10))
+        during = sum(1 for t in stamps if ms(10) <= t < ms(20))
+        after = sum(1 for t in stamps if t >= ms(20))
+        assert during > 4 * before
+        assert during > 4 * after
+
+    def test_deterministic_per_seed(self):
+        spec = TenantSpec("t0", rate_ops_per_sec=30_000.0,
+                          surges=(Surge(ms(2), ms(2), 4.0),))
+        assert _collect(spec, ms(10), seed=3) == _collect(
+            spec, ms(10), seed=3)
+        assert _collect(spec, ms(10), seed=3) != _collect(
+            spec, ms(10), seed=4)
