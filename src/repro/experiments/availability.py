@@ -18,9 +18,11 @@ from typing import Dict, List
 
 from .. import backend as backend_registry
 from ..core.recovery import ChainFailure, ChainSupervisor, RecoveryConfig
+from ..faults import CrashProcess, FaultInjector, FaultPlan
 from ..host import Cluster
 from ..sim.units import ms
-from .common import format_table
+from .common import bucket_of, count_outage_buckets, format_table, \
+    phase_timings
 
 __all__ = ["run", "main"]
 
@@ -45,17 +47,9 @@ def run(bucket_ms: int = 10, buckets: int = 60, crash_bucket: int = 15,
     sim = cluster.sim
     completed: List[int] = [0] * buckets
     state = {"stop": False, "detected_at": None, "repaired_at": None,
-             "crashed_at": None, "lost_acked_writes": 0}
+             "lost_acked_writes": 0}
     gap_ns = ms(bucket_ms) // ops_per_bucket_target
     acked_payloads: Dict[int, bytes] = {}
-
-    def bucket_of(now: int) -> int:
-        # The run is given two grace windows past the measured horizon so
-        # in-flight work can drain; completions landing there are dropped
-        # (bucket -1), NOT clamped into the final bucket — clamping would
-        # inflate it with up to two windows' worth of post-horizon ops.
-        index = now // ms(bucket_ms)
-        return index if index < buckets else -1
 
     def writer():
         sequence = 0
@@ -76,22 +70,24 @@ def run(bucket_ms: int = 10, buckets: int = 60, crash_bucket: int = 15,
             except ChainFailure:
                 continue  # Unacked — the retry loop covers it.
             acked_payloads[offset] = payload
-            bucket = bucket_of(sim.now)
+            bucket = bucket_of(sim.now, bucket_ms, buckets)
             if bucket >= 0:
                 completed[bucket] += 1
             sequence += 1
-
-    def crasher():
-        yield sim.timeout(ms(bucket_ms) * crash_bucket)
-        state["crashed_at"] = sim.now
-        replicas[1].crash()
 
     def stopper():
         yield sim.timeout(ms(bucket_ms) * buckets)
         state["stop"] = True
 
+    # The crash is a declarative fault plan, not a bespoke process: the
+    # injector fires CrashProcess at the scheduled time and logs the
+    # exact fire timestamp the phase report reads back.
+    plan = FaultPlan([CrashProcess(ms(bucket_ms) * crash_bucket,
+                                   host=replicas[1].name)],
+                     name="availability.crash")
+    injector = FaultInjector(cluster, plan, name="av.crasher")
     sim.process(writer(), name="av.writer")
-    sim.process(crasher(), name="av.crasher")
+    injector.start()
     sim.process(stopper(), name="av.stopper")
     cluster.run(until=ms(bucket_ms) * (buckets + 2))
 
@@ -101,21 +97,20 @@ def run(bucket_ms: int = 10, buckets: int = 60, crash_bucket: int = 15,
         for hop in range(final_group.group_size):
             if final_group.read_replica(hop, offset, 8) != payload:
                 state["lost_acked_writes"] += 1
-    outage_buckets = sum(1 for index, count in enumerate(completed)
-                         if index >= crash_bucket
-                         and count < ops_per_bucket_target // 2)
+    crashed_at = injector.first_fired(CrashProcess)
+    # Detection latency (heartbeat misses until the supervisor notices)
+    # reported separately from the total outage: the remainder is
+    # rebuild + catch-up, and the two respond to different knobs.
+    phases = phase_timings(crashed_at, state["detected_at"],
+                           state["repaired_at"])
     return {
         "timeline": completed,
         "bucket_ms": bucket_ms,
         "crash_bucket": crash_bucket,
-        "outage_ms": (state["repaired_at"] - state["crashed_at"]) / 1e6
-        if state["repaired_at"] else None,
-        # Detection latency (heartbeat misses until the supervisor notices)
-        # reported separately from the total outage: the remainder is
-        # rebuild + catch-up, and the two respond to different knobs.
-        "detection_ms": (state["detected_at"] - state["crashed_at"]) / 1e6
-        if state["detected_at"] else None,
-        "outage_buckets": outage_buckets,
+        "outage_ms": phases["outage_ms"],
+        "detection_ms": phases["detection_ms"],
+        "outage_buckets": count_outage_buckets(
+            completed, crash_bucket, ops_per_bucket_target // 2),
         "repairs": supervisor.repairs_completed,
         "lost_acked_writes": state["lost_acked_writes"],
     }

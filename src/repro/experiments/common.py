@@ -33,7 +33,7 @@ from ..cluster import (
 )
 from ..host import Cluster
 from ..sim.stats import LatencyRecorder
-from ..sim.units import seconds
+from ..sim.units import ms, seconds
 
 __all__ = [
     "full_run",
@@ -48,6 +48,11 @@ __all__ = [
     "latency_sweep",
     "throughput_run",
     "format_table",
+    "bucket_of",
+    "default_bucket_ms",
+    "window_mean",
+    "count_outage_buckets",
+    "phase_timings",
     "DEFAULT_TENANTS_PER_CORE",
 ]
 
@@ -207,6 +212,67 @@ def throughput_run(group, size: int, total_bytes: int,
         "kops_per_sec": count / (elapsed / 1e9) / 1e3,
         "gbps": (count * size * 8) / elapsed,  # bits per ns == Gbps
     }
+
+
+# ----------------------------------------------------------------------
+# Bucketed-timeline helpers (availability / overload / fault experiments)
+# ----------------------------------------------------------------------
+def bucket_of(now_ns: int, bucket_ms: int, buckets: int) -> int:
+    """Timeline bucket index for a completion at ``now_ns``.
+
+    Experiments run one or two grace windows past the measured horizon so
+    in-flight work can drain; completions landing there are dropped
+    (bucket ``-1``), NOT clamped into the final bucket — clamping would
+    inflate it with up to two windows' worth of post-horizon ops.
+    """
+    index = now_ns // ms(bucket_ms)
+    return index if index < buckets else -1
+
+
+def default_bucket_ms() -> int:
+    """Measurement window: 1 ms buckets under REPRO_QUICK, 2 ms default.
+
+    Overload/fault *rates* never scale down — the dynamics live in the
+    ratio of offered load to service capacity, which op-count scaling
+    would destroy — so quick mode shortens the horizon instead.
+    """
+    return 1 if quick_run() else 2
+
+
+def window_mean(values: Sequence[float], start: int, stop: int) -> float:
+    """Mean of ``values[start:stop]``; 0.0 for an empty window."""
+    window = values[start:stop]
+    return sum(window) / len(window) if window else 0.0
+
+
+def count_outage_buckets(timeline: Sequence[int], from_bucket: int,
+                         threshold: int) -> int:
+    """Buckets at/after ``from_bucket`` that completed < ``threshold`` ops.
+
+    This is the timeline-side outage measure: how many measurement
+    windows ran at less than the given fraction of the offered rate.
+    """
+    return sum(1 for index, count in enumerate(timeline)
+               if index >= from_bucket and count < threshold)
+
+
+def phase_timings(injected_ns: Optional[int], detected_ns: Optional[int],
+                  recovered_ns: Optional[int]) -> Dict[str, Optional[float]]:
+    """Split one fault's lifecycle into the two phases that matter.
+
+    Detection latency (fault to watchdog suspicion) is reported
+    separately from the total outage (fault to back-in-service): the
+    remainder is rebuild + catch-up, and the phases respond to different
+    knobs (heartbeat period vs copy bandwidth).  ``None`` stays ``None``
+    — a fault that was never detected has no detection latency.
+    """
+    detection_ms = None
+    outage_ms = None
+    if injected_ns is not None and detected_ns is not None:
+        detection_ms = (detected_ns - injected_ns) / 1e6
+    if injected_ns is not None and recovered_ns is not None:
+        outage_ms = (recovered_ns - injected_ns) / 1e6
+    return {"detection_ms": detection_ms, "outage_ms": outage_ms}
 
 
 def format_table(rows: Sequence[Dict], columns: Optional[List[str]] = None,

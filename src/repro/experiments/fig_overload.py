@@ -56,7 +56,7 @@ from ..traffic import (
     TrafficShaper,
 )
 from ..workloads.tenants import Surge, TenantSpec, tenant_arrivals
-from .common import format_table, quick_run
+from .common import default_bucket_ms, format_table, quick_run, window_mean
 from .parallel import sweep
 
 __all__ = ["STORM_ARMS", "run_retry_storm", "run_tenant_burst",
@@ -70,16 +70,6 @@ STORM_ARMS = [
 
 #: Bytes reserved per tenant in the replicated region (one oracle slot).
 _TENANT_STRIDE = 64
-
-
-def _default_bucket_ms() -> int:
-    """Measurement window: 1 ms buckets under REPRO_QUICK, 2 ms default.
-
-    The storm's *rates* never scale down — overload dynamics live in the
-    ratio of offered load to service capacity, which op-count scaling
-    would destroy — so quick mode shortens the horizon instead.
-    """
-    return 1 if quick_run() else 2
 
 
 def _make_retry(kind: str, budget_ns: int) -> RetryPolicy:
@@ -186,12 +176,9 @@ def _storm_worker(point) -> Dict[str, Any]:
 
     timeline = slo.timeline()
     stall_end = stall_bucket + stall_buckets
-    pre = [float(row["goodput_kops"])
-           for row in timeline[1:stall_bucket]]
-    post = [float(row["goodput_kops"])
-            for row in timeline[stall_end + 1:]]
-    pre_kops = sum(pre) / len(pre) if pre else 0.0
-    post_kops = sum(post) / len(post) if post else 0.0
+    goodput = [float(row["goodput_kops"]) for row in timeline]
+    pre_kops = window_mean(goodput, 1, stall_bucket)
+    post_kops = window_mean(goodput, stall_end + 1, len(goodput))
     tenant_rows = slo.tenant_rows()
     return {
         "arm": arm,
@@ -227,7 +214,7 @@ def run_retry_storm(jobs: int = 1, rate_ops: int = 600_000,
     4-attempt budget and push the naive arm past saturation for good.
     ``backend`` swaps the replication backend of the admission arm.
     """
-    bucket_ms = bucket_ms or _default_bucket_ms()
+    bucket_ms = bucket_ms or default_bucket_ms()
     if buckets is None:
         buckets = 12 if quick_run() else 20
     if stall_bucket is None:
@@ -323,7 +310,7 @@ def run_tenant_burst(jobs: int = 1, rate_per_tenant: int = 150_000,
     the 10× burst pushes the aggregate to ~1.7× capacity, so without
     quotas the shared pipeline backlog blows every tenant's budget.
     """
-    bucket_ms = bucket_ms or _default_bucket_ms()
+    bucket_ms = bucket_ms or default_bucket_ms()
     if buckets is None:
         buckets = 9 if quick_run() else 15
     points = [
@@ -354,7 +341,7 @@ def run_hotspot_shift(rate_ops: int = 1_000_000, hot_fraction: float = 0.7,
     and the shedding must follow the hotspot while the cold shards stay
     clean.
     """
-    bucket_ms = bucket_ms or _default_bucket_ms()
+    bucket_ms = bucket_ms or default_bucket_ms()
     if buckets is None:
         buckets = 10 if quick_run() else 16
     # A deliberately tight dispatch window caps each shard's effective

@@ -1,0 +1,71 @@
+"""Scriptable fault injection, failure detection and group recovery.
+
+The package is layered exactly like a production resilience stack:
+
+* :mod:`~repro.faults.plan` — declarative, picklable
+  :class:`~repro.faults.plan.FaultPlan` scripts (what breaks, when);
+* :mod:`~repro.faults.injector` — the deterministic
+  :class:`~repro.faults.injector.FaultInjector` process that applies a
+  plan to a live cluster and logs exact fire times;
+* :mod:`~repro.faults.detect` — heartbeat mesh + watchdog failure
+  detector over the simulated RDMA substrate;
+* :mod:`~repro.faults.election` — bully leader election among
+  survivors;
+* :mod:`~repro.faults.reconfig` —
+  :class:`~repro.faults.reconfig.ReplicaSetManager`, the supervisor
+  that turns suspicion into a drained/aborted, re-elected, caught-up
+  replacement group;
+* :mod:`~repro.faults.oracle` — :class:`~repro.faults.oracle.AckOracle`
+  proving no ACKed write is ever lost.
+"""
+
+from .detect import HeartbeatConfig, HeartbeatMonitor, Watchdog
+from .election import BullyElection, ElectionConfig, ElectionResult
+from .injector import FaultInjector, FaultRecord, FaultTargets
+from .oracle import SEQ_BYTES, AckOracle, pack_seq, unpack_seq
+from .plan import (
+    CompositeFault,
+    CrashProcess,
+    FaultEvent,
+    FaultPlan,
+    LinkFlap,
+    NvmPowerLoss,
+    Partition,
+    ScheduledFault,
+    StragglerNic,
+)
+from .reconfig import (
+    ReconfigConfig,
+    ReconfigRecord,
+    ReplicaFault,
+    ReplicaSetManager,
+)
+
+__all__ = [
+    "FaultEvent",
+    "CrashProcess",
+    "NvmPowerLoss",
+    "LinkFlap",
+    "Partition",
+    "StragglerNic",
+    "CompositeFault",
+    "ScheduledFault",
+    "FaultPlan",
+    "FaultInjector",
+    "FaultRecord",
+    "FaultTargets",
+    "HeartbeatConfig",
+    "HeartbeatMonitor",
+    "Watchdog",
+    "BullyElection",
+    "ElectionConfig",
+    "ElectionResult",
+    "ReplicaFault",
+    "ReconfigConfig",
+    "ReconfigRecord",
+    "ReplicaSetManager",
+    "AckOracle",
+    "SEQ_BYTES",
+    "pack_seq",
+    "unpack_seq",
+]

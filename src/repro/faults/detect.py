@@ -1,0 +1,221 @@
+"""Failure detection: heartbeat mesh + watchdog timer.
+
+The detection layer follows the paper's control-path stance ("a
+configurable number of consecutive missing heartbeats is considered a
+data path failure", §5) and the classic heartbeat/watchdog resilience
+patterns, but is built on the *simulated* substrate end to end:
+
+* each watched host runs a :class:`HeartbeatMonitor` sender — a real
+  SEND over a dedicated QP, with CPU time charged to the (possibly
+  overloaded) host — so every fault class perturbs heartbeats the way
+  it would in production: a crash stops them, a partition drops them in
+  the fabric, a straggler NIC delays them, an NVM power loss errors the
+  QP out;
+* a :class:`Watchdog` periodically sweeps last-seen timestamps and
+  declares a host *suspect* once its silence exceeds the tunable
+  timeout (``period × (miss_threshold + 1)`` by default).
+
+Detection is intentionally decoupled from recovery: the watchdog only
+reports suspicion; :mod:`repro.faults.reconfig` decides what to do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+from ..rdma.verbs import QPState, QueuePair
+from ..rdma.wqe import Opcode, WorkRequest
+from ..sim.engine import ProcessGenerator, Simulator
+from ..sim.units import ms
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from ..host import Host
+
+__all__ = ["HeartbeatConfig", "HeartbeatMonitor", "Watchdog"]
+
+#: RECVs pre-posted per watched host on the monitor side.
+_RECV_DEPTH = 256
+
+
+@dataclass(frozen=True)
+class HeartbeatConfig:
+    """Tunables for one heartbeat mesh and its watchdog."""
+
+    period_ns: int = ms(5)
+    miss_threshold: int = 3
+    cpu_ns: int = 2_000          # Sender-side CPU per beat.
+    timeout_ns: int = 0          # 0 -> period_ns * (miss_threshold + 1).
+
+    def deadline_ns(self) -> int:
+        """Silence longer than this makes a host suspect."""
+        if self.timeout_ns:
+            return self.timeout_ns
+        return self.period_ns * (self.miss_threshold + 1)
+
+    def validate(self) -> None:
+        if self.period_ns <= 0:
+            raise ValueError("heartbeat period must be > 0")
+        if self.miss_threshold < 1:
+            raise ValueError("miss_threshold must be >= 1")
+        if self.timeout_ns < 0:
+            raise ValueError("timeout_ns must be >= 0")
+
+
+class HeartbeatMonitor:
+    """A monitor host collecting heartbeats from a set of watched hosts.
+
+    Hosts can be watched and unwatched at runtime — reconfiguration
+    swaps a failed replica for a spare without rebuilding the mesh.
+    """
+
+    def __init__(self, monitor_host: "Host",
+                 config: Optional[HeartbeatConfig] = None,
+                 name: str = "hb"):
+        self.monitor_host = monitor_host
+        self.sim: Simulator = monitor_host.sim
+        self.config = config or HeartbeatConfig()
+        self.config.validate()
+        self.name = name
+        self.last_beat: Dict[str, int] = {}
+        self.beats_received = 0
+        self._hosts: Dict[str, "Host"] = {}
+        self._active: Dict[str, bool] = {}
+        self._qps: List[QueuePair] = []
+        self._index: List[str] = []
+        self._started = False
+        self._cq = monitor_host.nic.create_cq(name=f"{name}.cq")
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def watch(self, host: "Host") -> None:
+        """Start collecting heartbeats from ``host``."""
+        if host.name in self._active and self._active[host.name]:
+            return
+        nic = self.monitor_host.nic
+        index = len(self._index)
+        self._index.append(host.name)
+        self._hosts[host.name] = host
+        self._active[host.name] = True
+        local = nic.create_qp(self._cq, self._cq, sq_slots=8,
+                              rq_slots=_RECV_DEPTH,
+                              name=f"{self.name}.c{index}")
+        remote_cq = host.nic.create_cq(name=f"{self.name}.rcq.{host.name}")
+        remote = host.nic.create_qp(remote_cq, remote_cq, sq_slots=64,
+                                    rq_slots=8,
+                                    name=f"{self.name}.r.{host.name}")
+        local.connect(remote)
+        self._qps.append(local)
+        self.last_beat[host.name] = self.sim.now
+        for _ in range(_RECV_DEPTH):
+            local.post_recv(WorkRequest(Opcode.RECV, [], wr_id=index))
+        self.sim.process(self._sender(host, remote),
+                         name=f"{self.name}.sender.{host.name}")
+
+    def unwatch(self, host_name: str) -> None:
+        """Stop tracking ``host_name``; its sender exits next period."""
+        self._active[host_name] = False
+        self.last_beat.pop(host_name, None)
+
+    def watched_names(self) -> List[str]:
+        return [name for name in self._index if self._active.get(name)]
+
+    def last_seen(self, host_name: str) -> int:
+        return self.last_beat.get(host_name, 0)
+
+    # ------------------------------------------------------------------
+    # Processes
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self.sim.process(self._collector(), name=f"{self.name}.collector")
+
+    def _sender(self, host: "Host", qp: QueuePair) -> ProcessGenerator:
+        """Watched-host side: real CPU, real SEND, every period.
+
+        Stops on crash, on an errored QP (power loss) and on unwatch —
+        exactly the conditions under which a real daemon goes silent.
+        """
+        config = self.config
+        thread = host.spawn_thread(f"{self.name}.{host.name}")
+        while True:
+            yield self.sim.timeout(config.period_ns)
+            if host.crashed or not self._active.get(host.name):
+                return
+            yield thread.run(config.cpu_ns)
+            if host.crashed or not self._active.get(host.name):
+                return
+            if qp.state is not QPState.RTS:
+                return  # Power loss killed the connection.
+            qp.post_send(WorkRequest(Opcode.SEND, [], signaled=False))
+
+    def _collector(self) -> ProcessGenerator:
+        """Monitor side: stamp arrivals, replenish RECVs."""
+        while True:
+            completions = self._cq.poll(64)
+            if not completions:
+                check = self.sim.event()
+                self.sim.call_at(
+                    self.sim.now + self.config.period_ns // 2,
+                    lambda: None if check.triggered else check.succeed())
+                yield check
+                continue
+            for wc in completions:
+                name = self._index[wc.wr_id]
+                if self._active.get(name):
+                    self.last_beat[name] = self.sim.now
+                    self.beats_received += 1
+                self._qps[wc.wr_id].post_recv(
+                    WorkRequest(Opcode.RECV, [], wr_id=wc.wr_id))
+
+
+class Watchdog:
+    """Periodic failure detector over a heartbeat monitor's last-seen map.
+
+    Suspicion is sticky until :meth:`clear` — a host that resumes
+    beating after being suspected stays suspect; deciding whether to
+    readmit it is recovery policy, not detection policy.
+    """
+
+    def __init__(self, monitor: HeartbeatMonitor,
+                 config: Optional[HeartbeatConfig] = None,
+                 name: str = "watchdog"):
+        self.monitor = monitor
+        self.sim = monitor.sim
+        self.config = config or monitor.config
+        self.name = name
+        self.suspected: Dict[str, int] = {}   # host -> suspected_at (ns).
+        self.checks = 0
+        self._callbacks: List[Callable[[str, int], None]] = []
+        self._started = False
+
+    def on_suspect(self, callback: Callable[[str, int], None]) -> None:
+        """Register ``callback(host_name, suspected_at_ns)``."""
+        self._callbacks.append(callback)
+
+    def clear(self, host_name: str) -> None:
+        self.suspected.pop(host_name, None)
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self.sim.process(self._run(), name=self.name)
+
+    def _run(self) -> ProcessGenerator:
+        deadline = self.config.deadline_ns()
+        period = self.config.period_ns
+        while True:
+            yield self.sim.timeout(period)
+            self.checks += 1
+            now = self.sim.now
+            for name in self.monitor.watched_names():
+                if name in self.suspected:
+                    continue
+                if now - self.monitor.last_seen(name) > deadline:
+                    self.suspected[name] = now
+                    for callback in self._callbacks:
+                        callback(name, now)

@@ -1,0 +1,133 @@
+"""Bully-style leader election for group reconfiguration.
+
+After the watchdog suspects a replica, *someone* has to own the rebuild.
+HyperLoop's control path is conventional (§5), so we model the classic
+bully algorithm over the surviving replicas: ranks are chain positions,
+an initiator challenges every higher-ranked member, unresponsive
+challenges burn a response timeout, and the highest-ranked responsive
+member wins and announces itself.  The elected coordinator then drives
+the reconfiguration in :mod:`repro.faults.reconfig`.
+
+The model is deterministic but charges honest time: probe rounds cost
+the slowest probe in the round (probes fan out in parallel), a probe to
+a dead or partitioned member costs the full response timeout, and a
+probe through a straggler NIC costs the inflated round trip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Generator, List, Optional, Sequence
+
+from ..sim.engine import Event, Simulator
+from ..sim.units import ms, us
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from ..host import Host
+
+__all__ = ["ElectionConfig", "ElectionResult", "BullyElection"]
+
+
+@dataclass(frozen=True)
+class ElectionConfig:
+    message_rtt_ns: int = us(50)        # Challenge + OK over the fabric.
+    response_timeout_ns: int = ms(1)    # Give up on a silent member.
+
+    def validate(self) -> None:
+        if self.message_rtt_ns <= 0:
+            raise ValueError("message_rtt_ns must be > 0")
+        if self.response_timeout_ns <= self.message_rtt_ns:
+            raise ValueError(
+                "response_timeout_ns must exceed message_rtt_ns")
+
+
+@dataclass
+class ElectionResult:
+    winner: str
+    rounds: int
+    messages: int
+    duration_ns: int
+
+
+class BullyElection:
+    """Elects the highest-ranked responsive member as coordinator."""
+
+    def __init__(self, sim: Simulator,
+                 config: Optional[ElectionConfig] = None):
+        self.sim = sim
+        self.config = config or ElectionConfig()
+        self.config.validate()
+        self.elections_run = 0
+
+    # ------------------------------------------------------------------
+    # Reachability model
+    # ------------------------------------------------------------------
+    def _responsive(self, source: "Host", target: "Host") -> bool:
+        """Would ``target`` answer a challenge from ``source``?"""
+        if target.crashed:
+            return False
+        fault = source.cluster.fabric.link_fault(source.name, target.name)
+        if fault is not None and fault[1] == "drop":
+            return False  # Partitioned: the challenge never arrives.
+        return True
+
+    def _probe_cost(self, source: "Host", target: "Host") -> int:
+        """Time for one challenge/answer exchange (or its timeout)."""
+        if not self._responsive(source, target):
+            return self.config.response_timeout_ns
+        rtt = self.config.message_rtt_ns
+        factor = max(target.nic.inflation_factor,
+                     source.nic.inflation_factor)
+        if factor > 1.0:
+            rtt = min(int(rtt * factor), self.config.response_timeout_ns)
+        return rtt
+
+    # ------------------------------------------------------------------
+    # The algorithm
+    # ------------------------------------------------------------------
+    def elect(self, members: Sequence["Host"],
+              initiator: "Host") -> Generator[Event, Any, ElectionResult]:
+        """Run one election; generator returning the winner's name.
+
+        ``members`` are ranked by position (last = highest, the chain
+        tail — the member most likely to have the freshest durable
+        state).  ``initiator`` must be a member.
+        """
+        ranked = list(members)
+        names = [host.name for host in ranked]
+        if initiator.name not in names:
+            raise ValueError(
+                f"initiator {initiator.name!r} is not a member of {names}")
+        started = self.sim.now
+        messages = 0
+        rounds = 0
+        current = initiator
+        # Walk up the ranking: the current challenger probes everyone
+        # above it; the highest responder takes over as challenger.
+        # Terminates because the challenger's rank strictly increases.
+        while True:
+            rank = names.index(current.name)
+            higher = ranked[rank + 1:]
+            rounds += 1
+            if not higher:
+                break  # Top of the ranking: current wins by default.
+            messages += len(higher)
+            round_cost = max(self._probe_cost(current, target)
+                             for target in higher)
+            yield self.sim.timeout(round_cost)
+            responders = [target for target in higher
+                          if self._responsive(current, target)]
+            if not responders:
+                break  # Nobody above answered: current wins.
+            messages += len(responders)      # Their OK replies.
+            current = responders[-1]         # Highest responder takes over.
+        # Coordinator announcement to every other member.
+        peers = [host for host in ranked if host is not current]
+        if peers:
+            messages += len(peers)
+            yield self.sim.timeout(
+                max(self._probe_cost(current, peer) for peer in peers))
+        self.elections_run += 1
+        return ElectionResult(winner=current.name, rounds=rounds,
+                              messages=messages,
+                              duration_ns=self.sim.now - started)

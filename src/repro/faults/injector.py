@@ -1,0 +1,163 @@
+"""Deterministic execution of fault plans against a live cluster.
+
+:class:`FaultTargets` resolves the plan's host names to simulation
+objects; :class:`FaultInjector` is a single simulation process that
+walks the plan's flattened schedule and applies each event at exactly
+its trigger time.  Ordering is total and deterministic: events fire in
+``(fire_ns, plan index)`` order, a predicate deferral re-queues only the
+deferred event (later events are not held up), and an event is never
+applied before its trigger time.
+
+The injector keeps a complete :class:`FaultRecord` log — scheduled vs
+actual fire time, deferral count, skips — which is what experiments use
+to measure *detection latency* (watchdog suspicion time minus the
+injector's fire time) separately from total outage.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Type
+
+from ..rdma.fabric import Fabric
+from ..rdma.nic import RNIC
+from ..sim.engine import Process, ProcessGenerator, Simulator
+from .plan import FaultEvent, FaultPlan
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from ..host import Cluster, Host
+
+__all__ = ["FaultTargets", "FaultRecord", "FaultInjector"]
+
+
+class FaultTargets:
+    """Resolves a plan's symbolic names against one simulated cluster."""
+
+    def __init__(self, cluster: "Cluster"):
+        self.cluster = cluster
+
+    @property
+    def now(self) -> int:
+        return self.cluster.sim.now
+
+    @property
+    def fabric(self) -> Fabric:
+        return self.cluster.fabric
+
+    def host(self, name: str) -> "Host":
+        try:
+            return self.cluster.hosts[name]
+        except KeyError:
+            raise KeyError(
+                f"fault target {name!r} is not a host in this cluster "
+                f"(have: {', '.join(self.cluster.hosts)})") from None
+
+    def nic(self, name: str) -> RNIC:
+        return self.host(name).nic
+
+    def host_names(self) -> List[str]:
+        return list(self.cluster.hosts)
+
+
+@dataclass
+class FaultRecord:
+    """Execution log entry for one scheduled (leaf) fault."""
+
+    event: FaultEvent
+    scheduled_ns: int
+    fired_ns: int = -1          # -1 until (unless) the event fires.
+    skipped: bool = False       # Predicate never came true.
+    deferrals: int = 0
+
+    @property
+    def fired(self) -> bool:
+        return self.fired_ns >= 0
+
+
+class FaultInjector:
+    """One sim process that executes a :class:`FaultPlan`.
+
+    Create it, then :meth:`start` it once the cluster's hosts exist.
+    The process ends when every event has fired or been skipped, so it
+    never keeps the simulation clock spinning past the plan.
+    """
+
+    def __init__(self, cluster: "Cluster", plan: FaultPlan,
+                 targets: Optional[FaultTargets] = None,
+                 name: str = "faults"):
+        self.cluster = cluster
+        self.sim: Simulator = cluster.sim
+        self.plan = plan
+        self.targets = targets or FaultTargets(cluster)
+        self.name = name
+        #: One record per scheduled leaf, in schedule order.
+        self.log: List[FaultRecord] = [
+            FaultRecord(event=entry.event, scheduled_ns=entry.fire_ns)
+            for entry in plan.schedule()]
+        #: (fired_ns, event) in actual firing order.
+        self.fired: List[Tuple[int, FaultEvent]] = []
+        self._process: Optional[Process] = None
+
+    def start(self) -> Process:
+        if self._process is not None:
+            raise RuntimeError(f"injector {self.name!r} already started")
+        self._process = self.sim.process(self._run(), name=self.name)
+        return self._process
+
+    # ------------------------------------------------------------------
+    # Introspection (experiments read these)
+    # ------------------------------------------------------------------
+    def first_fired(self, kind: Type[FaultEvent]) -> Optional[int]:
+        """When the first event of class ``kind`` fired, or ``None``."""
+        for record in self.log:
+            if isinstance(record.event, kind) and record.fired:
+                return record.fired_ns
+        return None
+
+    @property
+    def done(self) -> bool:
+        return all(record.fired or record.skipped for record in self.log)
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            "scheduled": len(self.log),
+            "fired": sum(1 for record in self.log if record.fired),
+            "skipped": sum(1 for record in self.log if record.skipped),
+            "deferrals": sum(record.deferrals for record in self.log),
+        }
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _run(self) -> ProcessGenerator:
+        sim = self.sim
+        # (fire_ns, stable index, record).  The index is unique per
+        # record, so heap ordering never compares records — and matches
+        # the plan's declaration-order tiebreak.
+        pending: List[Tuple[int, int, FaultRecord]] = [
+            (record.scheduled_ns, index, record)
+            for index, record in enumerate(self.log)]
+        heapq.heapify(pending)
+        while pending:
+            fire_ns, index, record = heapq.heappop(pending)
+            if fire_ns > sim.now:
+                yield sim.timeout(fire_ns - sim.now)
+            event = record.event
+            if event.predicate is not None \
+                    and not event.predicate(self.targets):
+                if record.deferrals < event.retries:
+                    record.deferrals += 1
+                    heapq.heappush(
+                        pending, (sim.now + event.retry_ns, index, record))
+                else:
+                    record.skipped = True
+                continue
+            record.fired_ns = sim.now
+            event.apply(self.targets)
+            self.fired.append((sim.now, event))
+
+    def __repr__(self) -> str:
+        state = "idle" if self._process is None else \
+            ("done" if self.done else "running")
+        return f"<FaultInjector {self.name!r} {state} plan={self.plan!r}>"

@@ -1,0 +1,121 @@
+"""Correctness oracles for fault experiments.
+
+The availability/resilience experiments need more than latency numbers —
+they need to prove the durability invariant the paper claims for the
+offloaded chain (§3.1): *an ACKed write is never lost*, across crashes,
+partitions, stragglers and power cycles.
+
+:class:`AckOracle` checks that end to end.  Writers stamp each write
+with a monotone 8-byte sequence number and :meth:`track` the group's
+completion event.  The oracle records, per region slot, the highest
+sequence the client was ever ACKed for (deduplicating replayed
+completions along the way).  After the run — and after any
+reconfiguration has finished — :meth:`verify` reads every replica's
+region directly and reports each ``(slot, hop)`` pair whose stored
+sequence is *older* than the highest ACKed one: a lost ACKed write.
+Failed or aborted operations are tracked too, but carry no obligation —
+losing an un-ACKed write is allowed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Set, Tuple
+
+from ..sim.engine import Event
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from ..backend.base import GroupBase
+
+__all__ = ["SEQ_BYTES", "pack_seq", "unpack_seq", "AckOracle"]
+
+#: Each tracked slot holds one little-endian 8-byte sequence number.
+SEQ_BYTES = 8
+
+
+def pack_seq(seq: int) -> bytes:
+    """Encode a sequence number into its on-region representation."""
+    return seq.to_bytes(SEQ_BYTES, "little")
+
+
+def unpack_seq(raw: bytes) -> int:
+    return int.from_bytes(raw, "little")
+
+
+@dataclass
+class LostWrite:
+    """One ACKed sequence number missing from one replica."""
+
+    offset: int
+    hop: int
+    acked_seq: int
+    stored_seq: int
+
+
+@dataclass
+class AckOracle:
+    """Tracks ACKs and audits replicas for lost or duplicated ones."""
+
+    #: Highest ACKed sequence per region offset.
+    acked: Dict[int, int] = field(default_factory=dict)
+    #: Completions observed more than once for the same (offset, seq).
+    duplicates: int = 0
+    ok_count: int = 0
+    failed_count: int = 0
+    _seen: Set[Tuple[int, int]] = field(default_factory=set)
+    _pending: int = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def track(self, done: Event, offset: int, seq: int) -> Event:
+        """Observe a submitted write's completion event; returns it."""
+        self._pending += 1
+        done.add_callback(
+            lambda event: self._completed(event, offset, seq))
+        return done
+
+    def _completed(self, event: Event, offset: int, seq: int) -> None:
+        self._pending -= 1
+        if not event.ok:
+            self.failed_count += 1   # Aborted/failed: no durability claim.
+            return
+        key = (offset, seq)
+        if key in self._seen:
+            self.duplicates += 1     # The same ACK delivered twice.
+            return
+        self._seen.add(key)
+        self.ok_count += 1
+        if seq > self.acked.get(offset, -1):
+            self.acked[offset] = seq
+
+    @property
+    def pending(self) -> int:
+        """Tracked operations that have not completed either way yet."""
+        return self._pending
+
+    # ------------------------------------------------------------------
+    # Auditing
+    # ------------------------------------------------------------------
+    def verify(self, group: "GroupBase") -> List[LostWrite]:
+        """Audit every replica of ``group`` against the ACK record.
+
+        Returns one :class:`LostWrite` per ``(offset, hop)`` whose stored
+        sequence is behind the highest ACKed sequence for that offset.
+        Replicas *ahead* of the ACK record are fine — a write may reach
+        the chain without its ACK reaching the client.
+        """
+        lost: List[LostWrite] = []
+        for offset in sorted(self.acked):
+            acked_seq = self.acked[offset]
+            for hop in range(group.group_size):
+                stored = unpack_seq(
+                    group.read_replica(hop, offset, SEQ_BYTES))
+                if stored < acked_seq:
+                    lost.append(LostWrite(offset=offset, hop=hop,
+                                          acked_seq=acked_seq,
+                                          stored_seq=stored))
+        return lost
+
+    def lost_count(self, group: "GroupBase") -> int:
+        return len(self.verify(group))

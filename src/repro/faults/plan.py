@@ -1,0 +1,297 @@
+"""Declarative fault plans: typed events with trigger times and predicates.
+
+A :class:`FaultPlan` is the scriptable half of the fault layer — a list of
+frozen, picklable event records saying *what* breaks and *when*, with no
+reference to live simulation objects.  Targets are named by host name (the
+NIC port namespace), so the same plan can be applied to any cluster that
+has those hosts — including one rebuilt inside a sweep worker process,
+which is what keeps ``--jobs`` runs byte-identical to serial ones.
+
+Event classes map one-to-one onto the injection hooks in the substrate:
+
+* :class:`CrashProcess` — fail-stop via :meth:`repro.host.Host.crash`;
+* :class:`NvmPowerLoss` — :meth:`repro.host.Host.fail_power` through
+  :class:`repro.nvm.power.PowerDomain` (QPs error out, the NIC write
+  cache is lost, NVM keeps only persisted bytes — the host stays up);
+* :class:`LinkFlap` — :meth:`repro.rdma.fabric.Fabric.sever` in
+  ``defer`` mode (frames pause, nothing is lost);
+* :class:`Partition` — ``sever`` in ``drop`` mode across the cut;
+* :class:`StragglerNic` — :meth:`repro.rdma.nic.RNIC.inflate_latency`;
+* :class:`CompositeFault` — correlated failures: sub-events fire at
+  offsets relative to the composite's trigger (a rack losing power, a
+  flap that turns into a partition).
+
+An event's optional ``predicate`` is evaluated against the resolved
+:class:`~repro.faults.injector.FaultTargets` at trigger time; a false
+predicate defers the event by ``retry_ns`` up to ``retries`` times, then
+skips it.  Predicates must be module-level callables if the plan is to
+cross a process boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterator, List, Optional, Sequence, Tuple
+
+from ..sim.units import ms
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle is type-only
+    from .injector import FaultTargets
+
+__all__ = [
+    "FaultEvent",
+    "CrashProcess",
+    "NvmPowerLoss",
+    "LinkFlap",
+    "Partition",
+    "StragglerNic",
+    "CompositeFault",
+    "ScheduledFault",
+    "FaultPlan",
+]
+
+Predicate = Callable[["FaultTargets"], bool]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """Base fault record: a trigger time plus deferral policy.
+
+    ``at_ns`` is absolute simulation time for top-level events and a
+    relative offset for events nested inside a :class:`CompositeFault`.
+    """
+
+    at_ns: int
+    predicate: Optional[Predicate] = field(default=None, kw_only=True)
+    retry_ns: int = field(default=ms(1), kw_only=True)
+    retries: int = field(default=0, kw_only=True)
+
+    def validate(self) -> None:
+        if self.at_ns < 0:
+            raise ValueError(f"{type(self).__name__}: at_ns must be >= 0, "
+                             f"got {self.at_ns}")
+        if self.retry_ns <= 0:
+            raise ValueError(f"{type(self).__name__}: retry_ns must be > 0")
+        if self.retries < 0:
+            raise ValueError(f"{type(self).__name__}: retries must be >= 0")
+
+    def apply(self, targets: "FaultTargets") -> None:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class CrashProcess(FaultEvent):
+    """Fail-stop one host: power domain fails and the crashed flag stops
+    its heartbeat senders, tenants and handlers at their next step."""
+
+    host: str = ""
+
+    def validate(self) -> None:
+        super().validate()
+        if not self.host:
+            raise ValueError("CrashProcess needs a host name")
+
+    def apply(self, targets: "FaultTargets") -> None:
+        targets.host(self.host).crash()
+
+    def describe(self) -> str:
+        return f"crash({self.host})"
+
+
+@dataclass(frozen=True)
+class NvmPowerLoss(FaultEvent):
+    """Power-cycle one host's volatile parts without the crashed flag:
+    the NIC write cache is lost, QPs drop to ERROR, NVM keeps persisted
+    bytes.  Models a PSU brownout the process itself survives."""
+
+    host: str = ""
+
+    def validate(self) -> None:
+        super().validate()
+        if not self.host:
+            raise ValueError("NvmPowerLoss needs a host name")
+
+    def apply(self, targets: "FaultTargets") -> None:
+        targets.host(self.host).fail_power()
+
+    def describe(self) -> str:
+        return f"nvm-power-loss({self.host})"
+
+
+@dataclass(frozen=True)
+class LinkFlap(FaultEvent):
+    """Pause the a <-> b link for ``duration_ns``: frames are parked and
+    delivered when the link heals (nothing is dropped)."""
+
+    a: str = ""
+    b: str = ""
+    duration_ns: int = 0
+
+    def validate(self) -> None:
+        super().validate()
+        if not self.a or not self.b or self.a == self.b:
+            raise ValueError(f"LinkFlap needs two distinct hosts, "
+                             f"got {self.a!r}/{self.b!r}")
+        if self.duration_ns <= 0:
+            raise ValueError("LinkFlap duration_ns must be > 0")
+
+    def apply(self, targets: "FaultTargets") -> None:
+        targets.fabric.sever(self.a, self.b,
+                             until_ns=targets.now + self.duration_ns,
+                             mode="defer")
+
+    def describe(self) -> str:
+        return f"link-flap({self.a}<->{self.b}, {self.duration_ns}ns)"
+
+
+@dataclass(frozen=True)
+class Partition(FaultEvent):
+    """Drop every message crossing the cut between ``side_a`` and
+    ``side_b`` for ``duration_ns`` (``None`` = until healed by hand)."""
+
+    side_a: Tuple[str, ...] = ()
+    side_b: Tuple[str, ...] = ()
+    duration_ns: Optional[int] = None
+
+    def validate(self) -> None:
+        super().validate()
+        if not self.side_a or not self.side_b:
+            raise ValueError("Partition sides must be non-empty")
+        overlap = set(self.side_a) & set(self.side_b)
+        if overlap:
+            raise ValueError(f"Partition sides overlap: {sorted(overlap)}")
+        if self.duration_ns is not None and self.duration_ns <= 0:
+            raise ValueError("Partition duration_ns must be > 0 or None")
+
+    def apply(self, targets: "FaultTargets") -> None:
+        until = (targets.now + self.duration_ns
+                 if self.duration_ns is not None else None)
+        for left in self.side_a:
+            for right in self.side_b:
+                targets.fabric.sever(left, right, until_ns=until,
+                                     mode="drop")
+
+    def describe(self) -> str:
+        return (f"partition({'|'.join(self.side_a)} x "
+                f"{'|'.join(self.side_b)})")
+
+
+@dataclass(frozen=True)
+class StragglerNic(FaultEvent):
+    """Inflate one NIC's per-message processing latency by ``factor``
+    for ``duration_ns`` — a sick-but-alive NIC taking the chain hostage."""
+
+    host: str = ""
+    factor: float = 10.0
+    duration_ns: int = 0
+
+    def validate(self) -> None:
+        super().validate()
+        if not self.host:
+            raise ValueError("StragglerNic needs a host name")
+        if self.factor < 1.0:
+            raise ValueError(f"StragglerNic factor must be >= 1, "
+                             f"got {self.factor}")
+        if self.duration_ns <= 0:
+            raise ValueError("StragglerNic duration_ns must be > 0")
+
+    def apply(self, targets: "FaultTargets") -> None:
+        targets.nic(self.host).inflate_latency(
+            self.factor, targets.now + self.duration_ns)
+
+    def describe(self) -> str:
+        return f"straggler({self.host}, x{self.factor:g})"
+
+
+@dataclass(frozen=True)
+class CompositeFault(FaultEvent):
+    """Correlated failures: ``parts`` fire at ``at_ns + part.at_ns``.
+
+    Composites nest; scheduling flattens them, so ordering guarantees
+    hold across the whole expanded plan.
+    """
+
+    parts: Tuple[FaultEvent, ...] = ()
+
+    def validate(self) -> None:
+        super().validate()
+        if not self.parts:
+            raise ValueError("CompositeFault needs at least one part")
+        if self.predicate is not None:
+            raise ValueError(
+                "CompositeFault predicates belong on the parts")
+        for part in self.parts:
+            part.validate()
+
+    def apply(self, targets: "FaultTargets") -> None:
+        raise RuntimeError(
+            "CompositeFault is expanded by FaultPlan.schedule(); "
+            "it is never applied directly")
+
+    def describe(self) -> str:
+        inner = ", ".join(part.describe() for part in self.parts)
+        return f"composite[{inner}]"
+
+
+@dataclass(frozen=True)
+class ScheduledFault:
+    """One flattened plan entry: a leaf event and its absolute fire time.
+
+    ``index`` is the stable tiebreak — declaration order — so two events
+    scheduled at the same nanosecond always fire in plan order.
+    """
+
+    fire_ns: int
+    index: int
+    event: FaultEvent
+
+
+class FaultPlan:
+    """An ordered, validated collection of fault events."""
+
+    def __init__(self, events: Sequence[FaultEvent], name: str = "plan"):
+        self.name = name
+        self.events: Tuple[FaultEvent, ...] = tuple(events)
+        for event in self.events:
+            event.validate()
+        self._schedule = self._flatten()
+
+    def _flatten(self) -> List[ScheduledFault]:
+        leaves: List[Tuple[int, FaultEvent]] = []
+
+        def expand(event: FaultEvent, base_ns: int) -> None:
+            fire_ns = base_ns + event.at_ns
+            if isinstance(event, CompositeFault):
+                for part in event.parts:
+                    expand(part, fire_ns)
+            else:
+                leaves.append((fire_ns, event))
+
+        for event in self.events:
+            expand(event, 0)
+        entries = [ScheduledFault(fire_ns, index, event)
+                   for index, (fire_ns, event) in enumerate(leaves)]
+        entries.sort(key=lambda entry: (entry.fire_ns, entry.index))
+        return entries
+
+    def schedule(self) -> List[ScheduledFault]:
+        """The flattened leaf events, sorted by (fire time, plan order)."""
+        return list(self._schedule)
+
+    @property
+    def horizon_ns(self) -> int:
+        """The last scheduled trigger time (0 for an empty plan)."""
+        return max((entry.fire_ns for entry in self._schedule), default=0)
+
+    def __len__(self) -> int:
+        return len(self._schedule)
+
+    def __iter__(self) -> Iterator[ScheduledFault]:
+        return iter(self._schedule)
+
+    def __repr__(self) -> str:
+        return (f"<FaultPlan {self.name!r} events={len(self.events)} "
+                f"leaves={len(self._schedule)}>")

@@ -17,7 +17,7 @@ small internal latency, so they are modelled in :mod:`repro.rdma.nic`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 from ..sim.engine import Simulator
 from ..sim.units import gbps_to_bytes_per_ns, us
@@ -78,6 +78,20 @@ class Port:
         self.bytes_sent += size_bytes
         self.messages_sent += 1
         arrival = done_serializing + params.propagation_ns
+        fault = self.fabric.link_fault(self.name, dest.name)
+        if fault is not None:
+            until_ns, mode = fault
+            if mode == "drop" or until_ns is None:
+                # Partition / hard link cut: the message serializes onto
+                # the wire and dies at the cut.  The sender's transport
+                # never learns — pending ops hang until a failure
+                # detector aborts them, exactly like a real RC QP whose
+                # retransmits all vanish.
+                self.fabric.messages_dropped += 1
+                return arrival
+            # Link flap: frames are paused at the far side of the flap
+            # and delivered once the link heals, in transmit order.
+            arrival = max(arrival, until_ns + params.propagation_ns)
         sim.call_at(arrival, lambda: dest._deliver(message))
         return arrival
 
@@ -85,12 +99,19 @@ class Port:
 class Fabric:
     """The switch: a registry of ports plus shared link parameters."""
 
-    __slots__ = ("sim", "params", "ports")
+    __slots__ = ("sim", "params", "ports", "_link_faults",
+                 "messages_dropped")
 
     def __init__(self, sim: Simulator, params: Optional[FabricParams] = None) -> None:
         self.sim = sim
         self.params = params or FabricParams()
         self.ports: Dict[str, Port] = {}
+        # Fault-injection state: (src, dst) -> (until_ns | None, mode).
+        # ``drop`` loses crossing messages (partition); ``defer`` parks
+        # them until the expiry (link flap).  ``None`` expiry means "until
+        # heal()" and is only valid for ``drop``.
+        self._link_faults: Dict[Tuple[str, str], Tuple[Optional[int], str]] = {}
+        self.messages_dropped = 0
 
     def create_port(self, name: str) -> Port:
         if name in self.ports:
@@ -98,3 +119,46 @@ class Fabric:
         port = Port(self, name)
         self.ports[name] = port
         return port
+
+    # ------------------------------------------------------------------
+    # Fault injection (repro.faults link events)
+    # ------------------------------------------------------------------
+    def sever(self, a: str, b: str, until_ns: Optional[int] = None,
+              mode: str = "drop") -> None:
+        """Cut the ``a`` <-> ``b`` link (both directions).
+
+        ``mode="drop"`` loses every crossing message until ``until_ns``
+        (or until :meth:`heal` when ``until_ns`` is ``None``) — the
+        partition model.  ``mode="defer"`` parks crossing messages and
+        delivers them when the link comes back — the flap model, which
+        loses nothing but adds up to the flap's duration in latency.
+        """
+        if mode not in ("drop", "defer"):
+            raise ValueError(f"unknown sever mode {mode!r}")
+        if mode == "defer" and until_ns is None:
+            raise ValueError("defer mode needs an expiry (until_ns)")
+        if until_ns is not None and until_ns < self.sim.now:
+            raise ValueError(
+                f"sever expiry {until_ns} is in the past (now {self.sim.now})")
+        self._link_faults[(a, b)] = (until_ns, mode)
+        self._link_faults[(b, a)] = (until_ns, mode)
+
+    def heal(self, a: str, b: str) -> None:
+        """Restore the ``a`` <-> ``b`` link immediately."""
+        self._link_faults.pop((a, b), None)
+        self._link_faults.pop((b, a), None)
+
+    def link_fault(self, src: str, dst: str) -> Optional[Tuple[Optional[int], str]]:
+        """The active fault on ``src -> dst``, or ``None``.
+
+        Expired entries are reaped lazily here, so a flap needs no
+        heal-side bookkeeping process.
+        """
+        fault = self._link_faults.get((src, dst))
+        if fault is None:
+            return None
+        until_ns, _mode = fault
+        if until_ns is not None and self.sim.now >= until_ns:
+            del self._link_faults[(src, dst)]
+            return None
+        return fault

@@ -113,7 +113,8 @@ class RNIC:
                  "qps", "cqs", "mrs", "_next_key", "_kicks", "_outstanding",
                  "_drain_waiters", "_pending", "_ingress", "_ingress_busy",
                  "tracer", "rnr_retries", "remote_access_errors",
-                 "messages_handled", "wqes_executed")
+                 "messages_handled", "wqes_executed",
+                 "_slow_factor", "_slow_until")
 
     _req_ids = itertools.count(1)
 
@@ -140,6 +141,10 @@ class RNIC:
         self._pending: Dict[int, _PendingOp] = {}
         self._ingress: Deque[Message] = deque()
         self._ingress_busy = False
+        # Straggler injection (repro.faults): processing delays scale by
+        # _slow_factor while sim.now < _slow_until.
+        self._slow_factor = 1.0
+        self._slow_until = 0
         # Counters for assertions and reports.
         self.tracer: Optional[Tracer] = None  # Set by Cluster.enable_tracing.
         self.rnr_retries = Counter(f"{name}.rnr")
@@ -149,6 +154,42 @@ class RNIC:
 
     def __repr__(self) -> str:
         return f"<RNIC {self.name}>"
+
+    # ------------------------------------------------------------------
+    # Straggler injection
+    # ------------------------------------------------------------------
+    def inflate_latency(self, factor: float, until_ns: int) -> None:
+        """Make this NIC a straggler: scale every per-message processing
+        delay (WQE parse, ingress, ACK, DMA, loopback) by ``factor``
+        until ``until_ns``.
+
+        Models a sick NIC — firmware babysitting, PCIe link retraining,
+        thermal throttling — that is *alive* (nothing is dropped) but
+        slow enough to take the whole chain hostage.  Overlapping calls:
+        the strongest factor and the latest deadline win.
+        """
+        if factor < 1.0:
+            raise ValueError(f"inflation factor must be >= 1, got {factor}")
+        if self.sim.now < self._slow_until:
+            factor = max(factor, self._slow_factor)
+            until_ns = max(until_ns, self._slow_until)
+        self._slow_factor = factor
+        self._slow_until = until_ns
+
+    @property
+    def straggling(self) -> bool:
+        """True while an :meth:`inflate_latency` window is active."""
+        return self.sim.now < self._slow_until
+
+    @property
+    def inflation_factor(self) -> float:
+        """The currently active latency scale (1.0 when healthy)."""
+        return self._slow_factor if self.sim.now < self._slow_until else 1.0
+
+    def _scaled(self, ns: int) -> int:
+        if self.sim.now < self._slow_until:
+            return max(1, int(ns * self._slow_factor))
+        return ns
 
     # ------------------------------------------------------------------
     # Verbs object factories
@@ -300,7 +341,7 @@ class RNIC:
                     cq.advance_wait_cursor(qp.qp_num, target)
                 qp.sq.advance_head()
                 self.wqes_executed.increment()
-                yield params.wait_processing_ns  # bare-delay fast path
+                yield self._scaled(params.wait_processing_ns)  # bare-delay fast path
                 if wqe.signaled:
                     qp.send_cq.push(WorkCompletion(
                         wr_id=wqe.wr_id, opcode=Opcode.WAIT,
@@ -313,7 +354,7 @@ class RNIC:
                 self.tracer.emit(self.sim.now, f"{self.name}.nic",
                                  "wqe.initiate",
                                  f"{qp.name}:{wqe.opcode.name}")
-            yield params.wqe_processing_ns  # bare-delay fast path
+            yield self._scaled(params.wqe_processing_ns)  # bare-delay fast path
             yield from self._initiate(qp, wqe)
 
     def _stall(self, qp: QueuePair) -> Event:
@@ -354,7 +395,7 @@ class RNIC:
         if op in (Opcode.SEND, Opcode.WRITE, Opcode.WRITE_WITH_IMM):
             payload = self._gather(wqe.sg_list)
             if payload:
-                yield params.dma_ns(len(payload))  # bare-delay fast path
+                yield self._scaled(params.dma_ns(len(payload)))  # bare-delay fast path
             message.payload = payload
             message.length = len(payload)
             message.imm = wqe.imm
@@ -391,7 +432,7 @@ class RNIC:
 
     def _transmit(self, qp: QueuePair, message: Message) -> None:
         if qp.is_loopback or qp.remote.nic is self:
-            self.sim.call_at(self.sim.now + self.params.loopback_ns,
+            self.sim.call_at(self.sim.now + self._scaled(self.params.loopback_ns),
                              lambda: self._ingress_enqueue(message))
         else:
             dest = qp.remote.nic.port
@@ -403,7 +444,7 @@ class RNIC:
         if src_qp is None:
             return
         if src_qp.is_loopback or request.src_nic == self.name:
-            self.sim.call_at(self.sim.now + self.params.loopback_ns,
+            self.sim.call_at(self.sim.now + self._scaled(self.params.loopback_ns),
                              lambda: self._ingress_enqueue(response))
         else:
             dest = self.fabric.ports[request.src_nic]
@@ -424,12 +465,12 @@ class RNIC:
             message = self._ingress.popleft()
             self.messages_handled.increment()
             if message.kind in ("ack", "read_resp", "cas_resp"):
-                yield params.ack_processing_ns  # bare-delay fast path
+                yield self._scaled(params.ack_processing_ns)  # bare-delay fast path
                 self._handle_response(message)
             else:
-                yield params.ingress_processing_ns  # bare-delay fast path
+                yield self._scaled(params.ingress_processing_ns)  # bare-delay fast path
                 if message.payload:
-                    yield params.dma_ns(len(message.payload))  # bare-delay fast path
+                    yield self._scaled(params.dma_ns(len(message.payload)))  # bare-delay fast path
                 self._handle_request(message)
         self._ingress_busy = False
 

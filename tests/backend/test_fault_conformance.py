@@ -1,0 +1,151 @@
+"""Fault-conformance suite: every backend, same faults, same oracle.
+
+Parametrized over ``repro.backend.names()`` like the functional
+conformance suite: any registered backend — in-tree or plugin — is held
+to the same resilience contract under crash, stall and partition faults:
+
+* the group keeps (or regains) service through the fault;
+* no ACKed write is ever lost: after the run, every replica of the
+  final group stores at least the highest sequence the client was ACKed
+  for, at every offset (the shared :class:`~repro.faults.AckOracle`);
+* no ACK is delivered twice.
+
+Faults are injected through the scriptable fault layer and recovery runs
+through :class:`~repro.faults.ReplicaSetManager` — the same machinery
+the experiments use — so this suite is also an integration test of plan
+-> injector -> detection -> election -> reconfiguration per backend.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import backend as backend_registry
+from repro.faults import (
+    AckOracle,
+    CrashProcess,
+    FaultInjector,
+    FaultPlan,
+    HeartbeatConfig,
+    Partition,
+    ReplicaFault,
+    ReplicaSetManager,
+    pack_seq,
+)
+from repro.host import Cluster
+from repro.sim.units import ms, us
+
+REPLICAS = 3
+_HORIZON = ms(40)
+
+
+@pytest.fixture(params=backend_registry.names())
+def backend_name(request) -> str:
+    return request.param
+
+
+@pytest.fixture
+def harness(backend_name, cluster):
+    """A supervised group + closed-loop writer + ACK oracle."""
+    client = cluster.add_host("fc-client")
+    replicas = [cluster.add_host(f"fc-r{i}") for i in range(REPLICAS)]
+    spare = cluster.add_host("fc-spare")
+    manager = ReplicaSetManager(
+        client, replicas,
+        lambda c, m: backend_registry.create(backend_name, c, m,
+                                             slots=16, region_size=1 << 16),
+        spares=[spare],
+        heartbeat=HeartbeatConfig(period_ns=ms(1), miss_threshold=3))
+    manager.start()
+    oracle = AckOracle()
+    sim = cluster.sim
+    stats = {"aborted": 0}
+
+    def writer():
+        sequence = 0
+        while sim.now < _HORIZON:
+            group = manager.group
+            sequence += 1
+            offset = (sequence % 64) * 8
+            try:
+                group.write_local(offset, pack_seq(sequence))
+                yield oracle.track(group.gwrite(offset, 8, durable=True),
+                                   offset, sequence)
+            except (ReplicaFault, RuntimeError):
+                stats["aborted"] += 1
+                yield manager.wait_healthy()
+                continue
+            yield sim.timeout(us(50))
+
+    sim.process(writer(), name="fc.writer")
+    return cluster, manager, oracle, stats
+
+
+def _finish(cluster, manager, oracle):
+    """Drain and audit; returns the lost-ACK list (must be empty)."""
+    cluster.run(until=_HORIZON + ms(10))
+    assert oracle.pending == 0, "writer left an op in flight"
+    assert manager.healthy, "group never returned to service"
+    return oracle.verify(manager.group)
+
+
+class TestCrashFault:
+    def test_no_acked_write_lost(self, harness):
+        cluster, manager, oracle, _stats = harness
+        FaultInjector(cluster, FaultPlan(
+            [CrashProcess(ms(10), host="fc-r1")])).start()
+        lost = _finish(cluster, manager, oracle)
+        assert lost == []
+        assert oracle.duplicates == 0
+        assert len(manager.reconfigs) == 1
+        assert manager.reconfigs[0].failed_host == "fc-r1"
+
+    def test_service_resumes_after_repair(self, harness):
+        cluster, manager, oracle, _stats = harness
+        FaultInjector(cluster, FaultPlan(
+            [CrashProcess(ms(10), host="fc-r1")])).start()
+        cluster.run(until=_HORIZON + ms(10))
+        recovered_ns = manager.reconfigs[0].completed_ns
+        # ACKs keep arriving after recovery: the highest tracked
+        # sequence must have been written well after the repair.
+        assert oracle.ok_count > 0
+        assert max(oracle.acked.values()) > 0
+        assert recovered_ns < _HORIZON
+
+
+class TestStallFault:
+    def test_stall_delays_but_loses_nothing(self, harness):
+        """A transient stall (brownout) must not fail or lose any op."""
+        cluster, manager, oracle, stats = harness
+        sim = cluster.sim
+
+        def staller():
+            yield sim.timeout(ms(10))
+            manager.group.stall(ms(5))
+
+        sim.process(staller())
+        lost = _finish(cluster, manager, oracle)
+        assert lost == []
+        assert oracle.duplicates == 0
+        # A stall is not a failure: nothing aborted, no reconfiguration.
+        assert stats["aborted"] == 0
+        assert oracle.failed_count == 0
+        assert manager.reconfigs == []
+        assert manager.group.stalled is False
+
+
+class TestPartitionFault:
+    def test_partitioned_replica_evicted_without_loss(self, harness):
+        cluster, manager, oracle, _stats = harness
+        others = ("fc-client", "fc-r0", "fc-r2", "fc-spare")
+        FaultInjector(cluster, FaultPlan(
+            [Partition(ms(10), side_a=others, side_b=("fc-r1",))])).start()
+        lost = _finish(cluster, manager, oracle)
+        assert lost == []
+        assert oracle.duplicates == 0
+        assert len(manager.reconfigs) == 1
+        assert manager.reconfigs[0].failed_host == "fc-r1"
+        # The cut-off member can never win the election.
+        assert manager.reconfigs[0].election.winner != "fc-r1"
+        names = [host.name for host in manager.replica_hosts]
+        assert "fc-r1" not in names

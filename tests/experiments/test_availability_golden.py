@@ -1,0 +1,27 @@
+"""Golden regression: availability.run() is pinned byte-for-byte.
+
+The golden file was captured from the pre-migration implementation (the
+bespoke ``crasher()`` process and inline bucket math).  The experiment
+now runs its crash through the fault layer (:class:`FaultPlan` +
+:class:`FaultInjector`) and the shared bucket helpers — and this test
+proves the migration changed *nothing* observable: same timeline, same
+outage split, same oracle result, byte for byte.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.experiments import availability
+
+_GOLDEN = Path(__file__).parent / "golden" / "availability.json"
+
+
+def test_single_replica_kill_matches_golden():
+    result = availability.run()
+    assert json.dumps(result, sort_keys=True) == _GOLDEN.read_text().strip()
+
+
+def test_run_is_deterministic():
+    assert availability.run() == availability.run()

@@ -1,0 +1,95 @@
+"""Unit tests for the shared bucket-timeline helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import (
+    bucket_of,
+    count_outage_buckets,
+    default_bucket_ms,
+    phase_timings,
+    window_mean,
+)
+from repro.sim.units import ms
+
+
+class TestBucketOf:
+    def test_interior_points(self):
+        assert bucket_of(0, bucket_ms=10, buckets=6) == 0
+        assert bucket_of(ms(10) + 1, bucket_ms=10, buckets=6) == 1
+        assert bucket_of(ms(55), bucket_ms=10, buckets=6) == 5
+
+    def test_boundary_lands_in_the_later_bucket(self):
+        assert bucket_of(ms(10), bucket_ms=10, buckets=6) == 1
+        assert bucket_of(ms(10) - 1, bucket_ms=10, buckets=6) == 0
+
+    def test_post_horizon_completions_dropped_not_clamped(self):
+        # Completions in the drain grace past the horizon must not
+        # inflate the final bucket.
+        assert bucket_of(ms(60), bucket_ms=10, buckets=6) == -1
+        assert bucket_of(ms(79), bucket_ms=10, buckets=6) == -1
+        assert bucket_of(ms(60) - 1, bucket_ms=10, buckets=6) == 5
+
+
+class TestDefaultBucketMs:
+    def test_normal_mode(self, monkeypatch):
+        monkeypatch.delenv("REPRO_QUICK", raising=False)
+        assert default_bucket_ms() == 2
+
+    def test_quick_mode_narrows_the_window(self, monkeypatch):
+        monkeypatch.setenv("REPRO_QUICK", "1")
+        assert default_bucket_ms() == 1
+
+
+class TestWindowMean:
+    def test_plain_mean(self):
+        assert window_mean([1.0, 2.0, 3.0, 4.0], 1, 3) == 2.5
+
+    def test_empty_window_is_zero(self):
+        assert window_mean([1.0, 2.0], 2, 2) == 0.0
+        assert window_mean([], 0, 5) == 0.0
+
+    def test_open_ended_slice(self):
+        values = [10.0, 20.0, 30.0]
+        assert window_mean(values, 1, len(values)) == 25.0
+
+
+class TestCountOutageBuckets:
+    def test_counts_only_from_the_fault_bucket(self):
+        timeline = [0, 0, 100, 100, 0, 40, 100]
+        # Pre-fault zeros (warmup) must not count as outage.
+        assert count_outage_buckets(timeline, from_bucket=4,
+                                    threshold=50) == 2
+
+    def test_threshold_is_exclusive(self):
+        assert count_outage_buckets([50, 49], 0, threshold=50) == 1
+
+    def test_healthy_timeline_has_no_outage(self):
+        assert count_outage_buckets([100] * 8, 3, threshold=50) == 0
+
+
+class TestPhaseTimings:
+    def test_detection_separate_from_outage(self):
+        phases = phase_timings(injected_ns=ms(10), detected_ns=ms(14),
+                               recovered_ns=ms(33))
+        assert phases["detection_ms"] == pytest.approx(4.0)
+        assert phases["outage_ms"] == pytest.approx(23.0)
+        # The phases are independent measurements, not a split of one
+        # number — but detection can never exceed the total outage.
+        assert phases["detection_ms"] <= phases["outage_ms"]
+
+    def test_undetected_fault_has_no_phases(self):
+        phases = phase_timings(injected_ns=ms(10), detected_ns=None,
+                               recovered_ns=None)
+        assert phases == {"detection_ms": None, "outage_ms": None}
+
+    def test_detected_but_never_recovered(self):
+        phases = phase_timings(injected_ns=ms(10), detected_ns=ms(12),
+                               recovered_ns=None)
+        assert phases["detection_ms"] == pytest.approx(2.0)
+        assert phases["outage_ms"] is None
+
+    def test_no_injection_no_numbers(self):
+        phases = phase_timings(None, ms(5), ms(9))
+        assert phases == {"detection_ms": None, "outage_ms": None}

@@ -1,0 +1,100 @@
+"""Acceptance tests for the fault-resilience experiment.
+
+Test-scale parameters: same heartbeat deadline and fault mechanics as
+the real figure, shorter horizon.  Pinned claims:
+
+* the grid is byte-deterministic, serial vs ``jobs=2``;
+* every failover fault class (crash, partition, straggler, nvm-power)
+  is detected and repaired exactly once, detection latency strictly
+  under the total outage, on every backend;
+* the sub-deadline link flap never triggers a reconfiguration and only
+  dents (never zeroes) the availability timeline;
+* zero ACKed writes lost and zero duplicate ACKs, every cell.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.fig_faults import FAULT_KINDS, run
+
+_FAILOVER_KINDS = ["crash", "partition", "straggler", "nvm-power"]
+
+# One cut-down grid, computed once: 16 ms horizon, fault at 5 ms.
+KW = dict(bucket_ms=1, buckets=16, fault_bucket=5, ops_per_bucket=100,
+          seed=91)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run(**KW)
+
+
+class TestDeterminism:
+    def test_serial_equals_jobs2(self, rows):
+        parallel = run(jobs=2, **KW)
+        assert json.dumps(rows, sort_keys=True) == json.dumps(
+            parallel, sort_keys=True)
+
+
+class TestGrid:
+    def test_full_grid_present(self, rows):
+        cells = {(row["fault"], row["backend"]) for row in rows}
+        assert len(cells) == len(rows)
+        backends = {backend for _fault, backend in cells}
+        assert backends == {"hyperloop", "naive", "fanout"}
+        for kind in FAULT_KINDS:
+            for backend in backends:
+                assert (kind, backend) in cells
+
+    def test_no_cell_loses_or_duplicates_acks(self, rows):
+        for row in rows:
+            assert row["lost_acked_writes"] == 0, row
+            assert row["duplicate_acks"] == 0, row
+            assert row["ok_ops"] > 0, row
+
+
+class TestFailoverClasses:
+    def test_detected_and_repaired_once(self, rows):
+        for row in rows:
+            if row["fault"] not in _FAILOVER_KINDS:
+                continue
+            assert row["reconfigs"] == 1, row
+            assert row["detection_ms"] is not None, row
+            assert row["outage_ms"] is not None, row
+            # Detection is one phase of the outage, never the whole of it
+            # — the remainder is election + rebuild + catch-up.
+            assert 0 < row["detection_ms"] < row["outage_ms"], row
+
+    def test_throughput_dips_then_recovers(self, rows):
+        fault_bucket = KW["fault_bucket"]
+        for row in rows:
+            if row["fault"] not in _FAILOVER_KINDS:
+                continue
+            timeline = row["timeline"]
+            pre = timeline[fault_bucket - 1]
+            assert pre > 0, row
+            # The fault bucket collapses...
+            assert timeline[fault_bucket] < pre // 2, row
+            # ...and the final bucket is back to at least half rate.
+            assert timeline[-1] >= pre // 2, row
+
+
+class TestLinkFlap:
+    def test_sub_deadline_flap_never_fails_over(self, rows):
+        for row in rows:
+            if row["fault"] != "link-flap":
+                continue
+            assert row["reconfigs"] == 0, row
+            assert row["detection_ms"] is None, row
+            assert row["aborted_ops"] == 0, row
+            # Parked frames deliver late: the dent is confined to the
+            # 2 ms flap window, every bucket outside it stays live.
+            timeline = row["timeline"]
+            fault_bucket = KW["fault_bucket"]
+            flap_buckets = range(fault_bucket, fault_bucket + 3)
+            outside = [count for index, count in enumerate(timeline)
+                       if index not in flap_buckets]
+            assert all(count > 0 for count in outside), row

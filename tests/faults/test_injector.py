@@ -1,0 +1,174 @@
+"""FaultInjector execution semantics against a live cluster."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import (
+    CompositeFault,
+    CrashProcess,
+    FaultInjector,
+    FaultPlan,
+    FaultTargets,
+    LinkFlap,
+    NvmPowerLoss,
+    Partition,
+    StragglerNic,
+)
+from repro.sim.units import ms
+
+
+@pytest.fixture
+def trio(cluster):
+    hosts = [cluster.add_host(f"inj{i}") for i in range(3)]
+    return cluster, hosts
+
+
+class TestTargets:
+    def test_host_resolution(self, trio):
+        cluster, hosts = trio
+        targets = FaultTargets(cluster)
+        assert targets.host("inj1") is hosts[1]
+        assert targets.nic("inj0") is hosts[0].nic
+        assert targets.host_names() == ["inj0", "inj1", "inj2"]
+
+    def test_unknown_host_names_the_candidates(self, trio):
+        cluster, _hosts = trio
+        with pytest.raises(KeyError, match="inj0"):
+            FaultTargets(cluster).host("nope")
+
+
+class TestExecution:
+    def test_events_fire_at_trigger_time(self, trio):
+        cluster, hosts = trio
+        plan = FaultPlan([CrashProcess(ms(3), host="inj1")])
+        injector = FaultInjector(cluster, plan)
+        injector.start()
+        cluster.run(until=ms(10))
+        assert hosts[1].crashed
+        assert injector.log[0].fired_ns == ms(3)
+        assert injector.done
+        assert injector.first_fired(CrashProcess) == ms(3)
+
+    def test_start_twice_rejected(self, trio):
+        cluster, _hosts = trio
+        injector = FaultInjector(
+            cluster, FaultPlan([CrashProcess(ms(1), host="inj0")]))
+        injector.start()
+        with pytest.raises(RuntimeError, match="already started"):
+            injector.start()
+
+    def test_firing_order_is_schedule_order(self, trio):
+        cluster, _hosts = trio
+        plan = FaultPlan([
+            CrashProcess(ms(5), host="inj2"),
+            CrashProcess(ms(1), host="inj0"),
+            CrashProcess(ms(5), host="inj1"),
+        ])
+        injector = FaultInjector(cluster, plan)
+        injector.start()
+        cluster.run(until=ms(10))
+        fired_hosts = [event.host for _ns, event in injector.fired]
+        assert fired_hosts == ["inj0", "inj2", "inj1"]
+        times = [ns for ns, _event in injector.fired]
+        assert times == sorted(times)
+
+    def test_composite_fires_all_parts(self, trio):
+        cluster, hosts = trio
+        plan = FaultPlan([CompositeFault(ms(2), parts=(
+            CrashProcess(0, host="inj0"),
+            CrashProcess(ms(1), host="inj2"),
+        ))])
+        injector = FaultInjector(cluster, plan)
+        injector.start()
+        cluster.run(until=ms(10))
+        assert hosts[0].crashed and hosts[2].crashed
+        assert not hosts[1].crashed
+        assert [record.fired_ns for record in injector.log] \
+            == [ms(2), ms(3)]
+
+    def test_predicate_defers_then_fires(self, trio):
+        cluster, hosts = trio
+        plan = FaultPlan([CrashProcess(
+            ms(1), host="inj1",
+            predicate=lambda targets: targets.now >= ms(3),
+            retry_ns=ms(1), retries=5)])
+        injector = FaultInjector(cluster, plan)
+        injector.start()
+        cluster.run(until=ms(10))
+        record = injector.log[0]
+        assert record.fired_ns == ms(3)
+        assert record.deferrals == 2
+        assert hosts[1].crashed
+
+    def test_predicate_exhausts_retries_and_skips(self, trio):
+        cluster, hosts = trio
+        plan = FaultPlan([CrashProcess(
+            ms(1), host="inj1", predicate=lambda targets: False,
+            retry_ns=ms(1), retries=2)])
+        injector = FaultInjector(cluster, plan)
+        injector.start()
+        cluster.run(until=ms(10))
+        record = injector.log[0]
+        assert record.skipped and not record.fired
+        assert record.deferrals == 2
+        assert not hosts[1].crashed
+        assert injector.summary() == {"scheduled": 1, "fired": 0,
+                                      "skipped": 1, "deferrals": 2}
+
+    def test_deferral_does_not_hold_up_later_events(self, trio):
+        cluster, hosts = trio
+        plan = FaultPlan([
+            CrashProcess(ms(1), host="inj0",
+                         predicate=lambda targets: False, retries=0),
+            CrashProcess(ms(2), host="inj1"),
+        ])
+        injector = FaultInjector(cluster, plan)
+        injector.start()
+        cluster.run(until=ms(10))
+        assert not hosts[0].crashed
+        assert hosts[1].crashed
+        assert injector.log[1].fired_ns == ms(2)
+
+
+class TestSubstrateEffects:
+    def test_partition_drops_messages(self, trio):
+        cluster, _hosts = trio
+        plan = FaultPlan([Partition(ms(1), side_a=("inj0",),
+                                    side_b=("inj1", "inj2"))])
+        FaultInjector(cluster, plan).start()
+        cluster.run(until=ms(2))
+        fabric = cluster.fabric
+        assert fabric.link_fault("inj0", "inj1") is not None
+        assert fabric.link_fault("inj2", "inj0") is not None
+        assert fabric.link_fault("inj1", "inj2") is None
+
+    def test_flap_heals_after_duration(self, trio):
+        cluster, _hosts = trio
+        plan = FaultPlan([LinkFlap(ms(1), a="inj0", b="inj1",
+                                   duration_ns=ms(2))])
+        FaultInjector(cluster, plan).start()
+        cluster.run(until=ms(2))
+        until_ns, mode = cluster.fabric.link_fault("inj0", "inj1")
+        assert mode == "defer" and until_ns == ms(3)
+        cluster.run(until=ms(4))
+        assert cluster.fabric.link_fault("inj0", "inj1") is None
+
+    def test_straggler_inflates_then_recovers(self, trio):
+        cluster, hosts = trio
+        plan = FaultPlan([StragglerNic(ms(1), host="inj1", factor=8.0,
+                                       duration_ns=ms(2))])
+        FaultInjector(cluster, plan).start()
+        cluster.run(until=ms(2))
+        assert hosts[1].nic.straggling
+        assert hosts[1].nic.inflation_factor == 8.0
+        cluster.run(until=ms(4))
+        assert not hosts[1].nic.straggling
+        assert hosts[1].nic.inflation_factor == 1.0
+
+    def test_power_loss_keeps_host_up(self, trio):
+        cluster, hosts = trio
+        plan = FaultPlan([NvmPowerLoss(ms(1), host="inj2")])
+        FaultInjector(cluster, plan).start()
+        cluster.run(until=ms(2))
+        assert not hosts[2].crashed

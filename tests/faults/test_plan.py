@@ -1,0 +1,130 @@
+"""FaultPlan construction, validation and flattening."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.faults import (
+    CompositeFault,
+    CrashProcess,
+    FaultPlan,
+    LinkFlap,
+    NvmPowerLoss,
+    Partition,
+    StragglerNic,
+)
+from repro.sim.units import ms
+
+
+class TestValidation:
+    def test_negative_trigger_rejected(self):
+        with pytest.raises(ValueError, match="at_ns"):
+            FaultPlan([CrashProcess(-1, host="a")])
+
+    def test_crash_needs_host(self):
+        with pytest.raises(ValueError, match="host"):
+            FaultPlan([CrashProcess(0)])
+
+    def test_power_loss_needs_host(self):
+        with pytest.raises(ValueError, match="host"):
+            FaultPlan([NvmPowerLoss(0)])
+
+    def test_flap_needs_distinct_endpoints(self):
+        with pytest.raises(ValueError, match="distinct"):
+            FaultPlan([LinkFlap(0, a="x", b="x", duration_ns=ms(1))])
+
+    def test_flap_needs_duration(self):
+        with pytest.raises(ValueError, match="duration"):
+            FaultPlan([LinkFlap(0, a="x", b="y", duration_ns=0)])
+
+    def test_partition_sides_must_not_overlap(self):
+        with pytest.raises(ValueError, match="overlap"):
+            FaultPlan([Partition(0, side_a=("a", "b"), side_b=("b",))])
+
+    def test_partition_sides_must_be_nonempty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            FaultPlan([Partition(0, side_a=(), side_b=("b",))])
+
+    def test_straggler_factor_below_one_rejected(self):
+        with pytest.raises(ValueError, match="factor"):
+            FaultPlan([StragglerNic(0, host="a", factor=0.5,
+                                    duration_ns=ms(1))])
+
+    def test_composite_needs_parts(self):
+        with pytest.raises(ValueError, match="part"):
+            FaultPlan([CompositeFault(0)])
+
+    def test_composite_rejects_own_predicate(self):
+        with pytest.raises(ValueError, match="predicate"):
+            FaultPlan([CompositeFault(
+                0, parts=(CrashProcess(0, host="a"),),
+                predicate=lambda targets: True)])
+
+    def test_retry_policy_validated(self):
+        with pytest.raises(ValueError, match="retries"):
+            FaultPlan([CrashProcess(0, host="a", retries=-1)])
+
+
+class TestFlattening:
+    def test_schedule_sorted_by_time_then_declaration_order(self):
+        plan = FaultPlan([
+            CrashProcess(ms(5), host="b"),
+            CrashProcess(ms(1), host="a"),
+            NvmPowerLoss(ms(5), host="c"),
+        ])
+        entries = plan.schedule()
+        assert [entry.fire_ns for entry in entries] == [ms(1), ms(5), ms(5)]
+        # Same-nanosecond events keep declaration order: b before c.
+        assert entries[1].event.host == "b"
+        assert entries[2].event.host == "c"
+
+    def test_composite_offsets_are_relative(self):
+        plan = FaultPlan([CompositeFault(ms(10), parts=(
+            CrashProcess(0, host="a"),
+            CrashProcess(ms(2), host="b"),
+        ))])
+        assert [entry.fire_ns for entry in plan.schedule()] \
+            == [ms(10), ms(12)]
+
+    def test_nested_composites_flatten(self):
+        inner = CompositeFault(ms(1), parts=(CrashProcess(ms(1), host="x"),))
+        plan = FaultPlan([CompositeFault(ms(10), parts=(inner,))])
+        assert len(plan) == 1
+        assert plan.schedule()[0].fire_ns == ms(12)
+
+    def test_horizon_is_last_trigger(self):
+        plan = FaultPlan([CrashProcess(ms(3), host="a"),
+                          CrashProcess(ms(7), host="b")])
+        assert plan.horizon_ns == ms(7)
+        assert FaultPlan([]).horizon_ns == 0
+
+    def test_len_counts_leaves_not_composites(self):
+        plan = FaultPlan([CompositeFault(0, parts=(
+            CrashProcess(0, host="a"), CrashProcess(1, host="b")))])
+        assert len(plan) == 2
+
+    def test_composite_apply_directly_is_an_error(self):
+        composite = CompositeFault(0, parts=(CrashProcess(0, host="a"),))
+        with pytest.raises(RuntimeError, match="expanded"):
+            composite.apply(None)
+
+
+class TestPortability:
+    def test_plan_events_pickle(self):
+        """Plans cross process boundaries for --jobs sweeps."""
+        events = (CrashProcess(ms(1), host="a"),
+                  Partition(ms(2), side_a=("a",), side_b=("b",),
+                            duration_ns=ms(3)),
+                  StragglerNic(ms(4), host="b", factor=10.0,
+                               duration_ns=ms(5)))
+        clone = pickle.loads(pickle.dumps(events))
+        assert clone == events
+
+    def test_describe_is_human_readable(self):
+        assert "crash(a)" == CrashProcess(0, host="a").describe()
+        text = CompositeFault(0, parts=(
+            CrashProcess(0, host="a"),
+            LinkFlap(1, a="a", b="b", duration_ns=2))).describe()
+        assert "crash(a)" in text and "link-flap" in text
